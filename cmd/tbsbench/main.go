@@ -1,0 +1,77 @@
+// Command tbsbench regenerates the tables and figures of "Temporally-Biased
+// Sampling for Online Model Management" (EDBT 2018).
+//
+// Usage:
+//
+//	tbsbench -list                 # list experiment IDs
+//	tbsbench -exp fig7             # run one experiment
+//	tbsbench -exp table1 -quick    # reduced replication for a fast pass
+//	tbsbench -all                  # run everything
+//	tbsbench -all -quick -seed 7   # fast full sweep, custom seed
+//
+// Each experiment prints the same rows or series that the paper reports;
+// EXPERIMENTS.md records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		quick = flag.Bool("quick", false, "reduced replication (fast, noisier)")
+		plot  = flag.Bool("plot", false, "render series as ASCII sparklines instead of tables")
+		seed  = flag.Uint64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.Registry() {
+			fmt.Printf("%-16s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	var specs []experiments.Spec
+	switch {
+	case *all:
+		specs = experiments.Registry()
+	case *exp != "":
+		s, err := experiments.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs = []experiments.Spec{s}
+	default:
+		fmt.Fprintln(os.Stderr, "tbsbench: need -exp <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, s := range specs {
+		start := time.Now()
+		res, err := s.Run(*quick, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tbsbench: %s: %v\n", s.ID, err)
+			os.Exit(1)
+		}
+		render := res.Format
+		if *plot {
+			render = res.Plot
+		}
+		if err := render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

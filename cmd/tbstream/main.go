@@ -1,0 +1,106 @@
+// Command tbstream maintains a temporally-biased sample over a line-oriented
+// stream, demonstrating the library in a real pipeline. It reads JSON values
+// (one per line) from stdin, groups them into batches by wall-clock ticks or
+// by an explicit batch delimiter, and maintains an R-TBS sample; on each
+// batch boundary it writes the current sample (one JSON array) to stdout.
+//
+// Usage:
+//
+//	some-producer | tbstream -lambda 0.07 -n 1000 -batch-lines 100
+//
+// Flags:
+//
+//	-lambda       decay rate λ per batch (default 0.07)
+//	-n            maximum sample size (default 1000)
+//	-batch-lines  lines per batch (default 100); a literal "---" line also
+//	              closes the current batch
+//	-seed         RNG seed (default 1)
+//	-stats        also print W/C bookkeeping to stderr per batch
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		lambda     = flag.Float64("lambda", 0.07, "decay rate per batch")
+		n          = flag.Int("n", 1000, "maximum sample size")
+		batchLines = flag.Int("batch-lines", 100, "lines per batch")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		stats      = flag.Bool("stats", false, "print weight bookkeeping to stderr")
+	)
+	flag.Parse()
+	if *batchLines < 1 {
+		fmt.Fprintln(os.Stderr, "tbstream: -batch-lines must be positive")
+		os.Exit(2)
+	}
+
+	sampler, err := core.NewRTBS[json.RawMessage](*lambda, *n, xrand.New(*seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tbstream: %v\n", err)
+		os.Exit(2)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+
+	flush := func(batch []json.RawMessage) error {
+		sampler.Advance(batch)
+		if *stats {
+			fmt.Fprintf(os.Stderr, "t=%.0f W=%.2f C=%.2f saturated=%v\n",
+				sampler.Now(), sampler.TotalWeight(), sampler.ExpectedSize(), sampler.Saturated())
+		}
+		if err := enc.Encode(sampler.Sample()); err != nil {
+			return err
+		}
+		return out.Flush()
+	}
+
+	var batch []json.RawMessage
+	lineno := 0
+	for in.Scan() {
+		lineno++
+		line := in.Bytes()
+		if string(line) == "---" {
+			if err := flush(batch); err != nil {
+				fmt.Fprintf(os.Stderr, "tbstream: %v\n", err)
+				os.Exit(1)
+			}
+			batch = batch[:0]
+			continue
+		}
+		if !json.Valid(line) {
+			fmt.Fprintf(os.Stderr, "tbstream: line %d: invalid JSON, skipping\n", lineno)
+			continue
+		}
+		batch = append(batch, json.RawMessage(append([]byte(nil), line...)))
+		if len(batch) >= *batchLines {
+			if err := flush(batch); err != nil {
+				fmt.Fprintf(os.Stderr, "tbstream: %v\n", err)
+				os.Exit(1)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "tbstream: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(batch) > 0 {
+		if err := flush(batch); err != nil {
+			fmt.Fprintf(os.Stderr, "tbstream: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of Hentschel, Haas and
+// Tian, "Temporally-Biased Sampling for Online Model Management"
+// (EDBT 2018). The root package holds the repository-level benchmark
+// harness (bench_test.go); the library lives under internal/:
+//
+//   - internal/core — the T-TBS and R-TBS samplers and baselines
+//   - internal/dist — the simulated distributed implementations
+//   - internal/ml, internal/datagen — the model-retraining substrate
+//   - internal/experiments — drivers for every table and figure
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

@@ -1,0 +1,60 @@
+// IoT-style kNN classification over an evolving sensor stream.
+//
+// Run with:
+//
+//	go run ./examples/iotknn
+//
+// The scenario follows Section 6.2 of the paper: a Gaussian-mixture stream
+// whose class frequencies flip between a "normal" and an "abnormal" regime
+// (think of a fleet of sensors whose failure signature appears during an
+// incident and recurs later). A kNN classifier is retrained on the current
+// sample before every batch. We compare three sampling strategies with the
+// same memory budget:
+//
+//   - R-TBS: exponential time-biasing — adapts to changes and still keeps a
+//     little old data, so recurring regimes are recognized instantly;
+//   - SW: a sliding window of the newest items — adapts fast but forgets,
+//     so every regime change causes an error spike;
+//   - Unif: a uniform reservoir — never adapts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.KNNConfig{
+		SampleSize: 1000,
+		Schedule:   datagen.Periodic{Delta: 10, Eta: 10}, // 10 normal, 10 abnormal, repeat
+		Steps:      40,
+		Runs:       5,
+		Seed:       7,
+	}
+	schemes := []experiments.SchemeSpec[datagen.Point]{
+		experiments.RTBSScheme[datagen.Point]("R-TBS", 0.07, cfg.SampleSize),
+		experiments.SWScheme[datagen.Point](cfg.SampleSize),
+		experiments.UnifScheme[datagen.Point](cfg.SampleSize),
+	}
+	outcomes, err := experiments.RunKNN(cfg, schemes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("misclassification % by batch (lower is better):")
+	fmt.Printf("%4s  %8s  %8s  %8s\n", "t", "R-TBS", "SW", "Unif")
+	for t := 0; t < cfg.Steps; t += 2 {
+		fmt.Printf("%4d  %8.1f  %8.1f  %8.1f\n",
+			t+1, outcomes[0].Series[t], outcomes[1].Series[t], outcomes[2].Series[t])
+	}
+	fmt.Println()
+	for _, o := range outcomes {
+		fmt.Printf("%-6s mean miss %5.1f%%   10%% expected shortfall %5.1f%%\n",
+			o.Name, o.Err, o.ES)
+	}
+	fmt.Println("\nR-TBS should match SW on accuracy while avoiding SW's post-change spikes")
+	fmt.Println("(compare the expected-shortfall column), and beat Unif on both.")
+}

@@ -1,0 +1,105 @@
+// End-to-end online model management: temporally-biased sampling + drift-
+// triggered retraining.
+//
+// Run with:
+//
+//	go run ./examples/modelmanager
+//
+// The paper's pipeline is: maintain an R-TBS sample, score the deployed
+// model on each incoming batch, and retrain from the sample when needed.
+// "When to retrain" is orthogonal to the sampling problem (Section 1); the
+// manage package provides three policies. This example compares them on
+// the kNN workload: retraining on every batch is the accuracy ceiling but
+// costs a model build per batch; a drift detector gets close to that
+// ceiling with a fraction of the retraining work, and R-TBS's time-biased
+// sample is what makes the freshly triggered retrain effective.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/manage"
+	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/xrand"
+)
+
+func main() {
+	type policyCase struct {
+		name   string
+		policy func() manage.Policy
+	}
+	cases := []policyCase{
+		{"retrain always", func() manage.Policy { return manage.Always{} }},
+		{"retrain every 10", func() manage.Policy { return manage.Every{K: 10} }},
+		{"on drift (2σ)", func() manage.Policy {
+			return &manage.OnDrift{Window: 8, Factor: 2, MinObs: 3, MaxStale: 25}
+		}},
+	}
+
+	fmt.Println("kNN on a Periodic(10,10) drifting stream, R-TBS sample (λ=0.07, n=500):")
+	fmt.Printf("%-18s  %10s  %10s\n", "policy", "mean miss%", "retrains")
+	for _, pc := range cases {
+		miss, retrains, err := run(pc.policy())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s  %10.1f  %10d\n", pc.name, miss, retrains)
+	}
+	fmt.Println("\nthe drift policy should approach 'always' accuracy with far fewer retrains")
+}
+
+func run(policy manage.Policy) (missRate float64, retrains int, err error) {
+	gen, err := datagen.NewGMM(datagen.GMMConfig{
+		Schedule: datagen.Periodic{Delta: 10, Eta: 10},
+		Warmup:   30,
+	}, xrand.New(5))
+	if err != nil {
+		return 0, 0, err
+	}
+	sampler, err := core.NewRTBS[datagen.Point](0.07, 500, xrand.New(6))
+	if err != nil {
+		return 0, 0, err
+	}
+	train := func(sample []datagen.Point) (*ml.KNN, error) {
+		m, err := ml.NewKNN(7)
+		if err != nil {
+			return nil, err
+		}
+		xs := make([][]float64, len(sample))
+		ys := make([]int, len(sample))
+		for i, p := range sample {
+			xs[i] = []float64{p.X[0], p.X[1]}
+			ys[i] = p.Class
+		}
+		return m, m.Fit(xs, ys)
+	}
+	eval := func(m *ml.KNN, batch []datagen.Point) float64 {
+		wrong := 0
+		for _, p := range batch {
+			if m.Predict([]float64{p.X[0], p.X[1]}) != p.Class {
+				wrong++
+			}
+		}
+		return 100 * float64(wrong) / float64(len(batch))
+	}
+	mgr, err := manage.New(sampler, train, eval, policy)
+	if err != nil {
+		return 0, 0, err
+	}
+	var errs []float64
+	for t := 1; t <= 110; t++ {
+		e, err := mgr.Step(gen.Batch(t, 100))
+		if err != nil {
+			return 0, 0, err
+		}
+		if t > 30 && !math.IsNaN(e) {
+			errs = append(errs, e)
+		}
+	}
+	return metrics.Mean(errs), mgr.Retrains(), nil
+}

@@ -1,0 +1,62 @@
+// Quickstart: maintain a temporally-biased sample over a stream of batches.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+//
+// R-TBS (Reservoir-based Time-Biased Sampling) guarantees that (i) the
+// sample never exceeds its bound, and (ii) an item's probability of still
+// being in the sample decays as exp(−λ·age) — so retraining on the sample
+// emphasizes recent data without completely forgetting the past.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+func main() {
+	const (
+		lambda = 0.1 // decay rate per batch: e^−0.1 ≈ 90% weight retained
+		bound  = 50  // hard cap on the sample size
+	)
+	sampler, err := core.NewRTBS[string](lambda, bound, xrand.New(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed 20 batches of 10 items each.
+	for t := 1; t <= 20; t++ {
+		batch := make([]string, 10)
+		for i := range batch {
+			batch[i] = fmt.Sprintf("item-%d-%d", t, i)
+		}
+		sampler.Advance(batch)
+	}
+
+	sample := sampler.Sample()
+	fmt.Printf("after 20 batches: |S| = %d (bound %d), W = %.1f\n",
+		len(sample), bound, sampler.TotalWeight())
+
+	// Count sample items per batch: recent batches dominate, old ones
+	// linger with exponentially small probability.
+	perBatch := map[string]int{}
+	for _, it := range sample {
+		batchTag := it[:strings.LastIndex(it, "-")] // "item-T-I" → "item-T"
+		perBatch[batchTag]++
+	}
+	for t := 16; t <= 20; t++ {
+		fmt.Printf("batch %d contributes %d items\n", t, perBatch[fmt.Sprintf("item-%d", t)])
+	}
+
+	// The decay rate can be derived from retention goals instead of picked
+	// by hand (Section 1 of the paper):
+	fmt.Printf("λ to keep 10%% of items after 40 batches: %.3f\n",
+		core.LambdaForRetention(40, 0.10))
+	fmt.Printf("theoretical inclusion probability of a batch-10 item now: %.4f\n",
+		sampler.InclusionProbability(10))
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestAResValidation(t *testing.T) {
+	if _, err := NewARes[int](-1, 10, xrand.New(1)); err == nil {
+		t.Error("negative λ accepted")
+	}
+	if _, err := NewARes[int](0.1, 0, xrand.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewARes[int](0.1, 5, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}
+
+func TestAResBoundAndFillUp(t *testing.T) {
+	s, err := NewARes[int](0.2, 50, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	rng := xrand.New(3)
+	for i := 0; i < 100; i++ {
+		b := rng.Intn(20)
+		s.Advance(make([]int, b))
+		seen += b
+		want := seen
+		if want > 50 {
+			want = 50
+		}
+		if s.Size() != want {
+			t.Fatalf("step %d: size %d, want %d", i, s.Size(), want)
+		}
+	}
+	if got := len(s.Sample()); got != 50 {
+		t.Errorf("|Sample| = %d", got)
+	}
+}
+
+// TestAResRecencyBias: with a positive decay rate, recent batches must be
+// much better represented than old ones.
+func TestAResRecencyBias(t *testing.T) {
+	const (
+		lambda  = 0.2
+		n       = 100
+		b       = 100
+		batches = 20
+	)
+	s, err := NewARes[int](lambda, n, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := 0
+	for bi := 0; bi < batches; bi++ {
+		batch := make([]int, b)
+		for i := range batch {
+			batch[i] = id
+			id++
+		}
+		s.Advance(batch)
+	}
+	var oldHalf, newHalf int
+	for _, item := range s.Sample() {
+		if item < b*batches/2 {
+			oldHalf++
+		} else {
+			newHalf++
+		}
+	}
+	if newHalf < 3*oldHalf {
+		t.Errorf("recency bias too weak: old %d vs new %d", oldHalf, newHalf)
+	}
+}
+
+// TestAResViolatesProperty1 demonstrates the Section 7 claim: A-Res
+// controls acceptance probabilities, not appearance probabilities, so the
+// batch-to-batch inclusion ratio deviates from e^{−λ} during fill-up.
+// (R-TBS under the identical schedule satisfies the ratio; see
+// TestRTBSRelativeInclusion.)
+func TestAResViolatesProperty1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		lambda   = 0.5
+		n        = 40
+		b        = 10
+		batches  = 2
+		replicas = 20000
+	)
+	// Two small batches into a large reservoir: under property (1) the
+	// inclusion ratio of batch 1 to batch 2 must be e^{−0.5} ≈ 0.61, but
+	// A-Res keeps everything during fill-up, forcing the ratio to 1.
+	var older, newer float64
+	for rep := 0; rep < replicas; rep++ {
+		s, err := NewARes[int](lambda, n, xrand.New(uint64(rep)+31000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1 := make([]int, b)
+		b2 := make([]int, b)
+		for i := range b1 {
+			b1[i] = i
+			b2[i] = b + i
+		}
+		s.Advance(b1)
+		s.Advance(b2)
+		for _, item := range s.Sample() {
+			if item < b {
+				older++
+			} else {
+				newer++
+			}
+		}
+	}
+	ratio := older / newer
+	if math.Abs(ratio-1) > 0.02 {
+		t.Fatalf("fill-up ratio = %v, expected ≈ 1 (the violation)", ratio)
+	}
+	if want := math.Exp(-lambda); math.Abs(ratio-want) < 0.1 {
+		t.Fatalf("ratio %v unexpectedly satisfies property (1)", ratio)
+	}
+}
+
+// TestAResSaturatedDecayApproximate: once saturated with steady arrivals,
+// A-Res's inclusion ratios are in the right ballpark (it is, after all, an
+// exponential time-biasing scheme) — this documents that the violation is
+// about exactness, not direction.
+func TestAResSaturatedDecayApproximate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		lambda   = 0.1
+		n        = 20
+		b        = 40
+		batches  = 10
+		replicas = 20000
+	)
+	perBatch := make([]float64, batches)
+	for rep := 0; rep < replicas; rep++ {
+		s, err := NewARes[int](lambda, n, xrand.New(uint64(rep)+32000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 0
+		for bi := 0; bi < batches; bi++ {
+			batch := make([]int, b)
+			for i := range batch {
+				batch[i] = id
+				id++
+			}
+			s.Advance(batch)
+		}
+		for _, item := range s.Sample() {
+			perBatch[item/b]++
+		}
+	}
+	// Monotonic recency bias.
+	for bi := 0; bi < batches-1; bi++ {
+		if perBatch[bi] > perBatch[bi+1] {
+			t.Errorf("batch %d more represented than batch %d", bi+1, bi+2)
+		}
+	}
+}
+
+func TestAResAdvanceAtPanicsOnPast(t *testing.T) {
+	s, err := NewARes[int](0.1, 5, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceAt(3, []int{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on non-increasing time")
+		}
+	}()
+	s.AdvanceAt(3, nil)
+}

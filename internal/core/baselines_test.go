@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBTBSInclusionDecay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// Appendix A: Pr[x ∈ Sₜ′] = e^{−λ(t′−t)} for x ∈ Bₜ.
+	const (
+		lambda   = 0.3
+		batches  = 6
+		b        = 40
+		replicas = 30000
+	)
+	perBatch := make([]float64, batches)
+	for rep := 0; rep < replicas; rep++ {
+		s, err := NewBTBS[int](lambda, xrand.New(uint64(rep)+4000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 0
+		for bi := 0; bi < batches; bi++ {
+			batch := make([]int, b)
+			for j := range batch {
+				batch[j] = id
+				id++
+			}
+			s.Advance(batch)
+		}
+		for _, item := range s.Sample() {
+			perBatch[item/b]++
+		}
+	}
+	for bi := 0; bi < batches; bi++ {
+		got := perBatch[bi] / (replicas * b)
+		want := math.Exp(-lambda * float64(batches-bi-1))
+		se := math.Sqrt(want*(1-want)/(replicas*b)) + 1e-9
+		if math.Abs(got-want) > 6*se {
+			t.Errorf("batch %d: inclusion %v, want %v", bi+1, got, want)
+		}
+	}
+}
+
+func TestBTBSEquilibriumSize(t *testing.T) {
+	// Remark 1: the sample size fluctuates around b/(1−e^−λ).
+	const lambda, b = 0.1, 100
+	s, err := NewBTBS[int](lambda, xrand.New(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const steps = 2000
+	for i := 0; i < steps; i++ {
+		s.Advance(make([]int, b))
+		if i >= steps/2 {
+			sum += float64(s.Size())
+		}
+	}
+	avg := sum / (steps / 2)
+	want := b / (1 - math.Exp(-lambda))
+	if math.Abs(avg-want) > 0.05*want {
+		t.Errorf("equilibrium size = %v, want ≈ %v", avg, want)
+	}
+}
+
+func TestBTBSValidation(t *testing.T) {
+	if _, err := NewBTBS[int](0, xrand.New(1)); err == nil {
+		t.Error("λ=0 accepted")
+	}
+	if _, err := NewBTBS[int](0.1, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}
+
+func TestBRSBoundAndCount(t *testing.T) {
+	s, err := NewBRS[int](100, xrand.New(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	rng := xrand.New(61)
+	for i := 0; i < 50; i++ {
+		b := rng.Intn(60)
+		s.Advance(make([]int, b))
+		seen += b
+		wantSize := seen
+		if wantSize > 100 {
+			wantSize = 100
+		}
+		if s.Size() != wantSize {
+			t.Fatalf("step %d: size %d, want %d", i, s.Size(), wantSize)
+		}
+		if s.Seen() != seen {
+			t.Fatalf("step %d: seen %d, want %d", i, s.Seen(), seen)
+		}
+	}
+}
+
+// TestBRSUniformity: after many batches, every item seen so far should be in
+// the sample with equal probability n/W (Appendix B: B-RS is a uniform
+// scheme).
+func TestBRSUniformity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		n        = 10
+		batches  = 5
+		b        = 8
+		replicas = 60000
+	)
+	total := batches * b
+	counts := make([]float64, total)
+	for rep := 0; rep < replicas; rep++ {
+		s, err := NewBRS[int](n, xrand.New(uint64(rep)+8000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 0
+		for bi := 0; bi < batches; bi++ {
+			batch := make([]int, b)
+			for j := range batch {
+				batch[j] = id
+				id++
+			}
+			s.Advance(batch)
+		}
+		for _, item := range s.Sample() {
+			counts[item]++
+		}
+	}
+	want := float64(n) / float64(total)
+	se := math.Sqrt(want * (1 - want) / replicas)
+	for id, cnt := range counts {
+		got := cnt / replicas
+		if math.Abs(got-want) > 6*se {
+			t.Errorf("item %d inclusion %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestBRSValidation(t *testing.T) {
+	if _, err := NewBRS[int](0, xrand.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewBRS[int](5, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := NewBRSFrom(2, []int{1, 2, 3}, xrand.New(1)); err == nil {
+		t.Error("oversized initial sample accepted")
+	}
+}
+
+func TestSlidingWindowKeepsLastN(t *testing.T) {
+	w, err := NewSlidingWindow[int](5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Advance([]int{1, 2, 3})
+	if got := w.Sample(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("after first batch: %v", got)
+	}
+	w.Advance([]int{4, 5, 6, 7})
+	got := w.Sample()
+	want := []int{3, 4, 5, 6, 7}
+	if len(got) != 5 {
+		t.Fatalf("size %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window = %v, want %v", got, want)
+		}
+	}
+	// A batch larger than the window keeps only its tail.
+	big := make([]int, 12)
+	for i := range big {
+		big[i] = 100 + i
+	}
+	w.Advance(big)
+	got = w.Sample()
+	for i := 0; i < 5; i++ {
+		if got[i] != 107+i {
+			t.Fatalf("after big batch: %v", got)
+		}
+	}
+}
+
+func TestSlidingWindowProperty(t *testing.T) {
+	w, err := NewSlidingWindow[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []int
+	next := 0
+	f := func(sz uint8) bool {
+		batch := make([]int, int(sz)%100)
+		for i := range batch {
+			batch[i] = next
+			next++
+		}
+		all = append(all, batch...)
+		w.Advance(batch)
+		got := w.Sample()
+		wantLen := len(all)
+		if wantLen > 64 {
+			wantLen = 64
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		tail := all[len(all)-wantLen:]
+		for i := range tail {
+			if got[i] != tail[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeWindowExpiry(t *testing.T) {
+	w, err := NewTimeWindow[int](2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AdvanceAt(1, []int{1})
+	w.AdvanceAt(2, []int{2})
+	w.AdvanceAt(3, []int{3})
+	// Horizon 2.5 at t=3 keeps arrivals after 0.5: all three.
+	if w.Size() != 3 {
+		t.Fatalf("size %d, want 3", w.Size())
+	}
+	w.AdvanceAt(4, nil)
+	// Keeps arrivals after 1.5: items 2 and 3.
+	got := w.Sample()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("window = %v", got)
+	}
+	w.AdvanceAt(100, nil)
+	if w.Size() != 0 {
+		t.Fatal("window should be empty after long silence")
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := NewSlidingWindow[int](0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewTimeWindow[int](0); err == nil {
+		t.Error("horizon=0 accepted")
+	}
+}
+
+func TestLambdaHelpers(t *testing.T) {
+	// Paper Section 1: λ = 0.058 keeps ~10% after 40 batches.
+	if got := LambdaForRetention(40, 0.10); math.Abs(got-0.0576) > 0.001 {
+		t.Errorf("LambdaForRetention(40, 0.1) = %v, want ≈ 0.0576", got)
+	}
+	// Paper Section 1: k=150, n=1000, q=0.01 → λ ≈ 0.077.
+	if got := LambdaForEntitySurvival(150, 1000, 0.01); math.Abs(got-0.077) > 0.001 {
+		t.Errorf("LambdaForEntitySurvival = %v, want ≈ 0.077", got)
+	}
+	for _, f := range []func(){
+		func() { LambdaForRetention(0, 0.5) },
+		func() { LambdaForRetention(5, 0) },
+		func() { LambdaForRetention(5, 1) },
+		func() { LambdaForEntitySurvival(0, 10, 0.5) },
+		func() { LambdaForEntitySurvival(5, 0, 0.5) },
+		func() { LambdaForEntitySurvival(5, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid lambda helper args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// BRS is batched reservoir sampling (Appendix B, Algorithm 5): the classical
+// reservoir scheme extended to batch arrivals. At every time t the sample is
+// a uniform random subset of size min(n, Wₜ) of all Wₜ items seen so far —
+// a bounded sample with no time biasing (decay rate 0). It serves as the
+// paper's "Unif" baseline in the model-quality experiments.
+type BRS[T any] struct {
+	n      int
+	rng    *xrand.RNG
+	sample []T
+	w      int // number of items seen
+}
+
+// NewBRS returns a batched reservoir sampler with capacity n.
+func NewBRS[T any](n int, rng *xrand.RNG) (*BRS[T], error) {
+	return NewBRSFrom[T](n, nil, rng)
+}
+
+// NewBRSFrom is NewBRS starting from an initial sample S₀ with |S₀| ≤ n,
+// assumed to be a uniform sample of |S₀| items already seen.
+func NewBRSFrom[T any](n int, initial []T, rng *xrand.RNG) (*BRS[T], error) {
+	switch {
+	case n <= 0:
+		return nil, fmt.Errorf("core: reservoir size must be positive, got %d", n)
+	case len(initial) > n:
+		return nil, fmt.Errorf("core: initial sample size %d exceeds capacity %d", len(initial), n)
+	case rng == nil:
+		return nil, fmt.Errorf("core: nil RNG")
+	}
+	s := &BRS[T]{n: n, rng: rng, w: len(initial)}
+	s.sample = append(s.sample, initial...)
+	return s, nil
+}
+
+// Advance merges a batch into the reservoir (Algorithm 5): the number M of
+// batch items entering the sample is hypergeometric(C, |Bₜ|, W) where
+// C = min(n, W+|Bₜ|), the M entrants are drawn uniformly from the batch, and
+// the survivors are drawn uniformly from the current sample. This exactly
+// simulates |Bₜ| steps of the sequential reservoir algorithm.
+func (s *BRS[T]) Advance(batch []T) {
+	c := s.n
+	if s.w+len(batch) < c {
+		c = s.w + len(batch)
+	}
+	m := s.rng.Hypergeometric(c, len(batch), s.w)
+	keep := c - m
+	if keep > len(s.sample) {
+		keep = len(s.sample)
+	}
+	s.sample = xrand.SampleInPlace(s.rng, s.sample, keep)
+	s.sample = append(s.sample, xrand.Sample(s.rng, batch, m)...)
+	s.w += len(batch)
+}
+
+// Sample returns a copy of the current sample.
+func (s *BRS[T]) Sample() []T {
+	out := make([]T, len(s.sample))
+	copy(out, s.sample)
+	return out
+}
+
+// Size returns the exact current sample size.
+func (s *BRS[T]) Size() int { return len(s.sample) }
+
+// ExpectedSize returns the exact current size.
+func (s *BRS[T]) ExpectedSize() float64 { return float64(len(s.sample)) }
+
+// Seen returns W, the total number of items observed so far.
+func (s *BRS[T]) Seen() int { return s.w }
+
+// Capacity returns the reservoir bound n.
+func (s *BRS[T]) Capacity() int { return s.n }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// BTBS is plain Bernoulli time-biased sampling (Appendix A, Algorithm 4),
+// the scheme of Xie et al. [32]: accept every arriving item, then retain
+// each sample item with probability e^−λ at every tick. Property (1) holds
+// — Pr[x ∈ Sₜ′] = exp(−λ(t′−t)) for x ∈ Bₜ — but the user cannot control
+// the sample size independently of λ: it fluctuates around b/(1−e^−λ)
+// (Remark 1) and grows without bound if batch sizes grow.
+type BTBS[T any] struct {
+	lambda float64
+	rng    *xrand.RNG
+	sample []T
+	now    float64
+}
+
+// NewBTBS returns a B-TBS sampler with decay rate lambda (> 0).
+func NewBTBS[T any](lambda float64, rng *xrand.RNG) (*BTBS[T], error) {
+	switch {
+	case !ValidateLambda(lambda) || lambda == 0:
+		return nil, fmt.Errorf("core: B-TBS requires a positive decay rate, got λ = %v", lambda)
+	case rng == nil:
+		return nil, fmt.Errorf("core: nil RNG")
+	}
+	return &BTBS[T]{lambda: lambda, rng: rng}, nil
+}
+
+// Advance processes the batch arriving at time Now()+1.
+func (s *BTBS[T]) Advance(batch []T) { s.AdvanceAt(s.now+1, batch) }
+
+// AdvanceAt processes a batch at real-valued time t > Now().
+func (s *BTBS[T]) AdvanceAt(t float64, batch []T) {
+	if t <= s.now {
+		panic(fmt.Sprintf("core: BTBS.AdvanceAt time %v not after current time %v", t, s.now))
+	}
+	p := decayFactor(s.lambda, t-s.now)
+	s.now = t
+	m := s.rng.Binomial(len(s.sample), p)
+	s.sample = xrand.SampleInPlace(s.rng, s.sample, m)
+	s.sample = append(s.sample, batch...)
+}
+
+// Sample returns a copy of the current sample.
+func (s *BTBS[T]) Sample() []T {
+	out := make([]T, len(s.sample))
+	copy(out, s.sample)
+	return out
+}
+
+// Size returns the exact current sample size.
+func (s *BTBS[T]) Size() int { return len(s.sample) }
+
+// ExpectedSize returns the exact current size.
+func (s *BTBS[T]) ExpectedSize() float64 { return float64(len(s.sample)) }
+
+// DecayRate returns λ.
+func (s *BTBS[T]) DecayRate() float64 { return s.lambda }
+
+// TotalWeight returns the current sample size (B-TBS keeps every surviving
+// item, so its sample is its weight).
+func (s *BTBS[T]) TotalWeight() float64 { return float64(len(s.sample)) }
+
+// Now returns the time of the most recent batch.
+func (s *BTBS[T]) Now() float64 { return s.now }

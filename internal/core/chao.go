@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// BChao is the batched, time-decayed adaptation of Chao's general-purpose
+// unequal-probability sampling plan described in Appendix D (Algorithms 6
+// and 7). It maintains a bounded sample of size n in which non-overweight
+// items appear with probability n·wᵢ/W, tracking "overweight" items (those
+// whose proportional probability would exceed 1) individually in a side set
+// V until they decay back to normal.
+//
+// The paper includes B-Chao as the closest prior competitor to R-TBS and
+// shows that it violates the relative-inclusion property (1) while the
+// sample is filling up and whenever data arrives slowly relative to the
+// decay rate (overweight items are over-represented); the
+// `chao-violation` experiment reproduces that failure. Unlike R-TBS the
+// sample size never shrinks, which is the root cause.
+type BChao[T any] struct {
+	lambda float64
+	n      int
+	rng    *xrand.RNG
+
+	s   []T           // non-overweight sample items (weights forgotten)
+	w   float64       // aggregate decayed weight of every non-overweight item seen
+	v   []weighted[T] // overweight items, ascending by weight
+	now float64
+}
+
+type weighted[T any] struct {
+	item T
+	w    float64
+}
+
+// NewBChao returns a B-Chao sampler with decay rate lambda and sample
+// bound n.
+func NewBChao[T any](lambda float64, n int, rng *xrand.RNG) (*BChao[T], error) {
+	switch {
+	case !ValidateLambda(lambda):
+		return nil, fmt.Errorf("core: invalid decay rate λ = %v", lambda)
+	case n <= 0:
+		return nil, fmt.Errorf("core: sample size must be positive, got %d", n)
+	case rng == nil:
+		return nil, fmt.Errorf("core: nil RNG")
+	}
+	return &BChao[T]{lambda: lambda, n: n, rng: rng}, nil
+}
+
+// Advance processes the batch arriving at time Now()+1.
+func (c *BChao[T]) Advance(batch []T) { c.AdvanceAt(c.now+1, batch) }
+
+// AdvanceAt processes a batch at real-valued time t > Now(). Items within
+// the batch are processed one at a time in random order, as in Algorithm 6.
+func (c *BChao[T]) AdvanceAt(t float64, batch []T) {
+	if t <= c.now {
+		panic(fmt.Sprintf("core: BChao.AdvanceAt time %v not after current time %v", t, c.now))
+	}
+	d := decayFactor(c.lambda, t-c.now)
+	c.now = t
+	c.w *= d
+	for i := range c.v {
+		c.v[i].w *= d
+	}
+
+	// Get1(x, Bt): consume the batch in uniform random order.
+	order := c.rng.Perm(len(batch))
+	for _, bi := range order {
+		c.insert(batch[bi])
+	}
+}
+
+// insert processes one arriving item (body of the loop in Algorithm 6).
+func (c *BChao[T]) insert(x T) {
+	if len(c.s)+len(c.v) < c.n {
+		// Reservoir not yet full: accept with probability 1. (This is
+		// exactly where property (1) is violated: the item's weight is
+		// effectively forced to equal the older items' weights.) The
+		// pseudocode tests |S| < n; we test |S|+|V| < n so that the bound
+		// holds even when overweight items exist while the reservoir
+		// reopens — the published code never reaches that state because V
+		// only fills after saturation, so the two tests agree on every
+		// reachable state.
+		c.s = append(c.s, x)
+		c.w++
+		return
+	}
+
+	pix, a, xOver := c.normalize(x)
+	if c.rng.Float64() <= pix {
+		// Accept x and choose a victim to eject: first try the items that
+		// just transitioned out of V (each with its individual correction
+		// probability), then fall back to a uniform victim from S.
+		alpha := 0.0
+		u := c.rng.Float64()
+		victim := -1
+		for idx := range a {
+			alpha += (1 - float64(c.n-len(c.v))*a[idx].w/c.w) / pix
+			if u <= alpha {
+				victim = idx
+				break
+			}
+		}
+		if victim >= 0 {
+			a = append(a[:victim], a[victim+1:]...)
+		} else if len(c.s) > 0 {
+			j := c.rng.Intn(len(c.s))
+			c.s[j] = c.s[len(c.s)-1]
+			c.s = c.s[:len(c.s)-1]
+		}
+		if !xOver {
+			c.s = append(c.s, x)
+		}
+	}
+	// Items that are no longer overweight rejoin S; their individual
+	// weights are forgotten (only the aggregate W matters from here on).
+	for i := range a {
+		c.s = append(c.s, a[i].item)
+	}
+}
+
+// normalize implements Algorithm 7: fold the arriving unit-weight item x
+// into the aggregate weight, recompute which items are overweight, and
+// return x's acceptance probability πx, the set A of items that just
+// stopped being overweight, and whether x itself is overweight (in which
+// case it has been added to V).
+func (c *BChao[T]) normalize(x T) (pix float64, a []weighted[T], xOver bool) {
+	sumV := 0.0
+	for i := range c.v {
+		sumV += c.v[i].w
+	}
+	c.w += 1 + sumV
+	if float64(c.n)/c.w <= 1 {
+		// x is not overweight; neither is anything in V (all weights ≤ 1,
+		// so n·wz/W ≤ n/W ≤ 1).
+		a = append(a, c.v...)
+		c.v = c.v[:0]
+		return float64(c.n) / c.w, a, false
+	}
+
+	// x is overweight: accept it with probability 1 and rebuild V by
+	// peeling off the heaviest items while they remain overweight with
+	// respect to the shrinking sample slot count n−|D| and aggregate W.
+	c.w--
+	var dSet []weighted[T] // members of D other than x, descending weight
+	for len(c.v) > 0 {
+		z := c.v[len(c.v)-1] // GetMax(V): v is ascending, the max is last
+		if float64(c.n-(len(dSet)+1))*z.w/c.w > 1 {
+			c.v = c.v[:len(c.v)-1]
+			c.w -= z.w
+			dSet = append(dSet, z)
+			continue
+		}
+		break
+	}
+	// Everything still in v is no longer overweight.
+	a = append(a, c.v...)
+	c.v = c.v[:0]
+	// V ← D, kept ascending: dSet was popped in descending weight order,
+	// and x (weight 1) is at least as heavy as every decayed item.
+	for i := len(dSet) - 1; i >= 0; i-- {
+		c.v = append(c.v, dSet[i])
+	}
+	c.v = append(c.v, weighted[T]{item: x, w: 1})
+	return 1, a, true
+}
+
+// Sample returns a copy of the current sample S ∪ V.
+func (c *BChao[T]) Sample() []T {
+	out := make([]T, 0, len(c.s)+len(c.v))
+	out = append(out, c.s...)
+	for i := range c.v {
+		out = append(out, c.v[i].item)
+	}
+	return out
+}
+
+// Size returns the exact current sample size |S| + |V|.
+func (c *BChao[T]) Size() int { return len(c.s) + len(c.v) }
+
+// ExpectedSize returns the exact current size.
+func (c *BChao[T]) ExpectedSize() float64 { return float64(c.Size()) }
+
+// Overweight returns the number of currently overweight items (|V|).
+func (c *BChao[T]) Overweight() int { return len(c.v) }
+
+// TotalWeight returns W, the aggregate decayed weight of all non-overweight
+// items seen so far.
+func (c *BChao[T]) TotalWeight() float64 { return c.w }
+
+// DecayRate returns λ.
+func (c *BChao[T]) DecayRate() float64 { return c.lambda }
+
+// Now returns the time of the most recent batch.
+func (c *BChao[T]) Now() float64 { return c.now }

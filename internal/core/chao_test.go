@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestBChaoValidation(t *testing.T) {
+	if _, err := NewBChao[int](-1, 10, xrand.New(1)); err == nil {
+		t.Error("negative λ accepted")
+	}
+	if _, err := NewBChao[int](0.1, 0, xrand.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewBChao[int](0.1, 5, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}
+
+func TestBChaoSizeIsMinSeenN(t *testing.T) {
+	const n = 50
+	c, err := NewBChao[int](0.2, n, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	rng := xrand.New(3)
+	for i := 0; i < 200; i++ {
+		b := rng.Intn(20)
+		batch := make([]int, b)
+		c.Advance(batch)
+		seen += b
+		want := seen
+		if want > n {
+			want = n
+		}
+		if c.Size() != want {
+			t.Fatalf("step %d: size %d, want %d (seen %d)", i, c.Size(), want, seen)
+		}
+		if got := len(c.Sample()); got != want {
+			t.Fatalf("step %d: |Sample()| = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestBChaoOverweightUnderSlowArrivals reproduces the Appendix D failure
+// mode: with a high decay rate and slow arrivals, newly arrived items become
+// "overweight" and are pinned in the sample with probability one, violating
+// property (1). We check that V is indeed nonempty in that regime.
+func TestBChaoOverweightUnderSlowArrivals(t *testing.T) {
+	const n = 20
+	c, err := NewBChao[int](1.0, n, xrand.New(4)) // aggressive decay
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the reservoir.
+	fill := make([]int, n)
+	c.Advance(fill)
+	// Now a long quiet period followed by single-item batches: each
+	// arriving item's weight (1) dwarfs the decayed aggregate, so it must
+	// be classified overweight.
+	for i := 0; i < 10; i++ {
+		c.Advance([]int{100 + i})
+	}
+	if c.Overweight() == 0 {
+		t.Error("expected overweight items under slow arrivals with high λ")
+	}
+	if c.Size() != n {
+		t.Errorf("size %d, want %d (B-Chao never shrinks)", c.Size(), n)
+	}
+}
+
+// TestBChaoSteadyStateDecay checks that in a fast-arrival steady state
+// (no overweight items) the inclusion probabilities do follow the
+// exponential-decay profile, matching Chao's design goal.
+func TestBChaoSteadyStateDecay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		lambda   = 0.1
+		n        = 20
+		b        = 40
+		batches  = 10
+		replicas = 30000
+	)
+	perBatch := make([]float64, batches)
+	for rep := 0; rep < replicas; rep++ {
+		c, err := NewBChao[int](lambda, n, xrand.New(uint64(rep)+11000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 0
+		for bi := 0; bi < batches; bi++ {
+			batch := make([]int, b)
+			for j := range batch {
+				batch[j] = id
+				id++
+			}
+			c.Advance(batch)
+		}
+		if c.Overweight() != 0 {
+			t.Fatalf("unexpected overweight items in fast-arrival regime")
+		}
+		for _, item := range c.Sample() {
+			perBatch[item/b]++
+		}
+	}
+	// Check relative decay between consecutive non-initial batches (skip
+	// the fill-up phase, where property (1) is knowingly violated).
+	p := make([]float64, batches)
+	for i := range p {
+		p[i] = perBatch[i] / (replicas * b)
+	}
+	for bi := 3; bi < batches-1; bi++ {
+		ratio := p[bi] / p[bi+1]
+		want := math.Exp(-lambda)
+		if math.Abs(ratio-want) > 0.06 {
+			t.Errorf("batch %d/%d ratio = %v, want %v", bi+1, bi+2, ratio, want)
+		}
+	}
+}
+
+// TestBChaoFillUpViolation quantifies the Appendix D claim that B-Chao
+// violates property (1) during fill-up: items arriving in the first and
+// second batches end up with identical inclusion probabilities even though
+// the second batch is one decay unit younger.
+func TestBChaoFillUpViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		lambda   = 0.5
+		n        = 40
+		b        = 10
+		replicas = 20000
+	)
+	// Two batches of 10 into a reservoir of 40: still filling up, so all
+	// 20 items are retained with probability 1 — ratio 1 instead of e^−λ.
+	var older, newer float64
+	for rep := 0; rep < replicas; rep++ {
+		c, err := NewBChao[int](lambda, n, xrand.New(uint64(rep)+12000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch1 := make([]int, b)
+		batch2 := make([]int, b)
+		for i := range batch1 {
+			batch1[i] = i
+			batch2[i] = b + i
+		}
+		c.Advance(batch1)
+		c.Advance(batch2)
+		for _, item := range c.Sample() {
+			if item < b {
+				older++
+			} else {
+				newer++
+			}
+		}
+	}
+	ratio := older / newer
+	if math.Abs(ratio-1) > 0.02 {
+		t.Fatalf("fill-up ratio = %v; expected ≈ 1 (the violation)", ratio)
+	}
+	// And e^{−0.5} ≈ 0.61, so the correct ratio would be far from 1 —
+	// document the gap explicitly.
+	if want := math.Exp(-lambda); math.Abs(ratio-want) < 0.1 {
+		t.Fatalf("ratio %v unexpectedly satisfies property (1)", ratio)
+	}
+}
+
+func TestBChaoDecayBookkeeping(t *testing.T) {
+	// With λ = 0 and steady batches, B-Chao degenerates to plain Chao /
+	// uniform sampling: W counts items seen.
+	c, err := NewBChao[int](0, 10, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Advance(make([]int, 7))
+	}
+	if math.Abs(c.TotalWeight()-70) > 1e-9 {
+		t.Errorf("W = %v, want 70", c.TotalWeight())
+	}
+	if c.Overweight() != 0 {
+		t.Errorf("overweight = %d", c.Overweight())
+	}
+}
+
+func TestBChaoAdvanceAtPanicsOnPast(t *testing.T) {
+	c, err := NewBChao[int](0.1, 5, xrand.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AdvanceAt(2, []int{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on non-increasing time")
+		}
+	}()
+	c.AdvanceAt(2, []int{2})
+}

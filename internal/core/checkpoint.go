@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// This file implements checkpoint/restore for the samplers. Section 5.1 of
+// the paper requires the distributed implementations to "periodically
+// checkpoint the sample as well as other system state variables to ensure
+// fault tolerance"; the same mechanism lets single-node samplers survive
+// process restarts. Snapshots capture the complete sampler state —
+// including the RNG — so a restored sampler continues the exact same
+// stochastic process: feeding identical future batches yields identical
+// samples. Snapshot types have only exported fields and serialize cleanly
+// with encoding/gob or encoding/json (items of type T must themselves be
+// serializable).
+
+// RTBSSnapshot is the full state of an RTBS sampler.
+type RTBSSnapshot[T any] struct {
+	Lambda  float64
+	N       int
+	Full    []T
+	Partial []T // 0 or 1 elements
+	C       float64
+	W       float64
+	Now     float64
+	RNG     xrand.State
+}
+
+// Snapshot captures the sampler's complete state. The item slices are
+// copied.
+func (s *RTBS[T]) Snapshot() RTBSSnapshot[T] {
+	return RTBSSnapshot[T]{
+		Lambda:  s.lambda,
+		N:       s.n,
+		Full:    append([]T(nil), s.latent.full...),
+		Partial: append([]T(nil), s.latent.partial...),
+		C:       s.latent.weight,
+		W:       s.w,
+		Now:     s.now,
+		RNG:     s.rng.State(),
+	}
+}
+
+// RestoreRTBS reconstructs a sampler from a snapshot, validating its
+// structural invariants.
+func RestoreRTBS[T any](snap RTBSSnapshot[T]) (*RTBS[T], error) {
+	if !ValidateLambda(snap.Lambda) || snap.N <= 0 {
+		return nil, fmt.Errorf("core: invalid snapshot parameters λ=%v n=%d", snap.Lambda, snap.N)
+	}
+	if snap.C < 0 || snap.W < 0 || snap.C > snap.W+1e-9 || snap.C > float64(snap.N)+1e-9 {
+		return nil, fmt.Errorf("core: inconsistent snapshot weights C=%v W=%v n=%d", snap.C, snap.W, snap.N)
+	}
+	if float64(len(snap.Full)) != snap.C-frac(snap.C) {
+		// Exactly ⌊C⌋ full items required.
+		return nil, fmt.Errorf("core: snapshot has %d full items, want ⌊C⌋ = %v",
+			len(snap.Full), snap.C-frac(snap.C))
+	}
+	wantPartial := 0
+	if frac(snap.C) > 0 {
+		wantPartial = 1
+	}
+	if len(snap.Partial) != wantPartial {
+		return nil, fmt.Errorf("core: snapshot has %d partial items, want %d", len(snap.Partial), wantPartial)
+	}
+	rng, err := xrand.FromState(snap.RNG)
+	if err != nil {
+		return nil, err
+	}
+	return &RTBS[T]{
+		lambda: snap.Lambda,
+		n:      snap.N,
+		rng:    rng,
+		latent: &Latent[T]{
+			full:    append([]T(nil), snap.Full...),
+			partial: append([]T(nil), snap.Partial...),
+			weight:  snap.C,
+		},
+		w:   snap.W,
+		now: snap.Now,
+	}, nil
+}
+
+// TTBSSnapshot is the full state of a TTBS sampler.
+type TTBSSnapshot[T any] struct {
+	Lambda float64
+	N      int
+	B      float64
+	Sample []T
+	Now    float64
+	RNG    xrand.State
+}
+
+// Snapshot captures the sampler's complete state.
+func (s *TTBS[T]) Snapshot() TTBSSnapshot[T] {
+	return TTBSSnapshot[T]{
+		Lambda: s.lambda,
+		N:      s.n,
+		B:      s.b,
+		Sample: append([]T(nil), s.sample...),
+		Now:    s.now,
+		RNG:    s.rng.State(),
+	}
+}
+
+// RestoreTTBS reconstructs a sampler from a snapshot.
+func RestoreTTBS[T any](snap TTBSSnapshot[T]) (*TTBS[T], error) {
+	rng, err := xrand.FromState(snap.RNG)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewTTBSFrom(snap.Lambda, snap.N, snap.B, snap.Sample, rng)
+	if err != nil {
+		return nil, err
+	}
+	s.now = snap.Now
+	return s, nil
+}
+
+// BRSSnapshot is the full state of a BRS sampler.
+type BRSSnapshot[T any] struct {
+	N      int
+	Sample []T
+	Seen   int
+	RNG    xrand.State
+}
+
+// Snapshot captures the sampler's complete state.
+func (s *BRS[T]) Snapshot() BRSSnapshot[T] {
+	return BRSSnapshot[T]{
+		N:      s.n,
+		Sample: append([]T(nil), s.sample...),
+		Seen:   s.w,
+		RNG:    s.rng.State(),
+	}
+}
+
+// RestoreBRS reconstructs a sampler from a snapshot.
+func RestoreBRS[T any](snap BRSSnapshot[T]) (*BRS[T], error) {
+	if snap.Seen < len(snap.Sample) {
+		return nil, fmt.Errorf("core: snapshot claims %d seen < %d sampled", snap.Seen, len(snap.Sample))
+	}
+	rng, err := xrand.FromState(snap.RNG)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewBRSFrom(snap.N, snap.Sample, rng)
+	if err != nil {
+		return nil, err
+	}
+	s.w = snap.Seen
+	return s, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// feedRTBS runs a deterministic batch schedule against a sampler.
+func feedRTBS(s *RTBS[int], from, to int) [][]int {
+	var outputs [][]int
+	id := from * 1000
+	for t := from; t < to; t++ {
+		b := (t*17)%60 + 1
+		batch := make([]int, b)
+		for i := range batch {
+			batch[i] = id
+			id++
+		}
+		s.Advance(batch)
+		outputs = append(outputs, s.Sample())
+	}
+	return outputs
+}
+
+// TestRTBSSnapshotContinuation: restoring from a snapshot and continuing
+// the stream must yield bit-identical samples to the uninterrupted run.
+func TestRTBSSnapshotContinuation(t *testing.T) {
+	full, err := NewRTBS[int](0.15, 40, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedRTBS(full, 0, 25)
+	snap := full.Snapshot()
+	wantTail := feedRTBS(full, 25, 50)
+
+	restored, err := RestoreRTBS(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTail := feedRTBS(restored, 25, 50)
+
+	if len(gotTail) != len(wantTail) {
+		t.Fatalf("tail lengths differ")
+	}
+	for step := range wantTail {
+		if len(gotTail[step]) != len(wantTail[step]) {
+			t.Fatalf("step %d: sizes %d vs %d", step, len(gotTail[step]), len(wantTail[step]))
+		}
+		for i := range wantTail[step] {
+			if gotTail[step][i] != wantTail[step][i] {
+				t.Fatalf("step %d item %d: %d vs %d", step, i, gotTail[step][i], wantTail[step][i])
+			}
+		}
+	}
+}
+
+// TestRTBSSnapshotGobRoundtrip: the snapshot must survive gob and json
+// encoding (the realistic checkpoint media).
+func TestRTBSSnapshotGobRoundtrip(t *testing.T) {
+	s, err := NewRTBS[int](0.2, 20, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedRTBS(s, 0, 10)
+	snap := s.Snapshot()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	var back RTBSSnapshot[int]
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreRTBS(back); err != nil {
+		t.Fatalf("gob roundtrip restore: %v", err)
+	}
+
+	js, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back2 RTBSSnapshot[int]
+	if err := json.Unmarshal(js, &back2); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RestoreRTBS(back2)
+	if err != nil {
+		t.Fatalf("json roundtrip restore: %v", err)
+	}
+	if math.Abs(r2.TotalWeight()-s.TotalWeight()) > 1e-9 {
+		t.Errorf("W mismatch after roundtrip: %v vs %v", r2.TotalWeight(), s.TotalWeight())
+	}
+}
+
+func TestRestoreRTBSValidation(t *testing.T) {
+	good := func() RTBSSnapshot[int] {
+		s, _ := NewRTBS[int](0.1, 10, xrand.New(9))
+		feedRTBS(s, 0, 5)
+		return s.Snapshot()
+	}
+	cases := map[string]func(*RTBSSnapshot[int]){
+		"negative lambda": func(s *RTBSSnapshot[int]) { s.Lambda = -1 },
+		"zero n":          func(s *RTBSSnapshot[int]) { s.N = 0 },
+		"C > W":           func(s *RTBSSnapshot[int]) { s.W = s.C - 1 },
+		"C > n":           func(s *RTBSSnapshot[int]) { s.C = float64(s.N) + 2; s.W = s.C + 5 },
+		"wrong full count": func(s *RTBSSnapshot[int]) {
+			s.Full = append(s.Full, 999)
+		},
+		"wrong partial count": func(s *RTBSSnapshot[int]) {
+			s.Partial = append(s.Partial, 999, 998)
+		},
+		"zero rng": func(s *RTBSSnapshot[int]) { s.RNG = xrand.State{} },
+	}
+	for name, corrupt := range cases {
+		snap := good()
+		corrupt(&snap)
+		if _, err := RestoreRTBS(snap); err == nil {
+			t.Errorf("%s: corrupted snapshot accepted", name)
+		}
+	}
+	if _, err := RestoreRTBS(good()); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+}
+
+func TestTTBSSnapshotContinuation(t *testing.T) {
+	s, err := NewTTBS[int](0.1, 50, 60, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]int, 60)
+	for i := 0; i < 20; i++ {
+		s.Advance(batch)
+	}
+	snap := s.Snapshot()
+	var want [][]int
+	for i := 0; i < 20; i++ {
+		s.Advance(batch)
+		want = append(want, s.Sample())
+	}
+	r, err := RestoreTTBS(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Now() != 20 {
+		t.Errorf("restored Now = %v", r.Now())
+	}
+	for i := 0; i < 20; i++ {
+		r.Advance(batch)
+		got := r.Sample()
+		if len(got) != len(want[i]) {
+			t.Fatalf("step %d: size %d vs %d", i, len(got), len(want[i]))
+		}
+	}
+}
+
+func TestBRSSnapshotContinuation(t *testing.T) {
+	s, err := NewBRS[int](30, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Advance(make([]int, 20))
+	}
+	snap := s.Snapshot()
+	r, err := RestoreBRS(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seen() != s.Seen() || r.Size() != s.Size() {
+		t.Errorf("restored Seen=%d Size=%d, want %d/%d", r.Seen(), r.Size(), s.Seen(), s.Size())
+	}
+	// Continuations must coincide exactly.
+	s.Advance(make([]int, 25))
+	r.Advance(make([]int, 25))
+	if s.Seen() != r.Seen() || s.Size() != r.Size() {
+		t.Error("continuations diverged")
+	}
+	// Invalid snapshot.
+	bad := snap
+	bad.Seen = 1
+	if _, err := RestoreBRS(bad); err == nil {
+		t.Error("inconsistent BRS snapshot accepted")
+	}
+}
+
+func TestXrandStateRoundtrip(t *testing.T) {
+	r := xrand.New(42)
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	_ = r.NormFloat64() // populate the spare
+	st := r.State()
+	clone, err := xrand.FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if r.Uint64() != clone.Uint64() {
+			t.Fatalf("restored RNG diverged at step %d", i)
+		}
+	}
+	if r.NormFloat64() != clone.NormFloat64() {
+		t.Error("normal spares diverged")
+	}
+	if _, err := xrand.FromState(xrand.State{}); err == nil {
+		t.Error("all-zero state accepted")
+	}
+}

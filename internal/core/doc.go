@@ -1,0 +1,42 @@
+// Package core implements the temporally-biased sampling schemes of
+// Hentschel, Haas and Tian, "Temporally-Biased Sampling for Online Model
+// Management" (EDBT 2018), together with the baseline schemes the paper
+// compares against.
+//
+// All samplers consume a stream of batches B₁, B₂, … arriving at times
+// t = 1, 2, … (or at arbitrary real-valued times via AdvanceAt) and maintain
+// a sample Sₜ of the items seen so far. The time-biased schemes enforce the
+// paper's relative-inclusion property (1): for items i ∈ B_t′ and j ∈ B_t″
+// with t′ ≤ t″,
+//
+//	Pr[i ∈ Sₜ] / Pr[j ∈ Sₜ] = exp(−λ (t″ − t′)),
+//
+// so an item's appearance probability decays exponentially at user-chosen
+// rate λ while items of equal age remain exchangeable.
+//
+// The samplers provided are:
+//
+//   - RTBS — Reservoir-based Time-Biased Sampling (Algorithm 2 + the
+//     Downsample subroutine, Algorithm 3). The paper's primary contribution:
+//     exact decay control, a hard upper bound n on the sample size, and
+//     support for arbitrary unknown batch-size sequences, via latent
+//     "fractional" samples. Maximizes expected sample size (Theorem 4.3) and
+//     minimizes sample-size variance (Theorem 4.4).
+//   - TTBS — Targeted-size Time-Biased Sampling (Algorithm 1). Simple and
+//     embarrassingly parallel, but requires a known, constant mean batch
+//     size and controls the sample size only probabilistically
+//     (Theorem 3.1).
+//   - BTBS — plain Bernoulli time-biased sampling (Appendix A); decay
+//     control with no sample-size control.
+//   - BRS — batched classical reservoir sampling (Appendix B); bounded
+//     uniform sample, no time biasing. This is the paper's "Unif" baseline.
+//   - BChao — a batched, time-decayed adaptation of Chao's
+//     unequal-probability sampling plan (Appendix D); bounds the sample size
+//     but violates property (1) during fill-up and under slow arrivals.
+//   - SlidingWindow / TimeWindow — the "SW" baseline: keep the last n items
+//     (or everything younger than a horizon).
+//
+// All samplers are deterministic given an *xrand.RNG seed, single-goroutine
+// objects; wrap them in your own synchronization or use package dist for the
+// distributed variants.
+package core

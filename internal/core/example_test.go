@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// ExampleRTBS shows the basic sampling loop: the reservoir accepts
+// everything while unsaturated, then enforces the bound exactly.
+func ExampleRTBS() {
+	sampler, err := core.NewRTBS[int](0.1, 100, xrand.New(1))
+	if err != nil {
+		panic(err)
+	}
+	for t := 0; t < 10; t++ {
+		batch := make([]int, 50)
+		sampler.Advance(batch)
+	}
+	fmt.Printf("bounded at %d: |S| = %d\n", sampler.MaxSize(), len(sampler.Sample()))
+	fmt.Printf("saturated: %v\n", sampler.Saturated())
+	// Output:
+	// bounded at 100: |S| = 100
+	// saturated: true
+}
+
+// ExampleRTBS_unsaturated shows the fractional-sample regime: when the
+// total decayed weight W stays below the bound, the expected sample size
+// equals W exactly and the sample shrinks if the stream dries up.
+func ExampleRTBS_unsaturated() {
+	sampler, err := core.NewRTBS[string](0.5, 1000, xrand.New(2))
+	if err != nil {
+		panic(err)
+	}
+	sampler.Advance([]string{"a", "b", "c", "d"})
+	fmt.Printf("after one batch: C = %.2f\n", sampler.ExpectedSize())
+	sampler.Advance(nil) // a quiet tick decays the sample weight by e^-0.5
+	fmt.Printf("after silence:   C = %.2f\n", sampler.ExpectedSize())
+	// Output:
+	// after one batch: C = 4.00
+	// after silence:   C = 2.43
+}
+
+// ExampleRTBS_snapshot demonstrates checkpointing: a restored sampler
+// continues the exact same stochastic process.
+func ExampleRTBS_snapshot() {
+	s, _ := core.NewRTBS[int](0.2, 10, xrand.New(3))
+	s.Advance([]int{1, 2, 3, 4, 5})
+	snap := s.Snapshot()
+
+	restored, err := core.RestoreRTBS(snap)
+	if err != nil {
+		panic(err)
+	}
+	s.Advance([]int{6, 7})
+	restored.Advance([]int{6, 7})
+	fmt.Println(s.TotalWeight() == restored.TotalWeight())
+	fmt.Println(len(s.Sample()) == len(restored.Sample()))
+	// Output:
+	// true
+	// true
+}
+
+// ExampleLambdaForRetention reproduces the paper's Section 1 rule of
+// thumb for choosing the decay rate.
+func ExampleLambdaForRetention() {
+	lambda := core.LambdaForRetention(40, 0.10)
+	fmt.Printf("keep 10%% of items for 40 batches: λ ≈ %.3f\n", lambda)
+	// Output:
+	// keep 10% of items for 40 batches: λ ≈ 0.058
+}
+
+// ExampleTTBS shows targeted-size sampling: the sample size hovers around
+// the target when the mean batch size matches the assumption.
+func ExampleTTBS() {
+	sampler, err := core.NewTTBS[int](0.1, 200, 100, xrand.New(4))
+	if err != nil {
+		panic(err)
+	}
+	for t := 0; t < 200; t++ {
+		sampler.Advance(make([]int, 100))
+	}
+	size := sampler.Size()
+	fmt.Println(size > 150 && size < 250)
+	// Output:
+	// true
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// TestRTBSRealTimeInvariants drives R-TBS with random real-valued arrival
+// times and random batch sizes and checks the structural invariants after
+// every step (testing/quick property test).
+func TestRTBSRealTimeInvariants(t *testing.T) {
+	f := func(seed uint64, steps []uint16) bool {
+		s, err := NewRTBS[int](0.4, 25, xrand.New(seed))
+		if err != nil {
+			return false
+		}
+		now := 0.0
+		id := 0
+		for _, raw := range steps {
+			// Random positive gap in (0, ~6.5] and batch size in [0, 63].
+			gap := float64(raw%100)/16 + 0.01
+			b := int(raw % 64)
+			now += gap
+			batch := make([]int, b)
+			for i := range batch {
+				batch[i] = id
+				id++
+			}
+			s.AdvanceAt(now, batch)
+			c, w := s.ExpectedSize(), s.TotalWeight()
+			if c < -1e-9 || w < -1e-9 || c > w+1e-9 || c > 25+1e-9 {
+				return false
+			}
+			if s.Latent().NumFull() != int(math.Floor(c+1e-12)) {
+				return false
+			}
+			if s.Latent().HasPartial() != (frac(c) > 1e-12) {
+				// Allow for exact-integer weights where no partial exists.
+				if math.Abs(frac(c)) > 1e-9 && math.Abs(frac(c)-1) > 1e-9 {
+					return false
+				}
+			}
+			if got := len(s.Sample()); got > 25 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRTBSRealTimeDecayLaw: the inclusion-probability law holds with
+// irregular arrival spacing too — Pr[i ∈ S] = (C/W)·e^{−λ·(now−arrival)}.
+func TestRTBSRealTimeDecayLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		lambda   = 0.25
+		n        = 30
+		replicas = 40000
+	)
+	// Irregular schedule: (time, size) pairs.
+	schedule := []struct {
+		t float64
+		b int
+	}{
+		{0.7, 12}, {1.1, 20}, {3.9, 25}, {4.0, 6}, {7.5, 18},
+	}
+	totalItems := 0
+	for _, s := range schedule {
+		totalItems += s.b
+	}
+	counts := make([]float64, totalItems)
+	var lastC, lastW float64
+	for rep := 0; rep < replicas; rep++ {
+		s, err := NewRTBS[int](lambda, n, xrand.New(uint64(rep)+120000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 0
+		for _, st := range schedule {
+			batch := make([]int, st.b)
+			for i := range batch {
+				batch[i] = id
+				id++
+			}
+			s.AdvanceAt(st.t, batch)
+		}
+		for _, item := range s.Sample() {
+			counts[item]++
+		}
+		lastC, lastW = s.ExpectedSize(), s.TotalWeight()
+	}
+	finalT := schedule[len(schedule)-1].t
+	id := 0
+	for _, st := range schedule {
+		for j := 0; j < st.b; j++ {
+			got := counts[id] / replicas
+			want := lastC / lastW * math.Exp(-lambda*(finalT-st.t))
+			se := math.Sqrt(want*(1-want)/replicas) + 1e-9
+			if math.Abs(got-want) > 6*se {
+				t.Errorf("item %d (arrived %v): inclusion %v, want %v", id, st.t, got, want)
+			}
+			id++
+		}
+	}
+}
+
+// TestBTBSRealTimeMatchesTwoSteps: decaying over one gap of length a+b
+// must equal decaying over consecutive gaps a then b in expectation.
+func TestBTBSRealTimeMatchesTwoSteps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const lambda = 0.3
+	const items = 4000
+	count := func(split bool) int {
+		s, err := NewBTBS[int](lambda, xrand.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AdvanceAt(1, make([]int, items))
+		if split {
+			s.AdvanceAt(2.3, nil)
+			s.AdvanceAt(4.0, nil)
+		} else {
+			s.AdvanceAt(4.0, nil)
+		}
+		return s.Size()
+	}
+	want := float64(items) * math.Exp(-lambda*3)
+	for _, split := range []bool{true, false} {
+		got := float64(count(split))
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Errorf("split=%v: size %v, want ≈ %v", split, got, want)
+		}
+	}
+}

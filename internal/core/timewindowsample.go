@@ -1,0 +1,179 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// PriorityTimeWindow maintains a bounded uniform random sample over a
+// sliding wall-clock-time window — the "subsample within the time-based
+// window" alternative the paper mentions in Section 1 (citing Gemulla and
+// Lehner's bounded-space time-window sampling [18]).
+//
+// Every arriving item receives an independent Uniform(0,1) priority; at any
+// time the sample is the n unexpired items with the smallest priorities,
+// which is a uniform sample without replacement of the unexpired items.
+// Bounded space comes from pruning: an item can be discarded as soon as n
+// *younger* items have smaller priorities, because from then on it can
+// never re-enter the sample (younger items expire later). The retained
+// candidate set has expected size O(n·log(W/n)) for window population W.
+//
+// Like all purely time-based windows, the sample forgets the past
+// completely — it is a baseline, not a property-(1) sampler.
+type PriorityTimeWindow[T any] struct {
+	horizon float64
+	n       int
+	rng     *xrand.RNG
+	now     float64
+
+	items []pwItem[T] // in arrival order (oldest first)
+}
+
+type pwItem[T any] struct {
+	item     T
+	arrival  float64
+	priority float64
+}
+
+// NewPriorityTimeWindow returns a sampler holding a uniform sample of at
+// most n items among those that arrived within the last horizon time
+// units.
+func NewPriorityTimeWindow[T any](horizon float64, n int, rng *xrand.RNG) (*PriorityTimeWindow[T], error) {
+	switch {
+	case horizon <= 0:
+		return nil, fmt.Errorf("core: window horizon must be positive, got %v", horizon)
+	case n <= 0:
+		return nil, fmt.Errorf("core: sample size must be positive, got %d", n)
+	case rng == nil:
+		return nil, fmt.Errorf("core: nil RNG")
+	}
+	return &PriorityTimeWindow[T]{horizon: horizon, n: n, rng: rng}, nil
+}
+
+// Advance processes the batch arriving at time Now()+1.
+func (s *PriorityTimeWindow[T]) Advance(batch []T) { s.AdvanceAt(s.now+1, batch) }
+
+// AdvanceAt processes a batch at real-valued time t > Now().
+func (s *PriorityTimeWindow[T]) AdvanceAt(t float64, batch []T) {
+	if t <= s.now {
+		panic(fmt.Sprintf("core: PriorityTimeWindow.AdvanceAt time %v not after current time %v", t, s.now))
+	}
+	s.now = t
+	// Expire: candidates are in arrival order, so expired items form a
+	// prefix.
+	cut := 0
+	for cut < len(s.items) && s.items[cut].arrival <= t-s.horizon {
+		cut++
+	}
+	if cut > 0 {
+		s.items = append(s.items[:0], s.items[cut:]...)
+	}
+	for _, x := range batch {
+		s.items = append(s.items, pwItem[T]{item: x, arrival: t, priority: s.rng.Float64()})
+	}
+	s.prune()
+}
+
+// prune removes every candidate dominated by n younger, smaller-priority
+// candidates, scanning newest→oldest with a size-n max-heap of the
+// smallest priorities seen so far.
+func (s *PriorityTimeWindow[T]) prune() {
+	if len(s.items) <= s.n {
+		return
+	}
+	h := make(maxHeapF64, 0, s.n)
+	keep := make([]bool, len(s.items))
+	for i := len(s.items) - 1; i >= 0; i-- {
+		p := s.items[i].priority
+		if len(h) < s.n {
+			keep[i] = true
+			heap.Push(&h, p)
+			continue
+		}
+		if p < h[0] {
+			// i could still enter the sample when younger items expire.
+			keep[i] = true
+			h[0] = p
+			heap.Fix(&h, 0)
+		}
+	}
+	out := s.items[:0]
+	for i, it := range s.items {
+		if keep[i] {
+			out = append(out, it)
+		}
+	}
+	s.items = out
+}
+
+// maxHeapF64 is a max-heap of float64 values.
+type maxHeapF64 []float64
+
+func (h maxHeapF64) Len() int           { return len(h) }
+func (h maxHeapF64) Less(i, j int) bool { return h[i] > h[j] }
+func (h maxHeapF64) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *maxHeapF64) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *maxHeapF64) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Sample returns the current sample: the min(n, unexpired) items with the
+// smallest priorities.
+func (s *PriorityTimeWindow[T]) Sample() []T {
+	// Candidates are few (expected O(n log(W/n))); select the n smallest
+	// priorities with a bounded max-heap over indices.
+	type cand struct {
+		idx      int
+		priority float64
+	}
+	best := make([]cand, 0, s.n)
+	worst := func() int {
+		w := 0
+		for i := 1; i < len(best); i++ {
+			if best[i].priority > best[w].priority {
+				w = i
+			}
+		}
+		return w
+	}
+	for i := range s.items {
+		c := cand{idx: i, priority: s.items[i].priority}
+		if len(best) < s.n {
+			best = append(best, c)
+			continue
+		}
+		w := worst()
+		if c.priority < best[w].priority {
+			best[w] = c
+		}
+	}
+	out := make([]T, len(best))
+	for i, c := range best {
+		out[i] = s.items[c.idx].item
+	}
+	return out
+}
+
+// Size returns the current sample size: min(n, unexpired items).
+func (s *PriorityTimeWindow[T]) Size() int {
+	if len(s.items) < s.n {
+		return len(s.items)
+	}
+	return s.n
+}
+
+// ExpectedSize returns the exact current size.
+func (s *PriorityTimeWindow[T]) ExpectedSize() float64 { return float64(s.Size()) }
+
+// Candidates returns the number of retained candidate items (the memory
+// footprint), expected O(n·log(W/n)).
+func (s *PriorityTimeWindow[T]) Candidates() int { return len(s.items) }
+
+// Now returns the time of the most recent batch.
+func (s *PriorityTimeWindow[T]) Now() float64 { return s.now }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestPriorityTimeWindowValidation(t *testing.T) {
+	if _, err := NewPriorityTimeWindow[int](0, 5, xrand.New(1)); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := NewPriorityTimeWindow[int](1, 0, xrand.New(1)); err == nil {
+		t.Error("zero n accepted")
+	}
+	if _, err := NewPriorityTimeWindow[int](1, 5, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}
+
+func TestPriorityTimeWindowSizeAndExpiry(t *testing.T) {
+	s, err := NewPriorityTimeWindow[int](3.5, 10, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceAt(1, make([]int, 4))
+	if s.Size() != 4 {
+		t.Fatalf("size %d, want 4", s.Size())
+	}
+	s.AdvanceAt(2, make([]int, 4))
+	if s.Size() != 8 {
+		t.Fatalf("size %d, want 8", s.Size())
+	}
+	s.AdvanceAt(3, make([]int, 4))
+	if s.Size() != 10 {
+		t.Fatalf("size %d, want 10 (bounded)", s.Size())
+	}
+	if got := len(s.Sample()); got != 10 {
+		t.Fatalf("|Sample| = %d", got)
+	}
+	// At t=5 the batch from t=1 expires (5 − 3.5 = 1.5 > 1).
+	s.AdvanceAt(5, nil)
+	if s.Size() != 8 {
+		t.Fatalf("size after expiry %d, want 8", s.Size())
+	}
+	// Long silence empties the window entirely.
+	s.AdvanceAt(100, nil)
+	if s.Size() != 0 || len(s.Sample()) != 0 {
+		t.Fatal("window should be empty after silence")
+	}
+}
+
+// TestPriorityTimeWindowUniform verifies that the sample is a uniform
+// sample of the unexpired items: every unexpired item has equal empirical
+// inclusion probability n/W.
+func TestPriorityTimeWindowUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		horizon  = 10.0 // nothing expires within the experiment
+		n        = 5
+		batches  = 4
+		b        = 10
+		replicas = 40000
+	)
+	counts := make([]float64, batches*b)
+	for rep := 0; rep < replicas; rep++ {
+		s, err := NewPriorityTimeWindow[int](horizon, n, xrand.New(uint64(rep)+60000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 0
+		for bi := 0; bi < batches; bi++ {
+			batch := make([]int, b)
+			for j := range batch {
+				batch[j] = id
+				id++
+			}
+			s.Advance(batch)
+		}
+		for _, item := range s.Sample() {
+			counts[item]++
+		}
+	}
+	want := float64(n) / float64(batches*b)
+	se := math.Sqrt(want * (1 - want) / replicas)
+	for id, c := range counts {
+		got := c / replicas
+		if math.Abs(got-want) > 6*se {
+			t.Errorf("item %d inclusion %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestPriorityTimeWindowUniformAfterExpiry: uniformity must hold over the
+// *surviving* population after some items expire — the property that makes
+// bounded-space candidate retention nontrivial.
+func TestPriorityTimeWindowUniformAfterExpiry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		horizon  = 2.5 // at t=4, batches 1 expired; 2,3,4 alive... (4-2.5=1.5)
+		n        = 4
+		b        = 8
+		replicas = 40000
+	)
+	counts := make([]float64, 4*b)
+	for rep := 0; rep < replicas; rep++ {
+		s, err := NewPriorityTimeWindow[int](horizon, n, xrand.New(uint64(rep)+70000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 0
+		for bi := 0; bi < 4; bi++ {
+			batch := make([]int, b)
+			for j := range batch {
+				batch[j] = id
+				id++
+			}
+			s.Advance(batch)
+		}
+		for _, item := range s.Sample() {
+			counts[item]++
+		}
+	}
+	// Batch 1 (items 0..7) expired; items 8..31 must be uniform at n/24.
+	for id := 0; id < b; id++ {
+		if counts[id] != 0 {
+			t.Fatalf("expired item %d appeared %v times", id, counts[id])
+		}
+	}
+	want := float64(n) / float64(3*b)
+	se := math.Sqrt(want * (1 - want) / replicas)
+	for id := b; id < 4*b; id++ {
+		got := counts[id] / replicas
+		if math.Abs(got-want) > 6*se {
+			t.Errorf("item %d inclusion %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestPriorityTimeWindowCandidateBound: the retained candidate set should
+// stay near the O(n·log(W/n)) expectation, far below the window
+// population.
+func TestPriorityTimeWindowCandidateBound(t *testing.T) {
+	const (
+		horizon = 50.0
+		n       = 20
+		b       = 200
+		steps   = 50
+	)
+	s, err := NewPriorityTimeWindow[int](horizon, n, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		s.Advance(make([]int, b))
+	}
+	pop := float64(b * steps) // W = 10000 unexpired items
+	bound := float64(n) * (math.Log(pop/float64(n)) + 3)
+	if got := float64(s.Candidates()); got > 3*bound {
+		t.Errorf("candidate set %v far exceeds expected O(n log(W/n)) ≈ %v", got, bound)
+	}
+	if s.Candidates() >= b*steps/2 {
+		t.Errorf("candidate set %d not meaningfully smaller than population %d",
+			s.Candidates(), b*steps)
+	}
+}
+
+func TestPriorityTimeWindowPanicsOnPast(t *testing.T) {
+	s, err := NewPriorityTimeWindow[int](1, 2, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceAt(1, []int{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on non-increasing time")
+		}
+	}()
+	s.AdvanceAt(0.5, nil)
+}

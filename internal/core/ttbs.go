@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// TTBS is Targeted-size Time-Biased Sampling (Algorithm 1). Each update
+// retains every current sample item with probability p = exp(−λ) and accepts
+// each new batch item with probability q = n(1−e^−λ)/b, making n the
+// equilibrium sample size when the mean batch size is b. The inclusion
+// property (1) holds exactly, but the sample size is controlled only
+// probabilistically (Theorem 3.1): E[Cₜ] → n, the time-average converges to
+// n, deviations have exponential tails, yet every level is exceeded
+// infinitely often, and a drifting mean batch size derails the size entirely
+// (Figure 1).
+type TTBS[T any] struct {
+	lambda float64
+	n      int
+	b      float64
+	q      float64
+	rng    *xrand.RNG
+
+	sample []T
+	now    float64
+}
+
+// NewTTBS returns a T-TBS sampler with decay rate lambda (> 0), target
+// sample size n, and assumed mean batch size b, which must satisfy
+// b ≥ n(1−e^−λ) so that, at the target size, items arrive at least as fast
+// as they decay (Section 3).
+func NewTTBS[T any](lambda float64, n int, b float64, rng *xrand.RNG) (*TTBS[T], error) {
+	return NewTTBSFrom[T](lambda, n, b, nil, rng)
+}
+
+// NewTTBSFrom is NewTTBS starting from an initial sample S₀.
+func NewTTBSFrom[T any](lambda float64, n int, b float64, initial []T, rng *xrand.RNG) (*TTBS[T], error) {
+	switch {
+	case !ValidateLambda(lambda) || lambda == 0:
+		return nil, fmt.Errorf("core: T-TBS requires a positive decay rate, got λ = %v", lambda)
+	case n <= 0:
+		return nil, fmt.Errorf("core: target sample size must be positive, got %d", n)
+	case b <= 0:
+		return nil, fmt.Errorf("core: mean batch size must be positive, got %v", b)
+	case rng == nil:
+		return nil, fmt.Errorf("core: nil RNG")
+	}
+	q := float64(n) * (1 - math.Exp(-lambda)) / b
+	if q > 1 {
+		return nil, fmt.Errorf(
+			"core: T-TBS requires b ≥ n(1−e^−λ): b = %v < %v", b, float64(n)*(1-math.Exp(-lambda)))
+	}
+	s := &TTBS[T]{lambda: lambda, n: n, b: b, q: q, rng: rng}
+	s.sample = append(s.sample, initial...)
+	return s, nil
+}
+
+// Advance processes the batch arriving at time Now()+1 (Algorithm 1,
+// lines 6–10): binomially thin the current sample at rate p = e^−λ, then
+// accept a binomially thinned subset of the batch at rate q.
+func (s *TTBS[T]) Advance(batch []T) { s.AdvanceAt(s.now+1, batch) }
+
+// AdvanceAt processes a batch at real-valued time t > Now(). The retention
+// probability becomes exp(−λ(t−Now())); the acceptance rate q is unchanged,
+// preserving property (1) for any inter-arrival spacing.
+func (s *TTBS[T]) AdvanceAt(t float64, batch []T) {
+	if t <= s.now {
+		panic(fmt.Sprintf("core: TTBS.AdvanceAt time %v not after current time %v", t, s.now))
+	}
+	p := decayFactor(s.lambda, t-s.now)
+	s.now = t
+
+	m := s.rng.Binomial(len(s.sample), p)
+	s.sample = xrand.SampleInPlace(s.rng, s.sample, m)
+
+	k := s.rng.Binomial(len(batch), s.q)
+	s.sample = append(s.sample, xrand.Sample(s.rng, batch, k)...)
+}
+
+// Sample returns a copy of the current sample.
+func (s *TTBS[T]) Sample() []T {
+	out := make([]T, len(s.sample))
+	copy(out, s.sample)
+	return out
+}
+
+// Size returns the exact current sample size Cₜ.
+func (s *TTBS[T]) Size() int { return len(s.sample) }
+
+// ExpectedSize returns the exact current size (T-TBS samples are integral).
+func (s *TTBS[T]) ExpectedSize() float64 { return float64(len(s.sample)) }
+
+// DecayRate returns λ.
+func (s *TTBS[T]) DecayRate() float64 { return s.lambda }
+
+// TotalWeight is unavailable for T-TBS (it does not track aggregate weight);
+// it returns the current sample size for interface compatibility.
+func (s *TTBS[T]) TotalWeight() float64 { return float64(len(s.sample)) }
+
+// AcceptRate returns the batch down-sampling rate q = n(1−e^−λ)/b.
+func (s *TTBS[T]) AcceptRate() float64 { return s.q }
+
+// Target returns the target sample size n.
+func (s *TTBS[T]) Target() int { return s.n }
+
+// Now returns the time of the most recent batch.
+func (s *TTBS[T]) Now() float64 { return s.now }

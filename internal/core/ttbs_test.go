@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestTTBSConstructorValidation(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := NewTTBS[int](0, 10, 100, rng); err == nil {
+		t.Error("λ = 0 accepted (T-TBS needs positive decay)")
+	}
+	if _, err := NewTTBS[int](0.1, 10, 0, rng); err == nil {
+		t.Error("zero mean batch size accepted")
+	}
+	if _, err := NewTTBS[int](0.1, 10, 100, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	// b < n(1−e^−λ) must be rejected (q would exceed 1).
+	if _, err := NewTTBS[int](1.0, 1000, 10, rng); err == nil {
+		t.Error("violated b ≥ n(1−e^−λ) accepted")
+	}
+	s, err := NewTTBS[int](0.1, 100, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ := 100 * (1 - math.Exp(-0.1)) / 100
+	if math.Abs(s.AcceptRate()-wantQ) > 1e-12 {
+		t.Errorf("q = %v, want %v", s.AcceptRate(), wantQ)
+	}
+}
+
+// TestTTBSMeanSampleSize verifies Theorem 3.1(ii):
+// E[Cₜ] = n + pᵗ(C₀ − n) with p = e^−λ.
+func TestTTBSMeanSampleSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		lambda   = 0.1
+		n        = 100
+		b        = 100
+		steps    = 30
+		replicas = 3000
+	)
+	p := math.Exp(-lambda)
+	sums := make([]float64, steps+1)
+	for rep := 0; rep < replicas; rep++ {
+		s, err := NewTTBS[int](lambda, n, b, xrand.New(uint64(rep)+77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := make([]int, b)
+		for step := 1; step <= steps; step++ {
+			s.Advance(batch)
+			sums[step] += float64(s.Size())
+		}
+	}
+	for _, step := range []int{1, 5, 10, 30} {
+		got := sums[step] / replicas
+		want := float64(n) + math.Pow(p, float64(step))*(0-float64(n))
+		// Sample-size s.d. is O(√n); the replica-mean s.e. is ~ √n/√replicas.
+		tol := 6 * math.Sqrt(float64(n)) / math.Sqrt(replicas) * 3
+		if math.Abs(got-want) > tol {
+			t.Errorf("t=%d: E[C] = %v, want %v (±%v)", step, got, want, tol)
+		}
+	}
+}
+
+// TestTTBSTimeAverage verifies Theorem 3.1(iii): the running time-average of
+// the sample size converges to n with probability 1.
+func TestTTBSTimeAverage(t *testing.T) {
+	const (
+		lambda = 0.1
+		n      = 200
+		b      = 100
+		steps  = 4000
+	)
+	s, err := NewTTBS[int](lambda, n, b, xrand.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(32)
+	var sum float64
+	for i := 0; i < steps; i++ {
+		bt := rng.Poisson(b) // random i.i.d. batch sizes
+		s.Advance(make([]int, bt))
+		sum += float64(s.Size())
+	}
+	avg := sum / steps
+	if math.Abs(avg-n) > 0.05*n {
+		t.Errorf("time-average sample size = %v, want ≈ %d", avg, n)
+	}
+}
+
+// TestTTBSInclusionProperty verifies Pr[x ∈ Sₜ′] = q·e^{−λ(t′−t)} for
+// x ∈ Bₜ (Section 3), which implies property (1).
+func TestTTBSInclusionProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		lambda   = 0.2
+		n        = 50
+		b        = 60
+		batches  = 8
+		replicas = 40000
+	)
+	q := float64(n) * (1 - math.Exp(-lambda)) / b
+	perBatch := make([]float64, batches)
+	for rep := 0; rep < replicas; rep++ {
+		s, err := NewTTBS[int](lambda, n, b, xrand.New(uint64(rep)+909))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 0
+		for bi := 0; bi < batches; bi++ {
+			batch := make([]int, b)
+			for j := range batch {
+				batch[j] = id
+				id++
+			}
+			s.Advance(batch)
+		}
+		for _, item := range s.Sample() {
+			perBatch[item/b]++
+		}
+	}
+	for bi := 0; bi < batches; bi++ {
+		got := perBatch[bi] / (replicas * b)
+		age := float64(batches - (bi + 1))
+		want := q * math.Exp(-lambda*age)
+		se := math.Sqrt(want*(1-want)/(replicas*b)) + 1e-9
+		if math.Abs(got-want) > 6*se {
+			t.Errorf("batch %d: inclusion %v, want %v (±%v)", bi+1, got, want, 6*se)
+		}
+	}
+}
+
+func TestTTBSAdvanceAtRealTimes(t *testing.T) {
+	s, err := NewTTBS[int](0.1, 10, 100, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceAt(1.5, make([]int, 100))
+	if s.Now() != 1.5 {
+		t.Errorf("Now = %v", s.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing time did not panic")
+		}
+	}()
+	s.AdvanceAt(1.0, nil)
+}
+
+func TestTTBSFromInitialSample(t *testing.T) {
+	init := make([]int, 40)
+	s, err := NewTTBSFrom(0.1, 10, 100, init, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 40 {
+		t.Errorf("initial size %d", s.Size())
+	}
+	// With no arrivals the sample must decay geometrically in expectation.
+	for i := 0; i < 60; i++ {
+		s.Advance(nil)
+	}
+	if s.Size() > 20 {
+		t.Errorf("sample failed to decay: %d", s.Size())
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import "fmt"
+
+// SlidingWindow is the count-based sliding-window baseline ("SW" in the
+// paper's experiments): the sample is exactly the last n items seen. It
+// adapts instantly to distribution changes but forgets old data completely,
+// which is what causes the large error spikes the paper documents when old
+// patterns reassert themselves (Sections 1 and 6).
+type SlidingWindow[T any] struct {
+	n     int
+	buf   []T // ring buffer, len(buf) == n once full
+	start int // index of the oldest item
+	size  int
+}
+
+// NewSlidingWindow returns a window over the last n items.
+func NewSlidingWindow[T any](n int) (*SlidingWindow[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: window size must be positive, got %d", n)
+	}
+	return &SlidingWindow[T]{n: n, buf: make([]T, n)}, nil
+}
+
+// Advance appends the batch, evicting the oldest items beyond capacity.
+func (s *SlidingWindow[T]) Advance(batch []T) {
+	for _, x := range batch {
+		idx := (s.start + s.size) % s.n
+		if s.size == s.n {
+			// Overwrite the oldest item.
+			s.buf[s.start] = x
+			s.start = (s.start + 1) % s.n
+		} else {
+			s.buf[idx] = x
+			s.size++
+		}
+	}
+}
+
+// Sample returns the window contents, oldest first.
+func (s *SlidingWindow[T]) Sample() []T {
+	out := make([]T, s.size)
+	for i := 0; i < s.size; i++ {
+		out[i] = s.buf[(s.start+i)%s.n]
+	}
+	return out
+}
+
+// Size returns the number of items currently held.
+func (s *SlidingWindow[T]) Size() int { return s.size }
+
+// ExpectedSize returns the exact current size.
+func (s *SlidingWindow[T]) ExpectedSize() float64 { return float64(s.size) }
+
+// Capacity returns n.
+func (s *SlidingWindow[T]) Capacity() int { return s.n }
+
+// TimeWindow is the wall-clock-time sliding-window baseline: the sample is
+// every item that arrived within the last horizon time units. Its size is
+// unbounded when the arrival rate is high and decays to zero when the
+// stream dries up (Section 1's discussion of time-based windows).
+type TimeWindow[T any] struct {
+	horizon float64
+	now     float64
+	items   []T
+	times   []float64
+}
+
+// NewTimeWindow returns a window keeping items with age < horizon.
+func NewTimeWindow[T any](horizon float64) (*TimeWindow[T], error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("core: window horizon must be positive, got %v", horizon)
+	}
+	return &TimeWindow[T]{horizon: horizon}, nil
+}
+
+// Advance processes the batch arriving at time Now()+1.
+func (s *TimeWindow[T]) Advance(batch []T) { s.AdvanceAt(s.now+1, batch) }
+
+// AdvanceAt processes a batch at real-valued time t > Now().
+func (s *TimeWindow[T]) AdvanceAt(t float64, batch []T) {
+	if t <= s.now {
+		panic(fmt.Sprintf("core: TimeWindow.AdvanceAt time %v not after current time %v", t, s.now))
+	}
+	s.now = t
+	// Items are stored in arrival order, so expired items form a prefix.
+	cut := 0
+	for cut < len(s.times) && s.times[cut] <= t-s.horizon {
+		cut++
+	}
+	if cut > 0 {
+		s.items = append(s.items[:0], s.items[cut:]...)
+		s.times = append(s.times[:0], s.times[cut:]...)
+	}
+	for _, x := range batch {
+		s.items = append(s.items, x)
+		s.times = append(s.times, t)
+	}
+}
+
+// Sample returns the window contents, oldest first.
+func (s *TimeWindow[T]) Sample() []T {
+	out := make([]T, len(s.items))
+	copy(out, s.items)
+	return out
+}
+
+// Size returns the number of items currently held.
+func (s *TimeWindow[T]) Size() int { return len(s.items) }
+
+// ExpectedSize returns the exact current size.
+func (s *TimeWindow[T]) ExpectedSize() float64 { return float64(len(s.items)) }
+
+// Now returns the time of the most recent batch.
+func (s *TimeWindow[T]) Now() float64 { return s.now }

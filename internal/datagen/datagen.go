@@ -1,0 +1,73 @@
+// Package datagen generates the synthetic evolving-data streams used in the
+// paper's model-quality experiments (Section 6.2–6.4): a Gaussian-mixture
+// classification stream with mode-switching class frequencies (kNN), a
+// mode-switching linear-regression stream, and a recurring-context text
+// stream standing in for the Usenet2 dataset (Naive Bayes).
+//
+// All generators alternate between a "normal" and an "abnormal" mode
+// according to a Schedule; the paper's two temporal patterns — a single
+// disruptive event and Periodic(δ, η) — are provided.
+package datagen
+
+// Mode identifies which data-generation regime is active.
+type Mode int
+
+// The two regimes of Section 6.2: in the abnormal mode the frequent and
+// infrequent classes switch roles (kNN), the regression coefficients flip
+// (linear regression), and the user's interest changes (text).
+const (
+	ModeNormal Mode = iota
+	ModeAbnormal
+)
+
+// String returns "normal" or "abnormal".
+func (m Mode) String() string {
+	if m == ModeAbnormal {
+		return "abnormal"
+	}
+	return "normal"
+}
+
+// Schedule maps a time step (measured in batches after warm-up; values ≤ 0
+// denote the warm-up period and are always normal) to a Mode.
+type Schedule interface {
+	ModeAt(t int) Mode
+}
+
+// SingleEvent models a singular disruption (Figure 10(a)): the mode is
+// abnormal for Start < t ≤ End and normal otherwise.
+type SingleEvent struct {
+	Start, End int
+}
+
+// ModeAt implements Schedule.
+func (s SingleEvent) ModeAt(t int) Mode {
+	if t > s.Start && t <= s.End {
+		return ModeAbnormal
+	}
+	return ModeNormal
+}
+
+// Periodic alternates Delta normal batches with Eta abnormal batches,
+// written Periodic(δ, η) or P(δ, η) in the paper (Figures 10(b), 12, 14).
+type Periodic struct {
+	Delta, Eta int
+}
+
+// ModeAt implements Schedule.
+func (p Periodic) ModeAt(t int) Mode {
+	if t <= 0 || p.Delta+p.Eta == 0 {
+		return ModeNormal
+	}
+	phase := (t - 1) % (p.Delta + p.Eta)
+	if phase >= p.Delta {
+		return ModeAbnormal
+	}
+	return ModeNormal
+}
+
+// AlwaysNormal is the degenerate schedule with no abnormal periods.
+type AlwaysNormal struct{}
+
+// ModeAt implements Schedule.
+func (AlwaysNormal) ModeAt(int) Mode { return ModeNormal }

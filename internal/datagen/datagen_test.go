@@ -1,0 +1,299 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestSingleEventSchedule(t *testing.T) {
+	s := SingleEvent{Start: 10, End: 20}
+	for _, tc := range []struct {
+		t    int
+		want Mode
+	}{
+		{-5, ModeNormal}, {0, ModeNormal}, {10, ModeNormal},
+		{11, ModeAbnormal}, {20, ModeAbnormal}, {21, ModeNormal}, {100, ModeNormal},
+	} {
+		if got := s.ModeAt(tc.t); got != tc.want {
+			t.Errorf("SingleEvent.ModeAt(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestPeriodicSchedule(t *testing.T) {
+	p := Periodic{Delta: 10, Eta: 10}
+	// First 30 steps of P(10,10) must match the single-event pattern
+	// (paper: "the first 30 batches of Periodic(10, 10) display the same
+	// behavior as in the single event experiment").
+	se := SingleEvent{Start: 10, End: 20}
+	for i := 1; i <= 30; i++ {
+		if p.ModeAt(i) != se.ModeAt(i) {
+			t.Errorf("P(10,10) and SingleEvent disagree at t=%d", i)
+		}
+	}
+	if p.ModeAt(31) != ModeAbnormal {
+		t.Error("P(10,10) should be abnormal at t=31")
+	}
+	// Asymmetric pattern P(20,10).
+	q := Periodic{Delta: 20, Eta: 10}
+	for _, tc := range []struct {
+		t    int
+		want Mode
+	}{
+		{1, ModeNormal}, {20, ModeNormal}, {21, ModeAbnormal},
+		{30, ModeAbnormal}, {31, ModeNormal}, {51, ModeAbnormal},
+	} {
+		if got := q.ModeAt(tc.t); got != tc.want {
+			t.Errorf("P(20,10).ModeAt(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if (Periodic{}).ModeAt(5) != ModeNormal {
+		t.Error("degenerate periodic should be normal")
+	}
+	if ModeNormal.String() != "normal" || ModeAbnormal.String() != "abnormal" {
+		t.Error("Mode.String mismatch")
+	}
+}
+
+func TestGMMDefaultsAndModes(t *testing.T) {
+	g, err := NewGMM(GMMConfig{Schedule: SingleEvent{Start: 0, End: 1000}, Warmup: 0}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Centroids) != 100 {
+		t.Fatalf("centroids = %d", len(g.Centroids))
+	}
+	for _, c := range g.Centroids {
+		if c[0] < 0 || c[0] > 80 || c[1] < 0 || c[1] > 80 {
+			t.Fatalf("centroid out of [0,80]²: %v", c)
+		}
+	}
+	// In abnormal mode the second half of the classes must dominate 5:1.
+	batch := g.Batch(1, 60000)
+	firstHalf := 0
+	for _, p := range batch {
+		if p.Class < 50 {
+			firstHalf++
+		}
+		if p.Class < 0 || p.Class > 99 {
+			t.Fatalf("class out of range: %d", p.Class)
+		}
+	}
+	frac := float64(firstHalf) / float64(len(batch))
+	if math.Abs(frac-1.0/6) > 0.01 {
+		t.Errorf("abnormal-mode first-half fraction = %v, want ≈ 1/6", frac)
+	}
+}
+
+func TestGMMNormalModeSkew(t *testing.T) {
+	g, err := NewGMM(GMMConfig{}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := g.Batch(1, 60000)
+	firstHalf := 0
+	for _, p := range batch {
+		if p.Class < 50 {
+			firstHalf++
+		}
+	}
+	frac := float64(firstHalf) / float64(len(batch))
+	if math.Abs(frac-5.0/6) > 0.01 {
+		t.Errorf("normal-mode first-half fraction = %v, want ≈ 5/6", frac)
+	}
+}
+
+func TestGMMPointsNearCentroid(t *testing.T) {
+	g, err := NewGMM(GMMConfig{}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range g.Batch(1, 2000) {
+		c := g.Centroids[p.Class]
+		dx, dy := p.X[0]-c[0], p.X[1]-c[1]
+		if math.Hypot(dx, dy) > 6 { // 6σ
+			t.Fatalf("point %v too far from centroid %v of class %d", p.X, c, p.Class)
+		}
+	}
+}
+
+func TestGMMWarmupForcesNormal(t *testing.T) {
+	// With warmup 100 and a schedule that is always abnormal, batches
+	// during warm-up must still be normal-mode.
+	g, err := NewGMM(GMMConfig{Schedule: SingleEvent{Start: 0, End: 1 << 30}, Warmup: 100}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := g.Batch(50, 60000) // t=50 ≤ warmup
+	firstHalf := 0
+	for _, p := range batch {
+		if p.Class < 50 {
+			firstHalf++
+		}
+	}
+	frac := float64(firstHalf) / float64(len(batch))
+	if math.Abs(frac-5.0/6) > 0.01 {
+		t.Errorf("warm-up batch first-half fraction = %v, want ≈ 5/6", frac)
+	}
+}
+
+func TestGMMValidation(t *testing.T) {
+	if _, err := NewGMM(GMMConfig{}, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := NewGMM(GMMConfig{NumClasses: 1}, xrand.New(1)); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := NewGMM(GMMConfig{Skew: 0.5}, xrand.New(1)); err == nil {
+		t.Error("skew < 1 accepted")
+	}
+}
+
+func TestRegressionModes(t *testing.T) {
+	r, err := NewRegression(RegressionConfig{
+		Schedule: SingleEvent{Start: 0, End: 10},
+		Warmup:   0,
+		Noise:    1e-9, // effectively noiseless for coefficient recovery
+	}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=1 is abnormal under this schedule.
+	if got := r.TrueCoef(1); got != [2]float64{-3.6, 3.8} {
+		t.Errorf("TrueCoef(1) = %v", got)
+	}
+	if got := r.TrueCoef(11); got != [2]float64{4.2, -0.4} {
+		t.Errorf("TrueCoef(11) = %v", got)
+	}
+	for _, o := range r.Batch(11, 500) {
+		want := 4.2*o.X[0] - 0.4*o.X[1]
+		if math.Abs(o.Y-want) > 1e-6 {
+			t.Fatalf("noiseless y = %v, want %v", o.Y, want)
+		}
+		if o.X[0] < 0 || o.X[0] >= 1 || o.X[1] < 0 || o.X[1] >= 1 {
+			t.Fatalf("covariates out of range: %v", o.X)
+		}
+	}
+}
+
+func TestRegressionNoiseLevel(t *testing.T) {
+	r, err := NewRegression(RegressionConfig{}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w float64
+	batch := r.Batch(1, 20000)
+	for _, o := range batch {
+		resid := o.Y - (4.2*o.X[0] - 0.4*o.X[1])
+		w += resid * resid
+	}
+	if got := w / float64(len(batch)); math.Abs(got-1) > 0.05 {
+		t.Errorf("residual variance = %v, want ≈ 1", got)
+	}
+}
+
+func TestRegressionValidation(t *testing.T) {
+	if _, err := NewRegression(RegressionConfig{}, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := NewRegression(RegressionConfig{Noise: -1}, xrand.New(1)); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestTextGeneratorStructure(t *testing.T) {
+	g, err := NewText(TextConfig{}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.VocabSize() != 3*150+300 {
+		t.Fatalf("vocab = %d", g.VocabSize())
+	}
+	docs := g.Batch(1, 1500)
+	if len(docs) != 1500 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	positives := 0
+	for i, d := range docs {
+		if len(d.Words) < 5 {
+			t.Fatalf("doc %d too short: %d", i, len(d.Words))
+		}
+		for _, w := range d.Words {
+			if w < 0 || w >= g.VocabSize() {
+				t.Fatalf("word id out of range: %d", w)
+			}
+		}
+		if d.Label == 1 {
+			positives++
+		}
+	}
+	// Each message's topic is uniform over 3 topics and exactly one topic
+	// is interesting at any time, so about a third of labels are positive.
+	frac := float64(positives) / float64(len(docs))
+	if math.Abs(frac-1.0/3) > 0.05 {
+		t.Errorf("positive fraction = %v, want ≈ 1/3", frac)
+	}
+}
+
+func TestTextInterestFlips(t *testing.T) {
+	g, err := NewText(TextConfig{FlipEvery: 300}, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InterestAt(0) != 0 || g.InterestAt(299) != 0 {
+		t.Error("interest should be topic 0 for the first 300 messages")
+	}
+	if g.InterestAt(300) != 1 || g.InterestAt(599) != 1 {
+		t.Error("interest should flip to topic 1 at message 300")
+	}
+	if g.InterestAt(600) != 2 {
+		t.Error("interest should rotate to topic 2 at message 600")
+	}
+	if g.InterestAt(900) != 0 {
+		t.Error("interest should recur to topic 0 at message 900 (recurring context)")
+	}
+}
+
+func TestTextLabelConsistency(t *testing.T) {
+	// A doc is interesting iff its dominant characteristic words belong to
+	// the active interest topic. We verify statistically: among labelled-
+	// interesting docs in the first 300, characteristic words of topic 0
+	// dominate those of topic 1.
+	g, err := NewText(TextConfig{}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := g.Batch(1, 300)
+	var topic0Words, topic1Words int
+	for _, d := range docs {
+		if d.Label != 1 {
+			continue
+		}
+		for _, w := range d.Words {
+			switch {
+			case w < 150:
+				topic0Words++
+			case w < 300:
+				topic1Words++
+			}
+		}
+	}
+	if topic0Words == 0 || topic1Words != 0 {
+		t.Errorf("interesting docs in context A: topic0 words %d, topic1 words %d (want >0, 0)",
+			topic0Words, topic1Words)
+	}
+}
+
+func TestTextValidation(t *testing.T) {
+	if _, err := NewText(TextConfig{}, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := NewText(TextConfig{TopicBias: 2}, xrand.New(1)); err == nil {
+		t.Error("bias > 1 accepted")
+	}
+	if _, err := NewText(TextConfig{NumTopics: 1}, xrand.New(1)); err == nil {
+		t.Error("single topic accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Point is one item of the kNN classification stream: 2-D coordinates and a
+// ground-truth class.
+type Point struct {
+	X     [2]float64
+	Class int
+}
+
+// GMM is the Gaussian-mixture classification generator of Section 6.2:
+// NumClasses centroids placed uniformly in [0, Side]² at construction; each
+// item picks a class according to mode-dependent relative frequencies (the
+// first half of the classes is Skew times more frequent in normal mode and
+// Skew times less frequent in abnormal mode) and draws coordinates
+// independently from N(centroid, Sigma²).
+type GMM struct {
+	Centroids [][2]float64
+	Sigma     float64
+	Skew      float64
+	Schedule  Schedule
+	Warmup    int // batches of forced normal mode before the schedule applies
+
+	rng *xrand.RNG
+}
+
+// GMMConfig collects the generator's parameters; zero values select the
+// paper's settings (100 classes, side 80, σ = 1, skew 5).
+type GMMConfig struct {
+	NumClasses int
+	Side       float64
+	Sigma      float64
+	Skew       float64
+	Schedule   Schedule
+	Warmup     int
+}
+
+// NewGMM places the class centroids using rng and returns the generator.
+func NewGMM(cfg GMMConfig, rng *xrand.RNG) (*GMM, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("datagen: nil RNG")
+	}
+	if cfg.NumClasses == 0 {
+		cfg.NumClasses = 100
+	}
+	if cfg.Side == 0 {
+		cfg.Side = 80
+	}
+	if cfg.Sigma == 0 {
+		cfg.Sigma = 1
+	}
+	if cfg.Skew == 0 {
+		cfg.Skew = 5
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = AlwaysNormal{}
+	}
+	if cfg.NumClasses < 2 || cfg.Side <= 0 || cfg.Sigma <= 0 || cfg.Skew < 1 {
+		return nil, fmt.Errorf("datagen: invalid GMM config %+v", cfg)
+	}
+	g := &GMM{
+		Centroids: make([][2]float64, cfg.NumClasses),
+		Sigma:     cfg.Sigma,
+		Skew:      cfg.Skew,
+		Schedule:  cfg.Schedule,
+		Warmup:    cfg.Warmup,
+		rng:       rng,
+	}
+	for i := range g.Centroids {
+		g.Centroids[i] = [2]float64{rng.Float64() * cfg.Side, rng.Float64() * cfg.Side}
+	}
+	return g, nil
+}
+
+// Batch generates the batch for driver time t (1-based). Warm-up batches
+// (t ≤ Warmup) are always normal; afterwards the schedule is consulted with
+// time measured relative to the end of warm-up.
+func (g *GMM) Batch(t, size int) []Point {
+	mode := ModeNormal
+	if t > g.Warmup {
+		mode = g.Schedule.ModeAt(t - g.Warmup)
+	}
+	out := make([]Point, size)
+	for i := range out {
+		out[i] = g.point(mode)
+	}
+	return out
+}
+
+// point draws one labelled point under the given mode.
+func (g *GMM) point(mode Mode) Point {
+	half := len(g.Centroids) / 2
+	// Relative frequency of the first half vs the second: Skew:1 in normal
+	// mode, 1:Skew in abnormal mode.
+	heavyFirst := mode == ModeNormal
+	pFirst := g.Skew / (g.Skew + 1)
+	if !heavyFirst {
+		pFirst = 1 / (g.Skew + 1)
+	}
+	var class int
+	if g.rng.Bernoulli(pFirst) {
+		class = g.rng.Intn(half)
+	} else {
+		class = half + g.rng.Intn(len(g.Centroids)-half)
+	}
+	c := g.Centroids[class]
+	return Point{
+		X:     [2]float64{g.rng.Normal(c[0], g.Sigma), g.rng.Normal(c[1], g.Sigma)},
+		Class: class,
+	}
+}

@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig1GrowingShowsTTBSOverflow(t *testing.T) {
+	res, err := Fig1(Fig1Growing, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	ttbs, rtbs := parse(t, last[1]), parse(t, last[2])
+	if ttbs < 2000 {
+		t.Errorf("T-TBS should overflow under growing batches, got %v", ttbs)
+	}
+	if rtbs > 1000 {
+		t.Errorf("R-TBS must stay bounded at 1000, got %v", rtbs)
+	}
+	// Before growth begins (t=200) both should sit near 1000.
+	for _, row := range res.Rows {
+		if parse(t, row[0]) == 200 {
+			if v := parse(t, row[1]); v < 700 || v > 1400 {
+				t.Errorf("T-TBS at t=200 = %v, want ≈ 1000", v)
+			}
+		}
+	}
+}
+
+func TestFig1StableKeepsTargets(t *testing.T) {
+	res, err := Fig1(Fig1StableDet, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if v := parse(t, last[1]); v < 700 || v > 1400 {
+		t.Errorf("T-TBS stable size = %v, want near 1000 with fluctuation", v)
+	}
+	if v := parse(t, last[2]); v != 1000 {
+		t.Errorf("R-TBS stable size = %v, want exactly 1000 (saturated)", v)
+	}
+}
+
+func TestFig1DecayingShrinksBoth(t *testing.T) {
+	res, err := Fig1(Fig1Decaying, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if v := parse(t, last[1]); v > 500 {
+		t.Errorf("T-TBS should shrink under decaying batches, got %v", v)
+	}
+	if v := parse(t, last[2]); v > 500 {
+		t.Errorf("R-TBS should shrink under decaying batches, got %v", v)
+	}
+}
+
+func TestFig1Unknown(t *testing.T) {
+	if _, err := Fig1(Fig1Variant("z"), 1, 1); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestFig7OrderingAndMagnitudes(t *testing.T) {
+	res, err := Fig7(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	vals := make([]float64, 5)
+	for i, row := range res.Rows {
+		vals[i] = parse(t, row[1])
+	}
+	for i := 0; i < 4; i++ {
+		if vals[i] <= vals[i+1] {
+			t.Errorf("Fig7 ordering violated at %d: %v", i, vals)
+		}
+	}
+	// Rough magnitudes from the paper: 45/22/8.5/5.3/1.5 s.
+	if vals[0] < 25 || vals[0] > 70 {
+		t.Errorf("Cent,KV,RJ = %v, want ≈ 45", vals[0])
+	}
+	if vals[4] > 5 {
+		t.Errorf("D-T-TBS = %v, want ≈ 1.5–2", vals[4])
+	}
+}
+
+func TestFig8DiminishingReturns(t *testing.T) {
+	res, err := Fig8(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parse(t, res.Rows[0][1])
+	var w10, w25 float64
+	for _, row := range res.Rows {
+		switch row[0] {
+		case "10":
+			w10 = parse(t, row[1])
+		case "25":
+			w25 = parse(t, row[1])
+		}
+	}
+	if first < 3*w10 {
+		t.Errorf("2 workers (%v) should be ≫ 10 workers (%v)", first, w10)
+	}
+	if w10-w25 > (first-w10)/3 {
+		t.Errorf("expected diminishing returns: 2w=%v 10w=%v 25w=%v", first, w10, w25)
+	}
+}
+
+func TestFig9SharpRise(t *testing.T) {
+	res, err := Fig9(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byB := map[string]float64{}
+	for _, row := range res.Rows {
+		byB[row[0]] = parse(t, row[1])
+	}
+	if byB["1e+06"] > 1.5*byB["1e+03"] {
+		t.Errorf("runtime should be near-flat to 1e6: %v vs %v", byB["1e+03"], byB["1e+06"])
+	}
+	if byB["1e+08"] < 2*byB["1e+06"] {
+		t.Errorf("runtime should rise sharply at 1e8: %v vs %v", byB["1e+06"], byB["1e+08"])
+	}
+	if byB["1e+08"] < 8 || byB["1e+08"] > 25 {
+		t.Errorf("100M items = %v s, paper says ≈ 14", byB["1e+08"])
+	}
+	if byB["1e+10"] < byB["1e+09"] {
+		t.Error("runtime must keep growing with batch size")
+	}
+}
+
+func TestKNNSingleEventShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	outcomes, err := RunKNN(KNNConfig{
+		SampleSize: 1000,
+		Schedule:   datagen.SingleEvent{Start: 10, End: 20},
+		Steps:      30,
+		Runs:       3,
+		Seed:       11,
+	}, defaultKNNSchemes(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtbs, sw, unif := outcomes[0], outcomes[1], outcomes[2]
+	// During the abnormal period everyone's error spikes; before it,
+	// error should be modest (paper: ~18%).
+	if rtbs.Series[5] > 35 {
+		t.Errorf("R-TBS pre-event error = %v, want ≈ 18", rtbs.Series[5])
+	}
+	if rtbs.Series[11] < 30 {
+		t.Errorf("R-TBS error should spike at event start, got %v", rtbs.Series[11])
+	}
+	// Unif does not adapt: its error stays high through the event.
+	if unif.Series[18] < rtbs.Series[18] {
+		t.Errorf("Unif (%v) should adapt worse than R-TBS (%v) late in the event",
+			unif.Series[18], rtbs.Series[18])
+	}
+	// After the snap-back, SW spikes while R-TBS stays low (the paper's
+	// headline robustness result).
+	swSpike, rtbsSpike := 0.0, 0.0
+	for step := 20; step < 26 && step < len(sw.Series); step++ {
+		if sw.Series[step] > swSpike {
+			swSpike = sw.Series[step]
+		}
+		if rtbs.Series[step] > rtbsSpike {
+			rtbsSpike = rtbs.Series[step]
+		}
+	}
+	if swSpike < rtbsSpike+5 {
+		t.Errorf("SW post-event spike (%v) should exceed R-TBS (%v)", swSpike, rtbsSpike)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	res, err := Table1(3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Index rows by scheme name.
+	byName := map[string][]string{}
+	for _, row := range res.Rows {
+		byName[row[0]] = row
+	}
+	// For every pattern (column pairs starting at 1): Unif has the worst
+	// accuracy; SW has the worst robustness among {R-TBS λ=0.07, SW}.
+	for col := 1; col < 9; col += 2 {
+		unifMiss := parse(t, byName["Unif"][col])
+		rtbsMiss := parse(t, byName["λ=0.07"][col])
+		if unifMiss <= rtbsMiss {
+			t.Errorf("col %d: Unif miss %v should exceed R-TBS %v", col, unifMiss, rtbsMiss)
+		}
+		swES := parse(t, byName["SW"][col+1])
+		rtbsES := parse(t, byName["λ=0.07"][col+1])
+		if swES <= rtbsES {
+			t.Errorf("col %d: SW ES %v should exceed R-TBS ES %v", col+1, swES, rtbsES)
+		}
+	}
+}
+
+func TestRegressionSaturatedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	outcomes, err := RunRegression(RegressionConfig{
+		SampleSize: 1000, Steps: 50, Runs: 3, Seed: 31,
+	}, regressionSchemes(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtbs, sw, unif := outcomes[0], outcomes[1], outcomes[2]
+	if rtbs.Err >= unif.Err {
+		t.Errorf("R-TBS MSE %v should beat Unif %v", rtbs.Err, unif.Err)
+	}
+	if rtbs.ES >= sw.ES {
+		t.Errorf("R-TBS ES %v should beat SW %v", rtbs.ES, sw.ES)
+	}
+	// Paper magnitudes: R-TBS MSE ≈ 3.5 with ES ≈ 6.
+	if rtbs.Err < 1 || rtbs.Err > 7 {
+		t.Errorf("R-TBS MSE = %v, paper reports ≈ 3.5", rtbs.Err)
+	}
+}
+
+func TestNaiveBayesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	res, err := Fig13(3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 30 {
+		t.Fatalf("rows = %d, want 30 batches", len(res.Rows))
+	}
+	// Extract aggregates from the notes.
+	var rtbsES, swES float64
+	for _, n := range res.Notes {
+		var miss, es float64
+		if _, err := fmtSscanf(n, "R-TBS: mean miss%% %f, 20%% ES %f", &miss, &es); err == nil {
+			rtbsES = es
+		}
+		if _, err := fmtSscanf(n, "SW: mean miss%% %f, 20%% ES %f", &miss, &es); err == nil {
+			swES = es
+		}
+	}
+	if rtbsES == 0 || swES == 0 {
+		t.Fatalf("could not extract aggregates from notes: %v", res.Notes)
+	}
+	if swES <= rtbsES {
+		t.Errorf("SW 20%% ES (%v) should exceed R-TBS (%v)", swES, rtbsES)
+	}
+}
+
+func TestChaoViolationResult(t *testing.T) {
+	res, err := ChaoViolation(3000, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R-TBS tracks the theoretical inclusion probability for every batch;
+	// B-Chao never shrinks its sample, so old items are massively
+	// over-represented relative to property (1).
+	for _, row := range res.Rows {
+		rtbsP, theory := parse(t, row[2]), parse(t, row[3])
+		if diff := rtbsP - theory; diff > 0.06 || diff < -0.06 {
+			t.Errorf("batch %s: R-TBS Pr %v should match theory %v", row[0], rtbsP, theory)
+		}
+	}
+	oldest := res.Rows[0]
+	theory, chaoP := parse(t, oldest[3]), parse(t, oldest[4])
+	if chaoP < 10*theory+0.05 {
+		t.Errorf("B-Chao should grossly over-represent the oldest batch: Pr %v vs theory %v",
+			chaoP, theory)
+	}
+}
+
+func TestAResViolationResult(t *testing.T) {
+	res, err := AResViolation(5000, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 0.6065 // e^{-0.5}
+	// R-TBS ratios track the target for every saturated batch pair; A-Res
+	// must deviate visibly somewhere.
+	maxARes := 0.0
+	for _, row := range res.Rows[1:] {
+		rr, ar := parse(t, row[2]), parse(t, row[4])
+		if rr < target-0.08 || rr > target+0.08 {
+			t.Errorf("batch %s: R-TBS ratio %v strays from %v", row[0], rr, target)
+		}
+		if d := ar - target; d > maxARes {
+			maxARes = d
+		}
+		if d := target - ar; d > maxARes {
+			maxARes = d
+		}
+	}
+	if maxARes < 0.1 {
+		t.Errorf("A-Res ratios unexpectedly satisfy property (1): max deviation %v", maxARes)
+	}
+}
+
+func TestTTBSLawResult(t *testing.T) {
+	res, err := TTBSLaw(500, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		emp, theory := parse(t, row[1]), parse(t, row[2])
+		if diff := emp - theory; diff > 3 || diff < -3 {
+			t.Errorf("t=%s: empirical %v vs theory %v", row[0], emp, theory)
+		}
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	specs := Registry()
+	if len(specs) != 21 {
+		t.Fatalf("registry has %d specs, want 21", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.ID == "" || s.Title == "" || s.Run == nil {
+			t.Fatalf("incomplete spec %+v", s)
+		}
+		if seen[s.ID] {
+			t.Fatalf("duplicate id %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if _, err := Lookup("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	r := &Result{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := r.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "long-column", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigValidationErrors(t *testing.T) {
+	if _, err := RunKNN(KNNConfig{ESFrom: 99, Steps: 10}, defaultKNNSchemes(10)); err == nil {
+		t.Error("ESFrom > Steps accepted")
+	}
+	if _, err := RunKNN(KNNConfig{}, nil); err == nil {
+		t.Error("no schemes accepted")
+	}
+	if _, err := RunRegression(RegressionConfig{}, nil); err == nil {
+		t.Error("no schemes accepted")
+	}
+	if _, err := RunNaiveBayes(NBConfig{}, nil); err == nil {
+		t.Error("no schemes accepted")
+	}
+	if _, err := ChaoViolation(0, 1); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	if _, err := TTBSLaw(0, 1); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}
+
+// fmtSscanf adapts fmt.Sscanf for note parsing.
+func fmtSscanf(s, format string, args ...any) (int, error) {
+	return fmt.Sscanf(s, format, args...)
+}
+
+func TestPlotRendersSparklines(t *testing.T) {
+	res, err := Fig1(Fig1StableDet, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Plot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "T-TBS") || !strings.Contains(out, "R-TBS") {
+		t.Fatalf("plot missing series labels:\n%s", out)
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Fatalf("plot contains no sparkline characters:\n%s", out)
+	}
+	// A tiny table falls back to the plain format.
+	small := &Result{ID: "s", Title: "small", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	buf.Reset()
+	if err := small.Plot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== s: small ==") {
+		t.Error("small result did not fall back to Format")
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// Fig1Variant selects one of the four panels of Figure 1 (T-TBS vs R-TBS
+// sample-size behaviour).
+type Fig1Variant string
+
+// The four panels.
+const (
+	Fig1Growing    Fig1Variant = "a" // deterministic, ×1.002 from t=200, λ=0.05
+	Fig1StableDet  Fig1Variant = "b" // Bₜ ≡ 100, λ=0.1
+	Fig1StableUnif Fig1Variant = "c" // Bₜ ~ U[0,200], λ=0.1
+	Fig1Decaying   Fig1Variant = "d" // deterministic, ×0.8 from t=200, λ=0.01
+)
+
+// Fig1 reproduces one panel of Figure 1: the sample-size trajectories of
+// T-TBS and R-TBS over 1000 batches with target/maximum size 1000 and the
+// panel's batch-size process. Every `stride`-th point is emitted (stride 1
+// gives the full curve).
+func Fig1(variant Fig1Variant, stride int, seed uint64) (*Result, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	const (
+		n       = 1000
+		b       = 100.0
+		batches = 1000
+	)
+	var (
+		lambda float64
+		sizes  stream.SizeProcess
+		title  string
+	)
+	rng := xrand.New(seed)
+	switch variant {
+	case Fig1Growing:
+		lambda = 0.05
+		sizes = &stream.Geometric{B0: b, Phi: 1.002, Start: 200}
+		title = "Growing batch size (λ=0.05, ϕ=1.002)"
+	case Fig1StableDet:
+		lambda = 0.1
+		sizes = stream.Deterministic{B: int(b)}
+		title = "Stable batch size, deterministic (λ=0.1)"
+	case Fig1StableUnif:
+		lambda = 0.1
+		sizes = stream.UniformIID{Lo: 0, Hi: 200, RNG: rng}
+		title = "Stable batch size, Uniform[0,200] (λ=0.1)"
+	case Fig1Decaying:
+		lambda = 0.01
+		sizes = &stream.Geometric{B0: b, Phi: 0.8, Start: 200}
+		title = "Decaying batch size (λ=0.01, ϕ=0.8)"
+	default:
+		return nil, fmt.Errorf("experiments: unknown Fig1 variant %q", variant)
+	}
+
+	ttbs, err := core.NewTTBS[int](lambda, n, b, xrand.New(seed+1))
+	if err != nil {
+		return nil, err
+	}
+	rtbs, err := core.NewRTBS[int](lambda, n, xrand.New(seed+2))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "fig1" + string(variant),
+		Title:  title,
+		Header: []string{"batch", "T-TBS", "R-TBS"},
+	}
+	for t := 1; t <= batches; t++ {
+		size := sizes.Next(t)
+		if size < 0 {
+			size = 0
+		}
+		batch := make([]int, size)
+		ttbs.Advance(batch)
+		rtbs.Advance(batch)
+		if t%stride == 0 {
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprint(t),
+				fmt.Sprint(ttbs.Size()),
+				f1(rtbs.ExpectedSize()),
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Plot renders each numeric column of a series-shaped result as an ASCII
+// chart (one row of sparkline blocks per column), so `tbsbench -plot`
+// shows the *shape* of each figure directly in the terminal. Results with
+// fewer than four rows (pure tables) are rendered with Format instead.
+func (r *Result) Plot(w io.Writer) error {
+	if len(r.Rows) < 4 {
+		return r.Format(w)
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	// Column 0 is the x axis; plot every numeric column after it.
+	for col := 1; col < len(r.Header); col++ {
+		series := make([]float64, 0, len(r.Rows))
+		ok := true
+		for _, row := range r.Rows {
+			if col >= len(row) {
+				ok = false
+				break
+			}
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			series = append(series, v)
+		}
+		if !ok || len(series) == 0 {
+			continue
+		}
+		lo, hi := series[0], series[0]
+		for _, v := range series {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-8s [%8.2f .. %8.2f]  %s\n",
+			r.Header[col], lo, hi, sparkline(series, lo, hi)); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sparkline maps a series onto eight block heights between lo and hi.
+func sparkline(xs []float64, lo, hi float64) string {
+	const levels = "▁▂▃▄▅▆▇█"
+	runes := []rune(levels)
+	span := hi - lo
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if span > 0 {
+			idx = int((x - lo) / span * float64(len(runes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(runes) {
+			idx = len(runes) - 1
+		}
+		b.WriteRune(runes[idx])
+	}
+	return b.String()
+}

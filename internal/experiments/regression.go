@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/xrand"
+)
+
+// RegressionConfig parameterizes the linear-regression quality experiments
+// (Section 6.3, Figure 12).
+type RegressionConfig struct {
+	SampleSize int // reservoir/window size (1000 saturated, 1600 unsaturated)
+	BatchSize  int // deterministic batch size (paper: 100)
+	Lambda     float64
+	Schedule   datagen.Schedule
+	Warmup     int
+	Steps      int
+	Runs       int
+	ESLevel    float64
+	ESFrom     int
+	Seed       uint64
+}
+
+func (c *RegressionConfig) normalize() error {
+	if c.SampleSize == 0 {
+		c.SampleSize = 1000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 100
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.07
+	}
+	if c.Schedule == nil {
+		c.Schedule = datagen.Periodic{Delta: 10, Eta: 10}
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 100
+	}
+	if c.Steps == 0 {
+		c.Steps = 50
+	}
+	if c.Runs == 0 {
+		c.Runs = 10
+	}
+	if c.ESLevel == 0 {
+		c.ESLevel = 0.10
+	}
+	if c.ESFrom == 0 {
+		c.ESFrom = 20
+	}
+	if c.SampleSize < 1 || c.BatchSize < 1 || c.Steps < 1 || c.Runs < 1 ||
+		c.ESLevel <= 0 || c.ESLevel > 1 || c.ESFrom < 1 || c.ESFrom > c.Steps {
+		return fmt.Errorf("experiments: invalid regression config %+v", *c)
+	}
+	return nil
+}
+
+// RunRegression executes the linear-regression retraining experiment: each
+// incoming batch is scored (MSE of the OLS model fit on the current sample)
+// before the samplers are updated.
+func RunRegression(cfg RegressionConfig, schemes []SchemeSpec[datagen.Obs]) ([]SchemeOutcome, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("experiments: no schemes given")
+	}
+	sum := make([][]float64, len(schemes))
+	cnt := make([][]int, len(schemes))
+	for i := range sum {
+		sum[i] = make([]float64, cfg.Steps)
+		cnt[i] = make([]int, cfg.Steps)
+	}
+	msePerRun := make([][]float64, len(schemes))
+	esPerRun := make([][]float64, len(schemes))
+
+	for run := 0; run < cfg.Runs; run++ {
+		base := cfg.Seed + uint64(run)*1000
+		gen, err := datagen.NewRegression(datagen.RegressionConfig{
+			Schedule: cfg.Schedule,
+			Warmup:   cfg.Warmup,
+		}, xrand.New(base))
+		if err != nil {
+			return nil, err
+		}
+		samplers := make([]core.Sampler[datagen.Obs], len(schemes))
+		for i, s := range schemes {
+			samplers[i], err = s.New(xrand.New(base + 2 + uint64(i)))
+			if err != nil {
+				return nil, err
+			}
+		}
+		series := make([][]float64, len(schemes))
+		for t := 1; t <= cfg.Warmup+cfg.Steps; t++ {
+			batch := gen.Batch(t, cfg.BatchSize)
+			if t > cfg.Warmup {
+				step := t - cfg.Warmup - 1
+				for i, s := range samplers {
+					mse := evalRegressionBatch(s.Sample(), batch)
+					if !math.IsNaN(mse) {
+						sum[i][step] += mse
+						cnt[i][step]++
+						series[i] = append(series[i], mse)
+					}
+				}
+			}
+			for _, s := range samplers {
+				s.Advance(batch)
+			}
+		}
+		for i := range schemes {
+			if len(series[i]) == 0 {
+				continue
+			}
+			msePerRun[i] = append(msePerRun[i], metrics.Mean(series[i]))
+			from := cfg.ESFrom - 1
+			if from >= len(series[i]) {
+				from = 0
+			}
+			es, err := metrics.ExpectedShortfall(series[i][from:], cfg.ESLevel)
+			if err != nil {
+				return nil, err
+			}
+			esPerRun[i] = append(esPerRun[i], es)
+		}
+	}
+
+	out := make([]SchemeOutcome, len(schemes))
+	for i, s := range schemes {
+		o := SchemeOutcome{Name: s.Name, Series: make([]float64, cfg.Steps)}
+		for step := range o.Series {
+			if cnt[i][step] > 0 {
+				o.Series[step] = sum[i][step] / float64(cnt[i][step])
+			}
+		}
+		o.Err = metrics.Mean(msePerRun[i])
+		o.ES = metrics.Mean(esPerRun[i])
+		out[i] = o
+	}
+	return out, nil
+}
+
+// evalRegressionBatch fits OLS (no intercept, matching the generating
+// model) on the sample and returns the MSE over the batch, or NaN if the
+// fit is impossible.
+func evalRegressionBatch(sample []datagen.Obs, batch []datagen.Obs) float64 {
+	if len(sample) < 3 || len(batch) == 0 {
+		return math.NaN()
+	}
+	xs := make([][]float64, len(sample))
+	ys := make([]float64, len(sample))
+	for i, o := range sample {
+		xs[i] = []float64{o.X[0], o.X[1]}
+		ys[i] = o.Y
+	}
+	model, err := ml.FitOLS(xs, ys, false)
+	if err != nil {
+		return math.NaN()
+	}
+	s := 0.0
+	q := make([]float64, 2)
+	for _, o := range batch {
+		q[0], q[1] = o.X[0], o.X[1]
+		d := model.Predict(q) - o.Y
+		s += d * d
+	}
+	return s / float64(len(batch))
+}
+
+// regressionSchemes is the Figure 12 lineup with sample budget n.
+func regressionSchemes(n int) []SchemeSpec[datagen.Obs] {
+	return []SchemeSpec[datagen.Obs]{
+		RTBSScheme[datagen.Obs]("R-TBS", 0.07, n),
+		SWScheme[datagen.Obs](n),
+		UnifScheme[datagen.Obs](n),
+	}
+}
+
+// fig12 renders one panel of Figure 12.
+func fig12(id, title string, cfg RegressionConfig) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	outcomes, err := RunRegression(cfg, regressionSchemes(cfg.SampleSize))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: id, Title: title, Header: []string{"t"}}
+	for _, o := range outcomes {
+		res.Header = append(res.Header, o.Name)
+	}
+	for step := 0; step < cfg.Steps; step++ {
+		row := []string{fmt.Sprint(step + 1)}
+		for _, o := range outcomes {
+			row = append(row, f2(o.Series[step]))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, o := range outcomes {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("%s: mean MSE %.2f, %d%% ES %.2f", o.Name, o.Err, int(cfg.ESLevel*100), o.ES))
+	}
+	return res, nil
+}
+
+// Fig12a reproduces Figure 12(a): saturated samples (n = 1000),
+// Periodic(10,10). The paper reports MSEs ≈ 3.51 / 4.02 / 4.43 and 10% ES
+// ≈ 6.04 / 10.94 / 10.05 for R-TBS / SW / Unif.
+func Fig12a(runs int, seed uint64) (*Result, error) {
+	return fig12("fig12a", "Linear regression MSE, n=1000, Periodic(10,10)",
+		RegressionConfig{SampleSize: 1000, Steps: 50, Runs: runs, Seed: seed})
+}
+
+// Fig12b reproduces Figure 12(b): unsaturated R-TBS (n = 1600, where the
+// R-TBS reservoir stabilizes around 1479 items while SW and Unif are full).
+func Fig12b(runs int, seed uint64) (*Result, error) {
+	return fig12("fig12b", "Linear regression MSE, n=1600, Periodic(10,10)",
+		RegressionConfig{SampleSize: 1600, Steps: 50, Runs: runs, Seed: seed})
+}
+
+// Fig12c reproduces Figure 12(c): n = 1600 under Periodic(16,16), where
+// SW's window no longer spans old contexts and its error fluctuates again.
+func Fig12c(runs int, seed uint64) (*Result, error) {
+	return fig12("fig12c", "Linear regression MSE, n=1600, Periodic(16,16)",
+		RegressionConfig{SampleSize: 1600, Schedule: datagen.Periodic{Delta: 16, Eta: 16}, Steps: 80, Runs: runs, Seed: seed})
+}

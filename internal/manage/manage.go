@@ -1,0 +1,184 @@
+// Package manage implements the online model-management loop that
+// motivates the paper: maintain a temporally-biased sample, monitor the
+// deployed model's error on each incoming batch, and retrain the model
+// from the current sample according to a policy. The paper treats "when to
+// retrain" as an orthogonal problem (Section 1, citing the concept-drift
+// survey [17] and the Velox system [14]); this package provides the three
+// standard policies — always, every k batches, and drift-triggered — so the
+// samplers can be used end-to-end.
+package manage
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Trainer builds a model from the current sample. It is called only with a
+// nonempty sample.
+type Trainer[T, M any] func(sample []T) (M, error)
+
+// Evaluator scores a model on an incoming batch, returning an error
+// measure (e.g. misclassification percentage) where larger means worse.
+type Evaluator[T, M any] func(model M, batch []T) float64
+
+// Policy decides, after the model has been scored on a batch, whether to
+// retrain. Implementations may be stateful.
+type Policy interface {
+	// ShouldRetrain receives the batch index (1-based) and the model's
+	// error on that batch (NaN when no score was possible) and reports
+	// whether to retrain now.
+	ShouldRetrain(t int, err float64) bool
+}
+
+// Always retrains after every batch — maximally adaptive, maximally
+// expensive.
+type Always struct{}
+
+// ShouldRetrain implements Policy.
+func (Always) ShouldRetrain(int, float64) bool { return true }
+
+// Every retrains once every K batches.
+type Every struct{ K int }
+
+// ShouldRetrain implements Policy.
+func (e Every) ShouldRetrain(t int, _ float64) bool {
+	if e.K <= 1 {
+		return true
+	}
+	return t%e.K == 0
+}
+
+// OnDrift retrains when the latest error exceeds the trailing window's
+// mean by Factor standard deviations — a light-weight drift detector in
+// the spirit of DDM (the concept-drift literature the paper cites). It
+// also retrains unconditionally every MaxStale batches as a safety net.
+type OnDrift struct {
+	Window   int     // trailing errors considered (default 10)
+	Factor   float64 // trigger threshold in standard deviations (default 2)
+	MinObs   int     // observations required before triggering (default 3)
+	MaxStale int     // force retrain after this many quiet batches (default 0 = never)
+
+	hist  []float64
+	quiet int
+}
+
+// ShouldRetrain implements Policy.
+func (d *OnDrift) ShouldRetrain(_ int, err float64) bool {
+	window := d.Window
+	if window <= 0 {
+		window = 10
+	}
+	factor := d.Factor
+	if factor == 0 {
+		factor = 2
+	}
+	minObs := d.MinObs
+	if minObs <= 0 {
+		minObs = 3
+	}
+	defer func() {
+		if !math.IsNaN(err) {
+			d.hist = append(d.hist, err)
+			if len(d.hist) > window {
+				d.hist = d.hist[len(d.hist)-window:]
+			}
+		}
+	}()
+	d.quiet++
+	if d.MaxStale > 0 && d.quiet >= d.MaxStale {
+		d.reset()
+		return true
+	}
+	if math.IsNaN(err) || len(d.hist) < minObs {
+		return false
+	}
+	mean, sd := meanStd(d.hist)
+	if err > mean+factor*sd+1e-12 {
+		d.reset()
+		return true
+	}
+	return false
+}
+
+// reset clears the detector after a retrain so the new model gets a fresh
+// baseline.
+func (d *OnDrift) reset() {
+	d.hist = d.hist[:0]
+	d.quiet = 0
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	if len(xs) > 1 {
+		v /= float64(len(xs) - 1)
+	}
+	return m, math.Sqrt(v)
+}
+
+// Manager runs the predict→sample→maybe-retrain loop over a batch stream.
+type Manager[T, M any] struct {
+	sampler core.Sampler[T]
+	train   Trainer[T, M]
+	eval    Evaluator[T, M]
+	policy  Policy
+
+	model    M
+	hasModel bool
+	retrains int
+	t        int
+}
+
+// New returns a Manager wiring a sampler, a trainer, an evaluator, and a
+// retraining policy together.
+func New[T, M any](sampler core.Sampler[T], train Trainer[T, M], eval Evaluator[T, M], policy Policy) (*Manager[T, M], error) {
+	if sampler == nil || train == nil || eval == nil || policy == nil {
+		return nil, fmt.Errorf("manage: nil component")
+	}
+	return &Manager[T, M]{sampler: sampler, train: train, eval: eval, policy: policy}, nil
+}
+
+// Step processes one incoming batch: it scores the deployed model on the
+// batch (returning that error, or NaN if no model exists yet or the batch
+// is empty), folds the batch into the sample, and retrains if the policy
+// fires (or if no model exists and data is available). Training errors are
+// returned; a failed training keeps the previous model deployed.
+func (m *Manager[T, M]) Step(batch []T) (float64, error) {
+	m.t++
+	err := math.NaN()
+	if m.hasModel && len(batch) > 0 {
+		err = m.eval(m.model, batch)
+	}
+	m.sampler.Advance(batch)
+	if m.policy.ShouldRetrain(m.t, err) || !m.hasModel {
+		sample := m.sampler.Sample()
+		if len(sample) > 0 {
+			model, terr := m.train(sample)
+			if terr != nil {
+				return err, fmt.Errorf("manage: retrain at t=%d: %w", m.t, terr)
+			}
+			m.model = model
+			m.hasModel = true
+			m.retrains++
+		}
+	}
+	return err, nil
+}
+
+// Model returns the deployed model and whether one exists.
+func (m *Manager[T, M]) Model() (M, bool) { return m.model, m.hasModel }
+
+// Retrains returns how many times a model has been (re)trained.
+func (m *Manager[T, M]) Retrains() int { return m.retrains }
+
+// T returns the number of batches processed.
+func (m *Manager[T, M]) T() int { return m.t }

@@ -1,0 +1,241 @@
+package manage
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/xrand"
+)
+
+func TestEveryPolicy(t *testing.T) {
+	e := Every{K: 5}
+	fired := 0
+	for tt := 1; tt <= 20; tt++ {
+		if e.ShouldRetrain(tt, 0) {
+			fired++
+			if tt%5 != 0 {
+				t.Errorf("Every{5} fired at t=%d", tt)
+			}
+		}
+	}
+	if fired != 4 {
+		t.Errorf("Every{5} fired %d times in 20 steps", fired)
+	}
+	if !(Every{K: 0}).ShouldRetrain(3, 0) {
+		t.Error("Every{0} should behave like Always")
+	}
+	if !(Always{}).ShouldRetrain(1, math.NaN()) {
+		t.Error("Always must always fire")
+	}
+}
+
+func TestOnDriftTriggersOnSpike(t *testing.T) {
+	d := &OnDrift{Window: 10, Factor: 2, MinObs: 3}
+	// Stable phase: errors around 10 ± small.
+	stable := []float64{10, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9}
+	for i, e := range stable {
+		if d.ShouldRetrain(i+1, e) {
+			t.Fatalf("drift detector fired during stable phase at %d", i)
+		}
+	}
+	// Spike.
+	if !d.ShouldRetrain(len(stable)+1, 50) {
+		t.Fatal("drift detector missed a 5x error spike")
+	}
+	// After reset, a normal reading must not re-trigger immediately.
+	if d.ShouldRetrain(len(stable)+2, 10) {
+		t.Error("drift detector re-fired right after reset")
+	}
+}
+
+func TestOnDriftIgnoresNaNAndWarmsUp(t *testing.T) {
+	d := &OnDrift{MinObs: 3}
+	if d.ShouldRetrain(1, math.NaN()) {
+		t.Error("fired on NaN")
+	}
+	if d.ShouldRetrain(2, 100) || d.ShouldRetrain(3, 1) {
+		t.Error("fired before MinObs observations")
+	}
+}
+
+func TestOnDriftMaxStale(t *testing.T) {
+	d := &OnDrift{MaxStale: 4}
+	fires := 0
+	for tt := 1; tt <= 12; tt++ {
+		if d.ShouldRetrain(tt, 10) {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Errorf("MaxStale=4 fired %d times in 12 steps, want 3", fires)
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	s, _ := core.NewSlidingWindow[int](5)
+	tr := func([]int) (int, error) { return 0, nil }
+	ev := func(int, []int) float64 { return 0 }
+	if _, err := New[int, int](nil, tr, ev, Always{}); err == nil {
+		t.Error("nil sampler accepted")
+	}
+	if _, err := New[int, int](s, nil, ev, Always{}); err == nil {
+		t.Error("nil trainer accepted")
+	}
+	if _, err := New[int, int](s, tr, nil, Always{}); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+	if _, err := New[int, int](s, tr, ev, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestManagerBasicLoop(t *testing.T) {
+	s, _ := core.NewSlidingWindow[int](100)
+	trained := 0
+	mgr, err := New(s,
+		func(sample []int) (int, error) { trained++; return len(sample), nil },
+		func(model int, batch []int) float64 { return float64(model) },
+		Every{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First batch: no model yet → NaN error, then initial training.
+	e, err := mgr.Step([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(e) {
+		t.Errorf("first step error = %v, want NaN", e)
+	}
+	if _, ok := mgr.Model(); !ok {
+		t.Fatal("no model after first step")
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := mgr.Step([]int{4, 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Initial training + retrains at t=3,6,9.
+	if mgr.Retrains() != 4 {
+		t.Errorf("retrains = %d, want 4", mgr.Retrains())
+	}
+	if mgr.T() != 9 {
+		t.Errorf("T = %d", mgr.T())
+	}
+	if trained != mgr.Retrains() {
+		t.Errorf("trainer called %d times, retrains %d", trained, mgr.Retrains())
+	}
+}
+
+func TestManagerTrainFailureKeepsOldModel(t *testing.T) {
+	s, _ := core.NewSlidingWindow[int](10)
+	calls := 0
+	mgr, err := New(s,
+		func(sample []int) (int, error) {
+			calls++
+			if calls > 1 {
+				return 0, fmt.Errorf("boom")
+			}
+			return 42, nil
+		},
+		func(model int, batch []int) float64 { return 1 },
+		Always{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Step([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Step([]int{2}); err == nil {
+		t.Fatal("training failure not surfaced")
+	}
+	model, ok := mgr.Model()
+	if !ok || model != 42 {
+		t.Errorf("old model not retained: %v %v", model, ok)
+	}
+	if mgr.Retrains() != 1 {
+		t.Errorf("retrains = %d", mgr.Retrains())
+	}
+}
+
+// TestManagerEndToEndKNN runs the full loop on the paper's kNN workload
+// and checks that a drift-triggered policy retrains far less often than
+// Always while staying in the same accuracy regime.
+func TestManagerEndToEndKNN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	run := func(policy Policy) (avgErr float64, retrains int) {
+		gen, err := datagen.NewGMM(datagen.GMMConfig{
+			Schedule: datagen.Periodic{Delta: 10, Eta: 10},
+			Warmup:   30,
+		}, xrand.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, err := core.NewRTBS[datagen.Point](0.07, 500, xrand.New(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		train := func(sample []datagen.Point) (*ml.KNN, error) {
+			m, err := ml.NewKNN(7)
+			if err != nil {
+				return nil, err
+			}
+			xs := make([][]float64, len(sample))
+			ys := make([]int, len(sample))
+			for i, p := range sample {
+				xs[i] = []float64{p.X[0], p.X[1]}
+				ys[i] = p.Class
+			}
+			if err := m.Fit(xs, ys); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+		eval := func(m *ml.KNN, batch []datagen.Point) float64 {
+			wrong := 0
+			for _, p := range batch {
+				if m.Predict([]float64{p.X[0], p.X[1]}) != p.Class {
+					wrong++
+				}
+			}
+			return 100 * float64(wrong) / float64(len(batch))
+		}
+		mgr, err := New(sampler, train, eval, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var errs []float64
+		for tt := 1; tt <= 80; tt++ {
+			e, err := mgr.Step(gen.Batch(tt, 100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tt > 30 && !math.IsNaN(e) {
+				errs = append(errs, e)
+			}
+		}
+		return metrics.Mean(errs), mgr.Retrains()
+	}
+
+	alwaysErr, alwaysRetrains := run(Always{})
+	driftErr, driftRetrains := run(&OnDrift{Window: 8, Factor: 2, MinObs: 3, MaxStale: 20})
+
+	if driftRetrains >= alwaysRetrains/2 {
+		t.Errorf("drift policy should retrain far less: %d vs %d", driftRetrains, alwaysRetrains)
+	}
+	if driftRetrains < 2 {
+		t.Errorf("drift policy never fired: %d retrains", driftRetrains)
+	}
+	// Accuracy should be in the same regime (drift-triggered retraining is
+	// allowed to be somewhat worse, not catastrophically so).
+	if driftErr > alwaysErr*2+10 {
+		t.Errorf("drift policy accuracy collapsed: %.1f vs %.1f", driftErr, alwaysErr)
+	}
+}

@@ -1,0 +1,138 @@
+// Package metrics provides the statistical measures used throughout the
+// paper's evaluation (Section 6): misclassification rate, mean squared
+// error, and the expected-shortfall (ES) robustness measure, plus running
+// moment accumulators and quantiles used by the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a running mean and variance in one pass with
+// numerically stable updates.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds a value into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of values seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 for fewer than two values).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.Var()
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It copies and sorts the input.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("metrics: quantile of empty slice")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("metrics: quantile level %v out of [0,1]", q)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	f := pos - float64(lo)
+	return s[lo]*(1-f) + s[hi]*f, nil
+}
+
+// ExpectedShortfall returns the z·100% ES of xs: the average of the worst
+// (largest) z fraction of the values. This is the downside-risk measure the
+// paper uses to quantify robustness (Section 6.2, citing McNeil et al.
+// [27]): "the z% ES is the average value of the worst z% of cases". For
+// error-rate series, larger is worse, so the worst cases are the largest
+// values. At least one value is always averaged.
+func ExpectedShortfall(xs []float64, z float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("metrics: expected shortfall of empty slice")
+	}
+	if z <= 0 || z > 1 || math.IsNaN(z) {
+		return 0, fmt.Errorf("metrics: shortfall level %v out of (0,1]", z)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	k := int(math.Round(z * float64(len(s))))
+	if k < 1 {
+		k = 1
+	}
+	return Mean(s[:k]), nil
+}
+
+// MSE returns the mean squared error between predictions and truths; the
+// slices must have equal nonzero length.
+func MSE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0, fmt.Errorf("metrics: MSE needs equal nonzero lengths, got %d and %d", len(pred), len(truth))
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return s / float64(len(pred)), nil
+}
+
+// MisclassificationRate returns the fraction of mismatched labels as a
+// percentage in [0, 100], matching the paper's "% incorrect
+// classifications" axes.
+func MisclassificationRate(pred, truth []int) (float64, error) {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0, fmt.Errorf("metrics: rate needs equal nonzero lengths, got %d and %d", len(pred), len(truth))
+	}
+	wrong := 0
+	for i := range pred {
+		if pred[i] != truth[i] {
+			wrong++
+		}
+	}
+	return 100 * float64(wrong) / float64(len(pred)), nil
+}

@@ -1,0 +1,116 @@
+// Package ml implements the three supervised models the paper retrains on
+// temporally-biased samples (Section 6): a kNN classifier, ordinary
+// least-squares linear regression, and a multinomial Naive Bayes text
+// classifier. The implementations are deliberately self-contained — the
+// whole point of the sampling-based approach is that static, off-the-shelf
+// learners can be reused on streams without re-engineering.
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// KNN is a k-nearest-neighbour classifier over d-dimensional points with
+// Euclidean distance and majority vote (Section 6.2, k = 7 in the paper).
+// Fit stores the training set; Predict scans it with a bounded insertion
+// sort over the k best distances, which outperforms a heap for the small k
+// used here.
+type KNN struct {
+	k  int
+	xs [][]float64
+	ys []int
+}
+
+// NewKNN returns a classifier using the k nearest neighbours.
+func NewKNN(k int) (*KNN, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ml: k must be positive, got %d", k)
+	}
+	return &KNN{k: k}, nil
+}
+
+// Fit replaces the training set. The slices are retained (not copied); they
+// must not be mutated while the model is in use, and must have equal length.
+func (m *KNN) Fit(xs [][]float64, ys []int) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("ml: KNN.Fit length mismatch: %d points, %d labels", len(xs), len(ys))
+	}
+	m.xs, m.ys = xs, ys
+	return nil
+}
+
+// TrainSize returns the number of stored training points.
+func (m *KNN) TrainSize() int { return len(m.xs) }
+
+// Predict returns the majority class among the k nearest training points,
+// or -1 if the model has no training data. Ties are broken in favour of the
+// nearer neighbour set (the class whose closest member is nearest).
+func (m *KNN) Predict(x []float64) int {
+	if len(m.xs) == 0 {
+		return -1
+	}
+	k := m.k
+	if k > len(m.xs) {
+		k = len(m.xs)
+	}
+	// Bounded insertion sort of the k smallest squared distances.
+	dists := make([]float64, k)
+	labels := make([]int, k)
+	filled := 0
+	for i, p := range m.xs {
+		d := sqDist(x, p)
+		if filled == k && d >= dists[k-1] {
+			continue
+		}
+		j := filled
+		if j == k {
+			j = k - 1
+		} else {
+			filled++
+		}
+		for j > 0 && dists[j-1] > d {
+			dists[j] = dists[j-1]
+			labels[j] = labels[j-1]
+			j--
+		}
+		dists[j] = d
+		labels[j] = m.ys[i]
+	}
+	// Majority vote among labels[:filled]; ties go to the class with the
+	// nearest member (first occurrence in the distance-sorted list).
+	votes := make(map[int]int, filled)
+	best, bestVotes := labels[0], 0
+	for _, lbl := range labels[:filled] {
+		votes[lbl]++
+		if votes[lbl] > bestVotes {
+			best, bestVotes = lbl, votes[lbl]
+		}
+	}
+	return best
+}
+
+// sqDist returns the squared Euclidean distance, treating missing trailing
+// coordinates as zero.
+func sqDist(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	for i := n; i < len(a); i++ {
+		s += a[i] * a[i]
+	}
+	for i := n; i < len(b); i++ {
+		s += b[i] * b[i]
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between two points (exposed for
+// tests and examples).
+func Dist(a, b []float64) float64 { return math.Sqrt(sqDist(a, b)) }

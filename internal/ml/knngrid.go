@@ -1,0 +1,230 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// KNNGrid is a 2-D kNN classifier accelerated by a uniform grid index.
+// Training points are bucketed into square cells; a query expands outward
+// ring by ring from its cell, stopping once the k-th best distance is
+// closer than the nearest unexplored ring. For the paper's workload
+// (thousands of points spread over [0,80]², k = 7) this turns the linear
+// scan into a handful of cell probes.
+//
+// It returns exactly the same predictions as the exhaustive KNN (the tests
+// verify agreement), so the experiments can use either interchangeably.
+type KNNGrid struct {
+	k        int
+	cell     float64
+	minX     float64
+	minY     float64
+	nx, ny   int
+	cells    [][]int // point indices per cell
+	xs       [][2]float64
+	ys       []int
+	trained  bool
+	fallback *KNN // used when the training set is tiny
+}
+
+// NewKNNGrid returns a grid-indexed classifier using the k nearest
+// neighbours. cellSize ≤ 0 selects an automatic cell size at Fit time
+// (aiming for ~2 points per cell).
+func NewKNNGrid(k int, cellSize float64) (*KNNGrid, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ml: k must be positive, got %d", k)
+	}
+	if math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		return nil, fmt.Errorf("ml: invalid cell size %v", cellSize)
+	}
+	return &KNNGrid{k: k, cell: cellSize}, nil
+}
+
+// Fit replaces the training set with 2-D points. Inputs are copied into
+// the index.
+func (m *KNNGrid) Fit(xs [][2]float64, ys []int) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("ml: KNNGrid.Fit length mismatch: %d points, %d labels", len(xs), len(ys))
+	}
+	m.xs = append(m.xs[:0], xs...)
+	m.ys = append(m.ys[:0], ys...)
+	m.trained = true
+	m.fallback = nil
+	if len(xs) == 0 {
+		m.cells = nil
+		return nil
+	}
+	if len(xs) <= 4*m.k {
+		// Tiny training sets: exhaustive scan is both faster and simpler.
+		fb, err := NewKNN(m.k)
+		if err != nil {
+			return err
+		}
+		flat := make([][]float64, len(xs))
+		for i := range xs {
+			flat[i] = []float64{xs[i][0], xs[i][1]}
+		}
+		if err := fb.Fit(flat, m.ys); err != nil {
+			return err
+		}
+		m.fallback = fb
+		return nil
+	}
+
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range xs {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	cell := m.cell
+	if cell <= 0 {
+		// Aim for ~2 points per cell: cell = sqrt(2·area/N).
+		area := math.Max(maxX-minX, 1e-9) * math.Max(maxY-minY, 1e-9)
+		cell = math.Sqrt(2 * area / float64(len(xs)))
+		if cell <= 0 || math.IsNaN(cell) {
+			cell = 1
+		}
+	}
+	m.minX, m.minY = minX, minY
+	m.nx = int((maxX-minX)/cell) + 1
+	m.ny = int((maxY-minY)/cell) + 1
+	const maxCells = 1 << 22
+	if m.nx*m.ny > maxCells {
+		// Degenerate cell size; rescale to the cap.
+		scale := math.Sqrt(float64(m.nx*m.ny) / maxCells)
+		cell *= scale
+		m.nx = int((maxX-minX)/cell) + 1
+		m.ny = int((maxY-minY)/cell) + 1
+	}
+	m.cellsize(cell)
+	m.cells = make([][]int, m.nx*m.ny)
+	for i, p := range xs {
+		c := m.cellOf(p[0], p[1])
+		m.cells[c] = append(m.cells[c], i)
+	}
+	return nil
+}
+
+func (m *KNNGrid) cellsize(c float64) { m.cell = c }
+
+// cellOf maps coordinates to a cell id, clamping out-of-range queries to
+// the boundary cells.
+func (m *KNNGrid) cellOf(x, y float64) int {
+	cx := int((x - m.minX) / m.cell)
+	cy := int((y - m.minY) / m.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= m.nx {
+		cx = m.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= m.ny {
+		cy = m.ny - 1
+	}
+	return cy*m.nx + cx
+}
+
+// TrainSize returns the number of stored training points.
+func (m *KNNGrid) TrainSize() int { return len(m.xs) }
+
+// Predict returns the majority class among the k nearest training points,
+// or -1 if the model has no training data.
+func (m *KNNGrid) Predict(x, y float64) int {
+	if !m.trained || len(m.xs) == 0 {
+		return -1
+	}
+	if m.fallback != nil {
+		return m.fallback.Predict([]float64{x, y})
+	}
+	k := m.k
+	if k > len(m.xs) {
+		k = len(m.xs)
+	}
+	dists := make([]float64, 0, k)
+	labels := make([]int, 0, k)
+	consider := func(idx int) {
+		p := m.xs[idx]
+		dx, dy := x-p[0], y-p[1]
+		d := dx*dx + dy*dy
+		if len(dists) == k && d >= dists[k-1] {
+			return
+		}
+		j := len(dists)
+		if j < k {
+			dists = append(dists, 0)
+			labels = append(labels, 0)
+		} else {
+			j = k - 1
+		}
+		for j > 0 && dists[j-1] > d {
+			dists[j] = dists[j-1]
+			labels[j] = labels[j-1]
+			j--
+		}
+		dists[j] = d
+		labels[j] = m.ys[idx]
+	}
+
+	qcx := int((x - m.minX) / m.cell)
+	qcy := int((y - m.minY) / m.cell)
+	maxRing := m.nx
+	if m.ny > maxRing {
+		maxRing = m.ny
+	}
+	// Also account for queries far outside the grid.
+	maxRing += int(math.Abs(x-m.minX)/m.cell) + int(math.Abs(y-m.minY)/m.cell) + 2
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once we have k candidates, stop when the nearest possible point
+		// in the next unexplored ring cannot beat the current k-th best.
+		if len(dists) == k && ring > 0 {
+			minPossible := (float64(ring-1) * m.cell)
+			if minPossible > 0 && minPossible*minPossible > dists[k-1] {
+				break
+			}
+		}
+		m.visitRing(qcx, qcy, ring, consider)
+	}
+	if len(labels) == 0 {
+		return -1
+	}
+	votes := make(map[int]int, len(labels))
+	best, bestVotes := labels[0], 0
+	for _, lbl := range labels {
+		votes[lbl]++
+		if votes[lbl] > bestVotes {
+			best, bestVotes = lbl, votes[lbl]
+		}
+	}
+	return best
+}
+
+// visitRing applies fn to every point in the square ring of cells at
+// Chebyshev distance `ring` from (qcx, qcy).
+func (m *KNNGrid) visitRing(qcx, qcy, ring int, fn func(int)) {
+	visit := func(cx, cy int) {
+		if cx < 0 || cx >= m.nx || cy < 0 || cy >= m.ny {
+			return
+		}
+		for _, idx := range m.cells[cy*m.nx+cx] {
+			fn(idx)
+		}
+	}
+	if ring == 0 {
+		visit(qcx, qcy)
+		return
+	}
+	for cx := qcx - ring; cx <= qcx+ring; cx++ {
+		visit(cx, qcy-ring)
+		visit(cx, qcy+ring)
+	}
+	for cy := qcy - ring + 1; cy <= qcy+ring-1; cy++ {
+		visit(qcx-ring, cy)
+		visit(qcx+ring, cy)
+	}
+}

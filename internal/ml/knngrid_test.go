@@ -1,0 +1,195 @@
+package ml
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestKNNGridValidation(t *testing.T) {
+	if _, err := NewKNNGrid(0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewKNNGrid(3, mathNaN()); err == nil {
+		t.Error("NaN cell accepted")
+	}
+	m, err := NewKNNGrid(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit([][2]float64{{1, 1}}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if got := m.Predict(0, 0); got != -1 {
+		t.Errorf("untrained model predicted %d", got)
+	}
+	if err := m.Fit(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(0, 0); got != -1 {
+		t.Errorf("empty model predicted %d", got)
+	}
+}
+
+func mathNaN() float64 { var z float64; return z / z }
+
+func TestKNNGridTinyFallback(t *testing.T) {
+	m, err := NewKNNGrid(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit([][2]float64{{0, 0}, {1, 1}}, []int{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(0.5, 0.5); got != 3 {
+		t.Errorf("tiny set predicted %d", got)
+	}
+	if m.TrainSize() != 2 {
+		t.Errorf("TrainSize = %d", m.TrainSize())
+	}
+}
+
+// TestKNNGridAgreesWithExhaustive is the key correctness property: the
+// grid-indexed classifier must return the same prediction as the
+// exhaustive scan on random instances, including queries far outside the
+// training bounding box.
+func TestKNNGridAgreesWithExhaustive(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := xrand.New(uint64(seed) + 1)
+		n := 50 + rng.Intn(300)
+		pts := make([][2]float64, n)
+		flat := make([][]float64, n)
+		ys := make([]int, n)
+		for i := range pts {
+			pts[i] = [2]float64{rng.Float64() * 80, rng.Float64() * 80}
+			flat[i] = []float64{pts[i][0], pts[i][1]}
+			ys[i] = rng.Intn(5)
+		}
+		k := 1 + rng.Intn(7)
+		grid, err := NewKNNGrid(k, 0)
+		if err != nil {
+			return false
+		}
+		if err := grid.Fit(pts, ys); err != nil {
+			return false
+		}
+		brute, err := NewKNN(k)
+		if err != nil {
+			return false
+		}
+		if err := brute.Fit(flat, ys); err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			var qx, qy float64
+			switch trial % 3 {
+			case 0: // inside
+				qx, qy = rng.Float64()*80, rng.Float64()*80
+			case 1: // near the boundary
+				qx, qy = rng.Float64()*90-5, rng.Float64()*90-5
+			default: // far outside
+				qx, qy = rng.Float64()*400-160, rng.Float64()*400-160
+			}
+			if grid.Predict(qx, qy) != brute.Predict([]float64{qx, qy}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKNNGridClusterAccuracy(t *testing.T) {
+	rng := xrand.New(20)
+	var pts [][2]float64
+	var ys []int
+	centers := [][2]float64{{0, 0}, {40, 0}, {0, 40}, {40, 40}}
+	for c, ctr := range centers {
+		for i := 0; i < 200; i++ {
+			pts = append(pts, [2]float64{rng.Normal(ctr[0], 1), rng.Normal(ctr[1], 1)})
+			ys = append(ys, c)
+		}
+	}
+	m, err := NewKNNGrid(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(pts, ys); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		c := rng.Intn(4)
+		if m.Predict(rng.Normal(centers[c][0], 1), rng.Normal(centers[c][1], 1)) == c {
+			correct++
+		}
+	}
+	if acc := float64(correct) / trials; acc < 0.98 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestKNNGridExplicitCellSize(t *testing.T) {
+	m, err := NewKNNGrid(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([][2]float64, 100)
+	ys := make([]int, 100)
+	rng := xrand.New(21)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64() * 80, rng.Float64() * 80}
+		ys[i] = i % 3
+	}
+	if err := m.Fit(pts, ys); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(40, 40); got < 0 || got > 2 {
+		t.Errorf("prediction out of label range: %d", got)
+	}
+}
+
+func BenchmarkKNNGridVsBrute(b *testing.B) {
+	rng := xrand.New(22)
+	const n = 2000
+	pts := make([][2]float64, n)
+	flat := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64() * 80, rng.Float64() * 80}
+		flat[i] = []float64{pts[i][0], pts[i][1]}
+		ys[i] = rng.Intn(100)
+	}
+	queries := make([][2]float64, 256)
+	for i := range queries {
+		queries[i] = [2]float64{rng.Float64() * 80, rng.Float64() * 80}
+	}
+	b.Run("grid", func(b *testing.B) {
+		m, _ := NewKNNGrid(7, 0)
+		if err := m.Fit(pts, ys); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			m.Predict(q[0], q[1])
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		m, _ := NewKNN(7)
+		if err := m.Fit(flat, ys); err != nil {
+			b.Fatal(err)
+		}
+		q := make([]float64, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qq := queries[i%len(queries)]
+			q[0], q[1] = qq[0], qq[1]
+			m.Predict(q)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearRegression is an ordinary-least-squares linear model
+// y = β·x (+ intercept), fit by solving the normal equations XᵀX β = Xᵀy
+// with Gaussian elimination (Section 6.3 retrains exactly this model on
+// each sample).
+type LinearRegression struct {
+	Coef      []float64
+	Intercept float64
+	hasIcept  bool
+}
+
+// FitOLS fits a linear model to the rows of xs against ys. If intercept is
+// true a constant column is appended. It returns an error on degenerate
+// input (empty data, ragged rows, or a singular normal matrix, e.g. fewer
+// observations than parameters).
+func FitOLS(xs [][]float64, ys []float64, intercept bool) (*LinearRegression, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("ml: FitOLS needs equal nonzero lengths, got %d rows and %d responses", len(xs), len(ys))
+	}
+	d := len(xs[0])
+	if d == 0 {
+		return nil, fmt.Errorf("ml: FitOLS needs at least one feature")
+	}
+	p := d
+	if intercept {
+		p++
+	}
+	// Accumulate XᵀX and Xᵀy in one pass.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	row := make([]float64, p)
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("ml: FitOLS ragged row %d: %d features, want %d", i, len(x), d)
+		}
+		copy(row, x)
+		if intercept {
+			row[d] = 1
+		}
+		for a := 0; a < p; a++ {
+			for b := a; b < p; b++ {
+				xtx[a][b] += row[a] * row[b]
+			}
+			xty[a] += row[a] * ys[i]
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+	}
+	beta, err := SolveLinear(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("ml: FitOLS: %w", err)
+	}
+	m := &LinearRegression{Coef: beta[:d], hasIcept: intercept}
+	if intercept {
+		m.Intercept = beta[d]
+	}
+	return m, nil
+}
+
+// Predict returns β·x (+ intercept).
+func (m *LinearRegression) Predict(x []float64) float64 {
+	s := m.Intercept
+	n := len(x)
+	if len(m.Coef) < n {
+		n = len(m.Coef)
+	}
+	for i := 0; i < n; i++ {
+		s += m.Coef[i] * x[i]
+	}
+	return s
+}
+
+// SolveLinear solves the dense linear system A·x = b using Gaussian
+// elimination with partial pivoting, destroying neither input. It returns
+// an error if the system is (numerically) singular.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("ml: SolveLinear dimension mismatch: %d×? vs %d", n, len(b))
+	}
+	// Copy into an augmented working matrix.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("ml: SolveLinear row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("ml: singular system (pivot %d)", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}

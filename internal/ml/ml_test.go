@@ -1,0 +1,346 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestKNNValidation(t *testing.T) {
+	if _, err := NewKNN(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	m, err := NewKNN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit([][]float64{{1}}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if got := m.Predict([]float64{0}); got != -1 {
+		t.Errorf("empty model predicted %d", got)
+	}
+}
+
+func TestKNNExactSmallCase(t *testing.T) {
+	m, err := NewKNN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {10, 10}, {10, 11}}
+	ys := []int{0, 0, 0, 1, 1}
+	if err := m.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0.2, 0.2}); got != 0 {
+		t.Errorf("near origin: %d", got)
+	}
+	if got := m.Predict([]float64{10, 10.5}); got != 1 {
+		t.Errorf("near cluster 1: %d", got)
+	}
+	if m.TrainSize() != 5 {
+		t.Errorf("TrainSize = %d", m.TrainSize())
+	}
+}
+
+func TestKNNKLargerThanTrainSet(t *testing.T) {
+	m, _ := NewKNN(7)
+	if err := m.Fit([][]float64{{0}, {1}}, []int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0.4}); got != 1 {
+		t.Errorf("k>train predicted %d", got)
+	}
+}
+
+func TestKNNMajorityVote(t *testing.T) {
+	m, _ := NewKNN(5)
+	// 3 of class 7 slightly farther than 2 of class 3: majority wins.
+	xs := [][]float64{{1}, {1.1}, {2}, {2.1}, {2.2}}
+	ys := []int{3, 3, 7, 7, 7}
+	if err := m.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{1.5}); got != 7 {
+		t.Errorf("majority vote = %d, want 7", got)
+	}
+}
+
+func TestKNNSeparableClustersAccuracy(t *testing.T) {
+	rng := xrand.New(10)
+	var xs [][]float64
+	var ys []int
+	centers := [][2]float64{{0, 0}, {20, 0}, {0, 20}, {20, 20}}
+	for c, ctr := range centers {
+		for i := 0; i < 100; i++ {
+			xs = append(xs, []float64{rng.Normal(ctr[0], 1), rng.Normal(ctr[1], 1)})
+			ys = append(ys, c)
+		}
+	}
+	m, _ := NewKNN(7)
+	if err := m.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		c := rng.Intn(4)
+		x := []float64{rng.Normal(centers[c][0], 1), rng.Normal(centers[c][1], 1)}
+		if m.Predict(x) == c {
+			correct++
+		}
+	}
+	if acc := float64(correct) / trials; acc < 0.98 {
+		t.Errorf("well-separated accuracy = %v", acc)
+	}
+}
+
+func TestKNNMatchesBruteForceProperty(t *testing.T) {
+	// The bounded-insertion selection must agree with a naive full sort.
+	rng := xrand.New(11)
+	f := func(seed uint16) bool {
+		r := xrand.New(uint64(seed))
+		n := 20 + r.Intn(50)
+		xs := make([][]float64, n)
+		ys := make([]int, n)
+		for i := range xs {
+			xs[i] = []float64{r.Float64() * 10, r.Float64() * 10}
+			ys[i] = r.Intn(3)
+		}
+		m, _ := NewKNN(1)
+		if err := m.Fit(xs, ys); err != nil {
+			return false
+		}
+		q := []float64{r.Float64() * 10, r.Float64() * 10}
+		got := m.Predict(q)
+		// Brute force 1-NN.
+		best, bestD := -1, math.Inf(1)
+		for i := range xs {
+			if d := Dist(q, xs[i]); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return got == ys[best]
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqDistUnequalLengths(t *testing.T) {
+	if got := Dist([]float64{3, 4}, []float64{0}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5 (missing coords are zero)", got)
+	}
+	if got := Dist([]float64{0}, []float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5 (symmetric)", got)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("singular system accepted")
+	}
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSolveLinearRandomProperty(t *testing.T) {
+	// A·x reconstructed from the solution must match b.
+	f := func(seed uint16) bool {
+		r := xrand.New(uint64(seed) + 1)
+		n := 1 + r.Intn(6)
+		a := make([][]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.NormFloat64()
+			}
+			a[i][i] += 5 // diagonal dominance keeps it well-conditioned
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			s := 0.0
+			for j := range x {
+				s += a[i][j] * x[j]
+			}
+			if math.Abs(s-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitOLSRecoversCoefficients(t *testing.T) {
+	rng := xrand.New(12)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 5000; i++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		xs = append(xs, []float64{x1, x2})
+		ys = append(ys, 4.2*x1-0.4*x2+rng.NormFloat64())
+	}
+	m, err := FitOLS(xs, ys, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-4.2) > 0.15 || math.Abs(m.Coef[1]+0.4) > 0.15 {
+		t.Errorf("coef = %v, want ≈ (4.2, -0.4)", m.Coef)
+	}
+	pred := m.Predict([]float64{0.5, 0.5})
+	want := 4.2*0.5 - 0.4*0.5
+	if math.Abs(pred-want) > 0.2 {
+		t.Errorf("Predict = %v, want ≈ %v", pred, want)
+	}
+}
+
+func TestFitOLSWithIntercept(t *testing.T) {
+	rng := xrand.New(13)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 5000; i++ {
+		x := rng.Float64() * 10
+		xs = append(xs, []float64{x})
+		ys = append(ys, 3*x+7+0.1*rng.NormFloat64())
+	}
+	m, err := FitOLS(xs, ys, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-3) > 0.01 || math.Abs(m.Intercept-7) > 0.05 {
+		t.Errorf("coef = %v intercept = %v, want 3 and 7", m.Coef, m.Intercept)
+	}
+}
+
+func TestFitOLSValidation(t *testing.T) {
+	if _, err := FitOLS(nil, nil, false); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitOLS([][]float64{{1, 2}, {1}}, []float64{1, 2}, false); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := FitOLS([][]float64{{}}, []float64{1}, false); err == nil {
+		t.Error("zero features accepted")
+	}
+	// Singular: two identical observations cannot identify two coefficients.
+	if _, err := FitOLS([][]float64{{1, 1}, {1, 1}}, []float64{1, 1}, false); err == nil {
+		t.Error("singular design accepted")
+	}
+}
+
+func TestNaiveBayesSeparatesTopics(t *testing.T) {
+	rng := xrand.New(14)
+	const vocab = 100
+	mkDoc := func(topic int) []int {
+		// Topic 0 words in [0,50), topic 1 words in [50,100).
+		doc := make([]int, 30)
+		for i := range doc {
+			if rng.Bernoulli(0.8) {
+				doc[i] = topic*50 + rng.Intn(50)
+			} else {
+				doc[i] = rng.Intn(vocab)
+			}
+		}
+		return doc
+	}
+	var docs [][]int
+	var labels []int
+	for i := 0; i < 200; i++ {
+		topic := i % 2
+		docs = append(docs, mkDoc(topic))
+		labels = append(labels, topic)
+	}
+	m, err := FitNaiveBayes(docs, labels, 2, vocab, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		topic := i % 2
+		if m.Predict(mkDoc(topic)) == topic {
+			correct++
+		}
+	}
+	if acc := float64(correct) / trials; acc < 0.95 {
+		t.Errorf("NB accuracy = %v", acc)
+	}
+	if m.NumClasses() != 2 {
+		t.Errorf("NumClasses = %d", m.NumClasses())
+	}
+}
+
+func TestNaiveBayesSmoothingHandlesUnseenClass(t *testing.T) {
+	// All training docs have label 0; prediction must still work and not
+	// produce -Inf everywhere thanks to smoothing.
+	docs := [][]int{{0, 1}, {1, 2}}
+	labels := []int{0, 0}
+	m, err := FitNaiveBayes(docs, labels, 2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]int{0, 1}); got != 0 {
+		t.Errorf("predicted %d, want 0", got)
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	if _, err := FitNaiveBayes(nil, nil, 2, 5, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitNaiveBayes([][]int{{0}}, []int{0}, 1, 5, 1); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := FitNaiveBayes([][]int{{0}}, []int{0}, 2, 0, 1); err == nil {
+		t.Error("zero vocab accepted")
+	}
+	if _, err := FitNaiveBayes([][]int{{0}}, []int{0}, 2, 5, 0); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := FitNaiveBayes([][]int{{0}}, []int{5}, 2, 5, 1); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := FitNaiveBayes([][]int{{9}}, []int{0}, 2, 5, 1); err == nil {
+		t.Error("out-of-range word accepted")
+	}
+}
+
+func TestNaiveBayesIgnoresOutOfVocabAtPredict(t *testing.T) {
+	m, err := FitNaiveBayes([][]int{{0}, {1}}, []int{0, 1}, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Word id 99 is out of vocab; it must be skipped, not crash.
+	_ = m.Predict([]int{0, 99, -3})
+}

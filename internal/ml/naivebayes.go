@@ -1,0 +1,94 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// NaiveBayes is a multinomial Naive Bayes classifier over bag-of-words
+// documents with Laplace (add-α) smoothing, the model retrained on text
+// samples in Section 6.4.
+type NaiveBayes struct {
+	numClasses int
+	vocab      int
+	alpha      float64
+
+	logPrior []float64   // log P(class)
+	logCond  [][]float64 // logCond[c][w] = log P(word w | class c)
+}
+
+// FitNaiveBayes trains the classifier on documents given as word-identifier
+// slices with class labels in [0, numClasses). Word identifiers must lie in
+// [0, vocab). alpha is the Laplace smoothing constant (use 1 for classic
+// add-one smoothing).
+func FitNaiveBayes(docs [][]int, labels []int, numClasses, vocab int, alpha float64) (*NaiveBayes, error) {
+	switch {
+	case len(docs) == 0 || len(docs) != len(labels):
+		return nil, fmt.Errorf("ml: FitNaiveBayes needs equal nonzero lengths, got %d docs and %d labels", len(docs), len(labels))
+	case numClasses < 2:
+		return nil, fmt.Errorf("ml: need at least 2 classes, got %d", numClasses)
+	case vocab < 1:
+		return nil, fmt.Errorf("ml: vocabulary must be positive, got %d", vocab)
+	case alpha <= 0:
+		return nil, fmt.Errorf("ml: smoothing constant must be positive, got %v", alpha)
+	}
+	classDocs := make([]float64, numClasses)
+	wordCounts := make([][]float64, numClasses)
+	classWords := make([]float64, numClasses)
+	for c := range wordCounts {
+		wordCounts[c] = make([]float64, vocab)
+	}
+	for i, doc := range docs {
+		c := labels[i]
+		if c < 0 || c >= numClasses {
+			return nil, fmt.Errorf("ml: label %d out of range [0,%d)", c, numClasses)
+		}
+		classDocs[c]++
+		for _, w := range doc {
+			if w < 0 || w >= vocab {
+				return nil, fmt.Errorf("ml: word id %d out of range [0,%d)", w, vocab)
+			}
+			wordCounts[c][w]++
+			classWords[c]++
+		}
+	}
+	m := &NaiveBayes{
+		numClasses: numClasses,
+		vocab:      vocab,
+		alpha:      alpha,
+		logPrior:   make([]float64, numClasses),
+		logCond:    make([][]float64, numClasses),
+	}
+	total := float64(len(docs))
+	for c := 0; c < numClasses; c++ {
+		// Smooth the prior too, so unseen classes keep nonzero mass.
+		m.logPrior[c] = math.Log((classDocs[c] + alpha) / (total + alpha*float64(numClasses)))
+		m.logCond[c] = make([]float64, vocab)
+		denom := classWords[c] + alpha*float64(vocab)
+		for w := 0; w < vocab; w++ {
+			m.logCond[c][w] = math.Log((wordCounts[c][w] + alpha) / denom)
+		}
+	}
+	return m, nil
+}
+
+// Predict returns the class maximizing the posterior log-likelihood of the
+// document.
+func (m *NaiveBayes) Predict(doc []int) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c := 0; c < m.numClasses; c++ {
+		s := m.logPrior[c]
+		for _, w := range doc {
+			if w >= 0 && w < m.vocab {
+				s += m.logCond[c][w]
+			}
+		}
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// NumClasses returns the number of classes the model was trained with.
+func (m *NaiveBayes) NumClasses() int { return m.numClasses }

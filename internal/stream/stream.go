@@ -1,0 +1,134 @@
+// Package stream provides batch-size processes and stream drivers for the
+// batch-arrival setting of the paper (Section 2): items arrive in batches
+// B₁, B₂, … at times t = 1, 2, …, with batch sizes that may be
+// deterministic, random, growing, or decaying. The experiments in Figure 1
+// and Figures 10–12 are parameterized entirely by these processes.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// SizeProcess yields the size of the batch arriving at each time step.
+// Implementations may be stateful; Next must be called once per step, in
+// order, starting at t = 1.
+type SizeProcess interface {
+	Next(t int) int
+}
+
+// Deterministic is a constant batch size: Bₜ ≡ B.
+type Deterministic struct{ B int }
+
+// Next returns the constant size B.
+func (d Deterministic) Next(int) int { return d.B }
+
+// UniformIID draws batch sizes i.i.d. uniformly from {Lo, …, Hi}
+// (e.g. Uniform[0, 200] in Figure 1(c) and Figure 11(a), with mean 100).
+type UniformIID struct {
+	Lo, Hi int
+	RNG    *xrand.RNG
+}
+
+// Next returns an independent uniform draw from {Lo, …, Hi}.
+func (u UniformIID) Next(int) int {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + u.RNG.Intn(u.Hi-u.Lo+1)
+}
+
+// Poisson draws batch sizes i.i.d. Poisson(Mean), a natural model for
+// independent arrivals within discretized time intervals.
+type Poisson struct {
+	Mean float64
+	RNG  *xrand.RNG
+}
+
+// Next returns an independent Poisson draw.
+func (p Poisson) Next(int) int { return p.RNG.Poisson(p.Mean) }
+
+// Geometric grows (ϕ > 1) or shrinks (ϕ < 1) the batch size multiplicatively
+// once t exceeds Start: Bₜ₊₁ = ϕ·Bₜ, as in Figures 1(a) (ϕ = 1.002 from
+// t = 200) and 1(d) (ϕ = 0.8). Before Start the size is constant B0.
+type Geometric struct {
+	B0    float64
+	Phi   float64
+	Start int // growth begins after this step
+
+	cur float64
+}
+
+// Next returns the current size and applies the multiplicative drift when
+// past Start.
+func (g *Geometric) Next(t int) int {
+	if g.cur == 0 {
+		g.cur = g.B0
+	}
+	size := int(math.Round(g.cur))
+	if t >= g.Start {
+		g.cur *= g.Phi
+	}
+	return size
+}
+
+// Sequence replays an explicit list of batch sizes, then returns 0 forever.
+type Sequence struct {
+	Sizes []int
+	pos   int
+}
+
+// Next returns the next recorded size, or 0 once exhausted.
+func (s *Sequence) Next(int) int {
+	if s.pos >= len(s.Sizes) {
+		return 0
+	}
+	v := s.Sizes[s.pos]
+	s.pos++
+	return v
+}
+
+// Generator produces the items of each batch given the batch's time step and
+// size. Implementations live in package datagen.
+type Generator[T any] interface {
+	Batch(t, size int) []T
+}
+
+// GeneratorFunc adapts a function to the Generator interface.
+type GeneratorFunc[T any] func(t, size int) []T
+
+// Batch calls f.
+func (f GeneratorFunc[T]) Batch(t, size int) []T { return f(t, size) }
+
+// Driver pairs a size process with an item generator and steps them
+// together, producing the batch stream fed to samplers in every experiment.
+type Driver[T any] struct {
+	Sizes SizeProcess
+	Gen   Generator[T]
+
+	t int
+}
+
+// NewDriver returns a Driver starting at t = 0 (the first Produce yields
+// batch B₁).
+func NewDriver[T any](sizes SizeProcess, gen Generator[T]) (*Driver[T], error) {
+	if sizes == nil || gen == nil {
+		return nil, fmt.Errorf("stream: nil size process or generator")
+	}
+	return &Driver[T]{Sizes: sizes, Gen: gen}, nil
+}
+
+// Produce advances the clock and returns the next batch.
+func (d *Driver[T]) Produce() []T {
+	d.t++
+	size := d.Sizes.Next(d.t)
+	if size < 0 {
+		size = 0
+	}
+	return d.Gen.Batch(d.t, size)
+}
+
+// T returns the time of the most recently produced batch.
+func (d *Driver[T]) T() int { return d.t }

@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestDeterministic(t *testing.T) {
+	p := Deterministic{B: 100}
+	for i := 1; i <= 10; i++ {
+		if got := p.Next(i); got != 100 {
+			t.Fatalf("Next(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestUniformIID(t *testing.T) {
+	p := UniformIID{Lo: 0, Hi: 200, RNG: xrand.New(1)}
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := p.Next(i)
+		if v < 0 || v > 200 {
+			t.Fatalf("out of range: %d", v)
+		}
+		sum += float64(v)
+	}
+	if mean := sum / n; math.Abs(mean-100) > 2 {
+		t.Errorf("mean = %v, want ≈ 100", mean)
+	}
+	// Degenerate interval.
+	fixed := UniformIID{Lo: 7, Hi: 7, RNG: xrand.New(2)}
+	if got := fixed.Next(1); got != 7 {
+		t.Errorf("degenerate uniform = %d", got)
+	}
+}
+
+func TestPoissonProcess(t *testing.T) {
+	p := Poisson{Mean: 50, RNG: xrand.New(3)}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(p.Next(i))
+	}
+	if mean := sum / n; math.Abs(mean-50) > 1 {
+		t.Errorf("mean = %v, want ≈ 50", mean)
+	}
+}
+
+func TestGeometricGrowth(t *testing.T) {
+	// Figure 1(a): constant until t = 200, then ×1.002 per step.
+	g := &Geometric{B0: 100, Phi: 1.002, Start: 200}
+	var sizes []int
+	for i := 1; i <= 1000; i++ {
+		sizes = append(sizes, g.Next(i))
+	}
+	for i := 0; i < 199; i++ {
+		if sizes[i] != 100 {
+			t.Fatalf("t=%d: size %d, want 100 before growth", i+1, sizes[i])
+		}
+	}
+	want := 100 * math.Pow(1.002, 800)
+	if got := float64(sizes[999]); math.Abs(got-want) > 2 {
+		t.Errorf("t=1000: size %v, want ≈ %v", got, want)
+	}
+}
+
+func TestGeometricDecay(t *testing.T) {
+	// Figure 1(d): ϕ = 0.8 from t = 200.
+	g := &Geometric{B0: 100, Phi: 0.8, Start: 200}
+	last := 0
+	for i := 1; i <= 260; i++ {
+		last = g.Next(i)
+	}
+	if last != 0 {
+		t.Errorf("decayed size = %d, want 0 after 60 steps of ×0.8", last)
+	}
+}
+
+func TestSequence(t *testing.T) {
+	s := &Sequence{Sizes: []int{3, 1, 4}}
+	got := []int{s.Next(1), s.Next(2), s.Next(3), s.Next(4)}
+	want := []int{3, 1, 4, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDriver(t *testing.T) {
+	gen := GeneratorFunc[int](func(tm, size int) []int {
+		out := make([]int, size)
+		for i := range out {
+			out[i] = tm*1000 + i
+		}
+		return out
+	})
+	d, err := NewDriver[int](&Sequence{Sizes: []int{2, 0, 3}}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := d.Produce()
+	if len(b1) != 2 || b1[0] != 1000 || d.T() != 1 {
+		t.Fatalf("batch 1 = %v, t = %d", b1, d.T())
+	}
+	if b2 := d.Produce(); len(b2) != 0 {
+		t.Fatalf("batch 2 = %v", b2)
+	}
+	b3 := d.Produce()
+	if len(b3) != 3 || b3[2] != 3002 {
+		t.Fatalf("batch 3 = %v", b3)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	if _, err := NewDriver[int](nil, GeneratorFunc[int](func(_, _ int) []int { return nil })); err == nil {
+		t.Error("nil size process accepted")
+	}
+	if _, err := NewDriver[int](Deterministic{B: 1}, nil); err == nil {
+		t.Error("nil generator accepted")
+	}
+}
+
+func TestDriverClampsNegativeSizes(t *testing.T) {
+	d, err := NewDriver[int](&Sequence{Sizes: []int{-5}}, GeneratorFunc[int](func(_, size int) []int {
+		return make([]int, size)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Produce(); len(got) != 0 {
+		t.Errorf("negative size produced %d items", len(got))
+	}
+}

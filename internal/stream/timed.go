@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// GapProcess yields the real-valued gap between consecutive batch
+// arrivals, supporting the paper's arbitrary-arrival-time extension
+// (Section 2: "our results can be applied to arbitrary sequences of
+// real-valued batch arrival times").
+type GapProcess interface {
+	NextGap() float64
+}
+
+// FixedGap spaces arrivals Delta apart (Δ-discretized time).
+type FixedGap struct{ Delta float64 }
+
+// NextGap returns Delta.
+func (g FixedGap) NextGap() float64 { return g.Delta }
+
+// ExponentialGap draws i.i.d. exponential gaps with the given mean, so
+// batch arrivals form a Poisson process in continuous time.
+type ExponentialGap struct {
+	Mean float64
+	RNG  *xrand.RNG
+}
+
+// NextGap returns an independent exponential gap.
+func (g ExponentialGap) NextGap() float64 { return g.Mean * g.RNG.ExpFloat64() }
+
+// UniformGap draws i.i.d. gaps uniformly from [Lo, Hi].
+type UniformGap struct {
+	Lo, Hi float64
+	RNG    *xrand.RNG
+}
+
+// NextGap returns an independent uniform gap.
+func (g UniformGap) NextGap() float64 {
+	if g.Hi <= g.Lo {
+		return g.Lo
+	}
+	return g.Lo + (g.Hi-g.Lo)*g.RNG.Float64()
+}
+
+// TimedBatch pairs a batch with its real-valued arrival time.
+type TimedBatch[T any] struct {
+	At    float64
+	Items []T
+}
+
+// TimedDriver produces batches at irregular real-valued times, for feeding
+// samplers through AdvanceAt.
+type TimedDriver[T any] struct {
+	Sizes SizeProcess
+	Gaps  GapProcess
+	Gen   Generator[T]
+
+	t   int
+	now float64
+}
+
+// NewTimedDriver returns a TimedDriver starting at time 0.
+func NewTimedDriver[T any](sizes SizeProcess, gaps GapProcess, gen Generator[T]) (*TimedDriver[T], error) {
+	if sizes == nil || gaps == nil || gen == nil {
+		return nil, fmt.Errorf("stream: nil size process, gap process, or generator")
+	}
+	return &TimedDriver[T]{Sizes: sizes, Gaps: gaps, Gen: gen}, nil
+}
+
+// Produce advances the clock by the next gap and returns the batch with
+// its arrival time. Non-positive gaps are clamped to a tiny positive value
+// so arrival times are strictly increasing.
+func (d *TimedDriver[T]) Produce() TimedBatch[T] {
+	d.t++
+	gap := d.Gaps.NextGap()
+	if gap <= 0 {
+		gap = 1e-9
+	}
+	d.now += gap
+	size := d.Sizes.Next(d.t)
+	if size < 0 {
+		size = 0
+	}
+	return TimedBatch[T]{At: d.now, Items: d.Gen.Batch(d.t, size)}
+}
+
+// Now returns the time of the most recently produced batch.
+func (d *TimedDriver[T]) Now() float64 { return d.now }

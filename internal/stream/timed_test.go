@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestFixedGap(t *testing.T) {
+	g := FixedGap{Delta: 2.5}
+	for i := 0; i < 5; i++ {
+		if g.NextGap() != 2.5 {
+			t.Fatal("fixed gap drifted")
+		}
+	}
+}
+
+func TestExponentialGapMean(t *testing.T) {
+	g := ExponentialGap{Mean: 3, RNG: xrand.New(1)}
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := g.NextGap()
+		if v < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.05 {
+		t.Errorf("mean gap = %v, want 3", mean)
+	}
+}
+
+func TestUniformGapRange(t *testing.T) {
+	g := UniformGap{Lo: 1, Hi: 2, RNG: xrand.New(2)}
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := g.NextGap()
+		if v < 1 || v > 2 {
+			t.Fatalf("gap out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1.5) > 0.01 {
+		t.Errorf("mean = %v", mean)
+	}
+	deg := UniformGap{Lo: 4, Hi: 4, RNG: xrand.New(3)}
+	if deg.NextGap() != 4 {
+		t.Error("degenerate uniform gap")
+	}
+}
+
+func TestTimedDriver(t *testing.T) {
+	gen := GeneratorFunc[int](func(tm, size int) []int { return make([]int, size) })
+	d, err := NewTimedDriver[int](Deterministic{B: 7}, FixedGap{Delta: 0.5}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := d.Produce()
+	b2 := d.Produce()
+	if b1.At != 0.5 || b2.At != 1.0 {
+		t.Errorf("arrival times %v, %v", b1.At, b2.At)
+	}
+	if len(b1.Items) != 7 || len(b2.Items) != 7 {
+		t.Error("wrong batch sizes")
+	}
+	if d.Now() != 1.0 {
+		t.Errorf("Now = %v", d.Now())
+	}
+}
+
+func TestTimedDriverStrictlyIncreasing(t *testing.T) {
+	gen := GeneratorFunc[int](func(tm, size int) []int { return nil })
+	// A gap process that returns zero must still yield increasing times.
+	zero := FixedGap{Delta: 0}
+	d, err := NewTimedDriver[int](Deterministic{B: 0}, zero, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i := 0; i < 10; i++ {
+		b := d.Produce()
+		if b.At <= prev {
+			t.Fatalf("non-increasing arrival time %v after %v", b.At, prev)
+		}
+		prev = b.At
+	}
+}
+
+func TestTimedDriverValidation(t *testing.T) {
+	gen := GeneratorFunc[int](func(tm, size int) []int { return nil })
+	if _, err := NewTimedDriver[int](nil, FixedGap{1}, gen); err == nil {
+		t.Error("nil sizes accepted")
+	}
+	if _, err := NewTimedDriver[int](Deterministic{1}, nil, gen); err == nil {
+		t.Error("nil gaps accepted")
+	}
+	if _, err := NewTimedDriver[int](Deterministic{1}, FixedGap{1}, nil); err == nil {
+		t.Error("nil generator accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package xrand
+
+import "math"
+
+// Binomial returns a binomial(n, p) variate: the number of successes in n
+// independent trials each succeeding with probability p. Both T-TBS and
+// B-TBS use binomial variates to simulate per-item coin flips in O(1) time
+// per retained item rather than O(n) flips (paper Section 3, lines 6 and 8 of
+// Algorithm 1; reference [22]).
+//
+// The implementation uses BINV-style inversion for small n·min(p,1−p) and
+// two-sided mode-centered inversion ("chop-down" search from the mode) for
+// large parameters, which runs in expected O(σ) time and is exact.
+func (r *RNG) Binomial(n int, p float64) int {
+	switch {
+	case n < 0:
+		panic("xrand: Binomial with n < 0")
+	case n == 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	// Work with q = min(p, 1-p) and flip at the end if needed.
+	flip := false
+	q := p
+	if q > 0.5 {
+		q = 1 - q
+		flip = true
+	}
+	var k int
+	if float64(n)*q < 30 {
+		k = r.binomialInv(n, q)
+	} else {
+		k = r.binomialMode(n, q)
+	}
+	if flip {
+		k = n - k
+	}
+	return k
+}
+
+// binomialInv is bottom-up inversion, suitable when n*q is small.
+func (r *RNG) binomialInv(n int, q float64) int {
+	s := q / (1 - q)
+	a := float64(n+1) * s
+	f := math.Pow(1-q, float64(n)) // pmf at 0
+	u := r.Float64()
+	for k := 0; ; k++ {
+		if u < f {
+			return k
+		}
+		u -= f
+		f *= a/float64(k+1) - s
+		if f <= 0 || k > n {
+			// Floating-point underflow of the tail; clamp.
+			return n
+		}
+	}
+}
+
+// binomialMode searches outward from the mode, accumulating pmf mass until
+// the uniform draw is covered. Expected number of iterations is O(σ).
+func (r *RNG) binomialMode(n int, q float64) int {
+	m := int(math.Floor(float64(n+1) * q)) // mode
+	if m > n {
+		m = n
+	}
+	logPM := logBinomPMF(n, q, m)
+	pm := math.Exp(logPM)
+	u := r.Float64()
+	if u < pm {
+		return m
+	}
+	u -= pm
+	s := q / (1 - q)
+	// fLo[k] walking down from the mode, fHi[k] walking up.
+	fLo, fHi := pm, pm
+	lo, hi := m, m
+	for lo > 0 || hi < n {
+		if hi < n {
+			// p(k+1) = p(k) * (n-k)/(k+1) * s
+			fHi *= float64(n-hi) / float64(hi+1) * s
+			hi++
+			if u < fHi {
+				return hi
+			}
+			u -= fHi
+		}
+		if lo > 0 {
+			// p(k-1) = p(k) * k / ((n-k+1) s)
+			fLo *= float64(lo) / (float64(n-lo+1) * s)
+			lo--
+			if u < fLo {
+				return lo
+			}
+			u -= fLo
+		}
+	}
+	// Numerical leftovers: return the mode.
+	return m
+}
+
+// logBinomPMF returns log C(n,k) + k log q + (n-k) log(1-q).
+func logBinomPMF(n int, q float64, k int) float64 {
+	return lchoose(n, k) + float64(k)*math.Log(q) + float64(n-k)*math.Log1p(-q)
+}
+
+// lchoose returns log of the binomial coefficient C(n, k).
+func lchoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return lgamma(float64(n)+1) - lgamma(float64(k)+1) - lgamma(float64(n-k)+1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

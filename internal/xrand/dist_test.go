@@ -1,0 +1,343 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(20)
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := r.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d", got)
+	}
+	if got := r.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d", got)
+	}
+	if got := r.Binomial(10, -0.1); got != 0 {
+		t.Errorf("Binomial(10, -0.1) = %d", got)
+	}
+	if got := r.Binomial(10, 1.1); got != 10 {
+		t.Errorf("Binomial(10, 1.1) = %d", got)
+	}
+}
+
+func TestBinomialSupportProperty(t *testing.T) {
+	r := New(21)
+	f := func(rawN uint16, rawP uint16) bool {
+		n := int(rawN % 5000)
+		p := float64(rawP) / 65535
+		k := r.Binomial(n, p)
+		return k >= 0 && k <= n
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10, 0.3},      // inversion path
+		{100, 0.05},    // inversion path
+		{1000, 0.5},    // mode path
+		{100000, 0.01}, // mode path, large n
+		{5000, 0.9},    // flip path
+	}
+	for _, c := range cases {
+		r := New(uint64(c.n))
+		const trials = 50000
+		var sum, sum2 float64
+		for i := 0; i < trials; i++ {
+			k := float64(r.Binomial(c.n, c.p))
+			sum += k
+			sum2 += k * k
+		}
+		mean := sum / trials
+		wantMean := float64(c.n) * c.p
+		wantVar := wantMean * (1 - c.p)
+		se := math.Sqrt(wantVar / trials)
+		if math.Abs(mean-wantMean) > 5*se+1e-9 {
+			t.Errorf("Binomial(%d,%v) mean = %v, want %v", c.n, c.p, mean, wantMean)
+		}
+		variance := sum2/trials - mean*mean
+		if math.Abs(variance-wantVar) > 0.1*wantVar+0.5 {
+			t.Errorf("Binomial(%d,%v) variance = %v, want %v", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialExactSmallPMF(t *testing.T) {
+	// Compare empirical pmf against exact pmf for n=6, p=0.4.
+	r := New(23)
+	const n, trials = 6, 300000
+	p := 0.4
+	counts := make([]int, n+1)
+	for i := 0; i < trials; i++ {
+		counts[r.Binomial(n, p)]++
+	}
+	for k := 0; k <= n; k++ {
+		want := math.Exp(logBinomPMF(n, p, k))
+		got := float64(counts[k]) / trials
+		se := math.Sqrt(want * (1 - want) / trials)
+		if math.Abs(got-want) > 6*se+1e-6 {
+			t.Errorf("pmf(%d): got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestHypergeometricEdgeCases(t *testing.T) {
+	r := New(24)
+	if got := r.Hypergeometric(0, 5, 5); got != 0 {
+		t.Errorf("k=0: %d", got)
+	}
+	if got := r.Hypergeometric(5, 0, 5); got != 0 {
+		t.Errorf("a=0: %d", got)
+	}
+	if got := r.Hypergeometric(10, 4, 6); got != 4 {
+		t.Errorf("k=a+b: %d", got)
+	}
+	if got := r.Hypergeometric(12, 4, 6); got != 4 {
+		t.Errorf("k>a+b: %d", got)
+	}
+	// Drawing everything but one: result in {a-1, a}.
+	for i := 0; i < 100; i++ {
+		got := r.Hypergeometric(9, 4, 6)
+		if got != 3 && got != 4 {
+			t.Fatalf("k=9,a=4,b=6: %d", got)
+		}
+	}
+}
+
+func TestHypergeometricSupportProperty(t *testing.T) {
+	r := New(25)
+	f := func(rk, ra, rb uint16) bool {
+		k, a, b := int(rk%2000), int(ra%2000), int(rb%2000)
+		n := r.Hypergeometric(k, a, b)
+		lo := 0
+		if k-b > 0 {
+			lo = k - b
+		}
+		hi := k
+		if a < hi {
+			hi = a
+		}
+		if k >= a+b {
+			return n == a
+		}
+		return n >= lo && n <= hi
+	}
+	cfg := &quick.Config{MaxCount: 3000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypergeometricMoments(t *testing.T) {
+	cases := []struct{ k, a, b int }{
+		{10, 30, 70},       // sequential path
+		{500, 2000, 3000},  // mode path
+		{50, 1000, 50},     // a > b symmetry
+		{9000, 5000, 5000}, // 2k > a+b symmetry
+	}
+	for _, c := range cases {
+		r := New(uint64(c.k*7 + c.a))
+		const trials = 40000
+		var sum, sum2 float64
+		for i := 0; i < trials; i++ {
+			n := float64(r.Hypergeometric(c.k, c.a, c.b))
+			sum += n
+			sum2 += n * n
+		}
+		N := float64(c.a + c.b)
+		wantMean := float64(c.k) * float64(c.a) / N
+		wantVar := float64(c.k) * (float64(c.a) / N) * (float64(c.b) / N) * (N - float64(c.k)) / (N - 1)
+		mean := sum / trials
+		se := math.Sqrt(wantVar/trials) + 1e-9
+		if math.Abs(mean-wantMean) > 6*se {
+			t.Errorf("HyperGeo(%d,%d,%d) mean = %v, want %v", c.k, c.a, c.b, mean, wantMean)
+		}
+		variance := sum2/trials - mean*mean
+		if wantVar > 0 && math.Abs(variance-wantVar) > 0.1*wantVar+0.5 {
+			t.Errorf("HyperGeo(%d,%d,%d) variance = %v, want %v", c.k, c.a, c.b, variance, wantVar)
+		}
+	}
+}
+
+func TestMultivariateHypergeometricSumsAndBounds(t *testing.T) {
+	r := New(26)
+	counts := []int{100, 0, 250, 50, 600}
+	for _, k := range []int{0, 1, 37, 500, 1000, 1500} {
+		out := r.MultivariateHypergeometric(counts, k)
+		if len(out) != len(counts) {
+			t.Fatalf("length mismatch")
+		}
+		sum := 0
+		for i, v := range out {
+			if v < 0 || v > counts[i] {
+				t.Fatalf("k=%d: color %d drew %d of %d", k, i, v, counts[i])
+			}
+			sum += v
+		}
+		want := k
+		if want > 1000 {
+			want = 1000
+		}
+		if sum != want {
+			t.Fatalf("k=%d: total drawn %d, want %d", k, sum, want)
+		}
+	}
+}
+
+func TestMultivariateHypergeometricMarginals(t *testing.T) {
+	r := New(27)
+	counts := []int{30, 50, 20}
+	const k, trials = 40, 30000
+	sums := make([]float64, 3)
+	for i := 0; i < trials; i++ {
+		out := r.MultivariateHypergeometric(counts, k)
+		for j, v := range out {
+			sums[j] += float64(v)
+		}
+	}
+	for j, c := range counts {
+		wantMean := float64(k) * float64(c) / 100.0
+		mean := sums[j] / trials
+		if math.Abs(mean-wantMean) > 0.15 {
+			t.Errorf("color %d marginal mean = %v, want %v", j, mean, wantMean)
+		}
+	}
+}
+
+func TestPoissonEdgeAndMoments(t *testing.T) {
+	r := New(28)
+	if got := r.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d", got)
+	}
+	for _, mean := range []float64{0.5, 3, 25, 100, 10000} {
+		const trials = 30000
+		var sum, sum2 float64
+		for i := 0; i < trials; i++ {
+			k := float64(r.Poisson(mean))
+			if k < 0 {
+				t.Fatalf("Poisson(%v) negative", mean)
+			}
+			sum += k
+			sum2 += k * k
+		}
+		m := sum / trials
+		se := math.Sqrt(mean / trials)
+		if math.Abs(m-mean) > 6*se {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+		v := sum2/trials - m*m
+		if math.Abs(v-mean) > 0.1*mean+0.5 {
+			t.Errorf("Poisson(%v) variance = %v", mean, v)
+		}
+	}
+}
+
+func TestSampleIndicesBasics(t *testing.T) {
+	r := New(29)
+	for _, tc := range []struct{ n, m int }{{0, 0}, {5, 0}, {5, 5}, {5, 10}, {100, 7}} {
+		got := r.SampleIndices(tc.n, tc.m)
+		want := tc.m
+		if want > tc.n {
+			want = tc.n
+		}
+		if len(got) != want {
+			t.Fatalf("SampleIndices(%d,%d) len = %d, want %d", tc.n, tc.m, len(got), want)
+		}
+		seen := make(map[int]bool)
+		for _, v := range got {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("SampleIndices(%d,%d) invalid: %v", tc.n, tc.m, got)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleIndicesUniform(t *testing.T) {
+	r := New(30)
+	const n, m, trials = 10, 3, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleIndices(n, m) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * m / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("index %d drawn %d times, want ~%v", k, c, want)
+		}
+	}
+}
+
+func TestSampleIndicesSparseMatchesDense(t *testing.T) {
+	r := New(31)
+	const n, m, trials = 50, 4, 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		out := r.SampleIndicesSparse(n, m)
+		if len(out) != m {
+			t.Fatalf("sparse len %d", len(out))
+		}
+		seen := make(map[int]bool)
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("sparse invalid: %v", out)
+			}
+			seen[v] = true
+			counts[v]++
+		}
+	}
+	want := float64(trials) * m / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("sparse index %d drawn %d times, want ~%v", k, c, want)
+		}
+	}
+}
+
+func TestSampleGeneric(t *testing.T) {
+	r := New(32)
+	items := []string{"a", "b", "c", "d"}
+	got := Sample(r, items, 2)
+	if len(got) != 2 {
+		t.Fatalf("Sample len = %d", len(got))
+	}
+	if got[0] == got[1] {
+		t.Fatalf("Sample returned duplicate: %v", got)
+	}
+	if len(Sample(r, items, 0)) != 0 {
+		t.Error("Sample(.., 0) not empty")
+	}
+	if len(Sample(r, items, 9)) != 4 {
+		t.Error("Sample(.., 9) should clamp to 4")
+	}
+}
+
+func TestSampleInPlace(t *testing.T) {
+	r := New(33)
+	items := []int{1, 2, 3, 4, 5, 6}
+	got := SampleInPlace(r, items, 3)
+	if len(got) != 3 {
+		t.Fatalf("len %d", len(got))
+	}
+	// The original multiset must be preserved.
+	sum := 0
+	for _, v := range items {
+		sum += v
+	}
+	if sum != 21 {
+		t.Errorf("SampleInPlace corrupted the slice: %v", items)
+	}
+}

@@ -1,0 +1,43 @@
+package xrand_test
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// ExampleRNG_Split shows how the distributed algorithms derive independent
+// per-worker random streams from one seed: each Split jumps the parent
+// 2^128 steps ahead, so the children's outputs never overlap.
+func ExampleRNG_Split() {
+	master := xrand.New(7)
+	w1 := master.Split()
+	w2 := master.Split()
+	fmt.Println(w1.Uint64() != w2.Uint64())
+	// Output:
+	// true
+}
+
+// ExampleRNG_Binomial shows the O(1)-per-survivor thinning primitive used
+// by T-TBS: instead of 1e6 coin flips, draw the survivor count once.
+func ExampleRNG_Binomial() {
+	rng := xrand.New(42)
+	survivors := rng.Binomial(1_000_000, 0.9)
+	fmt.Println(survivors > 898_000 && survivors < 902_000)
+	// Output:
+	// true
+}
+
+// ExampleRNG_StochasticRound demonstrates the mean-preserving rounding
+// R-TBS uses to minimize sample-size variance.
+func ExampleRNG_StochasticRound() {
+	rng := xrand.New(1)
+	sum := 0
+	for i := 0; i < 100000; i++ {
+		sum += rng.StochasticRound(2.5)
+	}
+	mean := float64(sum) / 100000
+	fmt.Println(mean > 2.48 && mean < 2.52)
+	// Output:
+	// true
+}

@@ -1,0 +1,146 @@
+package xrand
+
+import "math"
+
+// Hypergeometric returns a hypergeometric(k, a, b) variate: the number of
+// "successes" when k items are drawn without replacement from a population
+// containing a successes and b failures. Its probability mass function is
+// p(n) = C(a,n) C(b,k−n) / C(a+b,k) on max(0,k−b) ≤ n ≤ min(a,k).
+//
+// B-RS (Algorithm 5) draws the number of new-batch items entering the
+// reservoir from this distribution, and the distributed decision strategy of
+// D-R-TBS (Section 5.3) splits global insert/delete counts across workers
+// with its multivariate generalization. The implementation mirrors the
+// binomial generator: sequential sampling for tiny draws, otherwise exact
+// two-sided mode-centered inversion in expected O(σ) time (cf. [21]).
+func (r *RNG) Hypergeometric(k, a, b int) int {
+	switch {
+	case k < 0 || a < 0 || b < 0:
+		panic("xrand: Hypergeometric with negative parameter")
+	case k == 0 || a == 0:
+		return 0
+	case k >= a+b:
+		return a
+	}
+	// Exploit symmetries to shrink the work: drawing k is equivalent to
+	// leaving a+b-k behind, and successes/failures are interchangeable.
+	if 2*k > a+b {
+		return a - r.Hypergeometric(a+b-k, a, b)
+	}
+	if a > b {
+		return k - r.Hypergeometric(k, b, a)
+	}
+	if k <= 16 {
+		return r.hypergeoSequential(k, a, b)
+	}
+	return r.hypergeoMode(k, a, b)
+}
+
+// hypergeoSequential simulates the k draws directly.
+func (r *RNG) hypergeoSequential(k, a, b int) int {
+	succ := 0
+	for i := 0; i < k; i++ {
+		if r.Intn(a+b) < a {
+			a--
+			succ++
+		} else {
+			b--
+		}
+		if a == 0 {
+			break
+		}
+	}
+	return succ
+}
+
+// hypergeoMode draws by two-sided inversion starting at the mode.
+func (r *RNG) hypergeoMode(k, a, b int) int {
+	lo0 := 0
+	if k-b > 0 {
+		lo0 = k - b
+	}
+	hi0 := k
+	if a < k {
+		hi0 = a
+	}
+	// Mode of the hypergeometric distribution.
+	m := int(math.Floor(float64(k+1) * float64(a+1) / float64(a+b+2)))
+	if m < lo0 {
+		m = lo0
+	}
+	if m > hi0 {
+		m = hi0
+	}
+	pm := math.Exp(logHyperPMF(k, a, b, m))
+	u := r.Float64()
+	if u < pm {
+		return m
+	}
+	u -= pm
+	fLo, fHi := pm, pm
+	lo, hi := m, m
+	for lo > lo0 || hi < hi0 {
+		if hi < hi0 {
+			// p(n+1)/p(n) = (a-n)(k-n) / ((n+1)(b-k+n+1))
+			fHi *= float64(a-hi) * float64(k-hi) / (float64(hi+1) * float64(b-k+hi+1))
+			hi++
+			if u < fHi {
+				return hi
+			}
+			u -= fHi
+		}
+		if lo > lo0 {
+			// p(n-1)/p(n) = n (b-k+n) / ((a-n+1)(k-n+1))
+			fLo *= float64(lo) * float64(b-k+lo) / (float64(a-lo+1) * float64(k-lo+1))
+			lo--
+			if u < fLo {
+				return lo
+			}
+			u -= fLo
+		}
+	}
+	return m
+}
+
+// logHyperPMF returns the log pmf of the hypergeometric(k, a, b)
+// distribution at n.
+func logHyperPMF(k, a, b, n int) float64 {
+	return lchoose(a, n) + lchoose(b, k-n) - lchoose(a+b, k)
+}
+
+// MultivariateHypergeometric distributes k draws without replacement across
+// colors with the given counts, returning the number drawn of each color.
+// The returned slice sums to min(k, sum(counts)). D-R-TBS uses this to let
+// the master assign per-worker insert/delete quotas that are exactly
+// distributed as if the slots had been drawn centrally (Section 5.3,
+// "Distributed decisions").
+func (r *RNG) MultivariateHypergeometric(counts []int, k int) []int {
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			panic("xrand: MultivariateHypergeometric with negative count")
+		}
+		total += c
+	}
+	if k > total {
+		k = total
+	}
+	out := make([]int, len(counts))
+	remaining := total
+	for i, c := range counts {
+		if k == 0 {
+			break
+		}
+		if remaining == c {
+			// Only this and later colors remain; draw all k from the tail.
+			out[i] = k
+			k = 0
+			break
+		}
+		n := r.Hypergeometric(k, c, remaining-c)
+		out[i] = n
+		k -= n
+		remaining -= c
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package xrand
+
+import "math"
+
+// Poisson returns a Poisson(mean) variate. Batch-size processes with random
+// arrivals (Section 3's i.i.d. batch-size assumption in Theorem 3.1) use
+// Poisson batch sizes in several experiments; the generator is exact:
+// Knuth multiplication for small means and two-sided mode-centered inversion
+// for large means.
+func (r *RNG) Poisson(mean float64) int {
+	switch {
+	case mean < 0 || math.IsNaN(mean):
+		panic("xrand: Poisson with negative or NaN mean")
+	case mean == 0:
+		return 0
+	case mean < 30:
+		return r.poissonKnuth(mean)
+	default:
+		return r.poissonMode(mean)
+	}
+}
+
+func (r *RNG) poissonKnuth(mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func (r *RNG) poissonMode(mean float64) int {
+	m := int(math.Floor(mean))
+	logPM := float64(m)*math.Log(mean) - mean - lgamma(float64(m)+1)
+	pm := math.Exp(logPM)
+	u := r.Float64()
+	if u < pm {
+		return m
+	}
+	u -= pm
+	fLo, fHi := pm, pm
+	lo, hi := m, m
+	// The support is unbounded above; cap the walk generously beyond any
+	// realistically reachable tail (20σ) to guarantee termination even under
+	// floating-point pathologies.
+	maxHi := m + 20*int(math.Sqrt(mean)+1)
+	for lo > 0 || hi < maxHi {
+		if hi < maxHi {
+			fHi *= mean / float64(hi+1)
+			hi++
+			if u < fHi {
+				return hi
+			}
+			u -= fHi
+		}
+		if lo > 0 {
+			fLo *= float64(lo) / mean
+			lo--
+			if u < fLo {
+				return lo
+			}
+			u -= fLo
+		}
+	}
+	return m
+}

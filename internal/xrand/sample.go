@@ -1,0 +1,85 @@
+package xrand
+
+// SampleIndices returns m distinct indices drawn uniformly without
+// replacement from [0, n), in random order. If m >= n it returns a random
+// permutation of all n indices. It runs a partial Fisher–Yates shuffle in
+// O(m) time and O(n) space.
+//
+// This is the Sample(A, m) primitive of the paper's pseudocode: "a uniform
+// random sample, without replacement, containing min(m, |A|) elements".
+func (r *RNG) SampleIndices(n, m int) []int {
+	if m < 0 {
+		panic("xrand: SampleIndices with m < 0")
+	}
+	if m > n {
+		m = n
+	}
+	if m == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < m; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:m:m]
+}
+
+// SampleIndicesSparse returns m distinct indices drawn uniformly without
+// replacement from [0, n) using Floyd's algorithm, which needs O(m) space
+// regardless of n. Prefer it when m << n (e.g. picking a handful of victims
+// from a multi-million item reservoir partition).
+func (r *RNG) SampleIndicesSparse(n, m int) []int {
+	if m < 0 {
+		panic("xrand: SampleIndicesSparse with m < 0")
+	}
+	if m > n {
+		m = n
+	}
+	if m == 0 {
+		return nil
+	}
+	// Floyd's algorithm produces a set; shuffle to return a uniform ordered
+	// sample, matching SampleIndices semantics.
+	seen := make(map[int]struct{}, m)
+	out := make([]int, 0, m)
+	for j := n - m; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := seen[t]; dup {
+			t = j
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Sample returns min(m, len(items)) elements of items drawn uniformly
+// without replacement. The input slice is not modified.
+func Sample[T any](r *RNG, items []T, m int) []T {
+	idx := r.SampleIndices(len(items), m)
+	out := make([]T, len(idx))
+	for i, j := range idx {
+		out[i] = items[j]
+	}
+	return out
+}
+
+// SampleInPlace partitions items so that its first min(m, len(items))
+// elements are a uniform random sample without replacement, and returns that
+// prefix. It avoids allocation at the cost of reordering items.
+func SampleInPlace[T any](r *RNG, items []T, m int) []T {
+	n := len(items)
+	if m > n {
+		m = n
+	}
+	for i := 0; i < m; i++ {
+		j := i + r.Intn(n-i)
+		items[i], items[j] = items[j], items[i]
+	}
+	return items[:m]
+}

@@ -1,0 +1,39 @@
+package xrand
+
+import "fmt"
+
+// State is the serializable state of an RNG, used by the samplers'
+// checkpoint/restore support (paper Section 5.1: implementations
+// "periodically checkpoint the sample as well as other system state
+// variables to ensure fault tolerance"). Restoring a state resumes the
+// stream bit-for-bit.
+type State struct {
+	S        [4]uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// State captures the generator's current state.
+func (r *RNG) State() State {
+	return State{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// Restore overwrites the generator's state with a previously captured one.
+func (r *RNG) Restore(st State) error {
+	if st.S[0]|st.S[1]|st.S[2]|st.S[3] == 0 {
+		return fmt.Errorf("xrand: refusing to restore all-zero state")
+	}
+	r.s = st.S
+	r.spare = st.Spare
+	r.hasSpare = st.HasSpare
+	return nil
+}
+
+// FromState constructs an RNG directly from a saved state.
+func FromState(st State) (*RNG, error) {
+	r := &RNG{}
+	if err := r.Restore(st); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
