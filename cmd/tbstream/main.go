@@ -1,52 +1,99 @@
 // Command tbstream maintains a temporally-biased sample over a line-oriented
-// stream, demonstrating the library in a real pipeline. It reads JSON values
-// (one per line) from stdin, groups them into batches by wall-clock ticks or
-// by an explicit batch delimiter, and maintains an R-TBS sample; on each
-// batch boundary it writes the current sample (one JSON array) to stdout.
+// stream, demonstrating the public tbs API in a real pipeline. It reads JSON
+// values (one per line) from stdin, groups them into batches, and maintains
+// a sample under any registered scheme; on each batch boundary it writes the
+// current sample (one JSON array) to stdout.
 //
 // Usage:
 //
-//	some-producer | tbstream -lambda 0.07 -n 1000 -batch-lines 100
+//	some-producer | tbstream -scheme rtbs -lambda 0.07 -n 1000 -batch-lines 100
+//	tbstream -schemes                  # list available schemes
 //
 // Flags:
 //
+//	-scheme       sampling scheme, by registry name or alias (default rtbs)
+//	-schemes      list registered schemes and exit
 //	-lambda       decay rate λ per batch (default 0.07)
-//	-n            maximum sample size (default 1000)
+//	-n            sample size bound / target (default 1000)
+//	-horizon      time-window horizon in batches (default 10)
 //	-batch-lines  lines per batch (default 100); a literal "---" line also
 //	              closes the current batch
 //	-seed         RNG seed (default 1)
 //	-stats        also print W/C bookkeeping to stderr per batch
+//	-checkpoint   checkpoint file: restored on start if it exists, saved on
+//	              EOF and on SIGINT/SIGTERM, so a restarted pipeline resumes
+//	              the exact same stochastic process
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 
-	"repro/internal/core"
-	"repro/internal/xrand"
+	"repro/tbs"
 )
 
 func main() {
 	var (
+		scheme     = flag.String("scheme", "rtbs", "sampling scheme (see -schemes)")
+		schemes    = flag.Bool("schemes", false, "list registered schemes and exit")
 		lambda     = flag.Float64("lambda", 0.07, "decay rate per batch")
-		n          = flag.Int("n", 1000, "maximum sample size")
+		n          = flag.Int("n", 1000, "sample size bound / target")
+		horizon    = flag.Float64("horizon", 10, "time-window horizon in batches")
 		batchLines = flag.Int("batch-lines", 100, "lines per batch")
 		seed       = flag.Uint64("seed", 1, "RNG seed")
 		stats      = flag.Bool("stats", false, "print weight bookkeeping to stderr")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file (restore on start, save on exit)")
 	)
 	flag.Parse()
+
+	if *schemes {
+		for _, s := range tbs.Schemes() {
+			fmt.Printf("%-12s %s\n", s.Name, s.Description)
+			fmt.Printf("%-12s   options: %v, required: %v\n", "", s.Options, s.Required)
+		}
+		return
+	}
 	if *batchLines < 1 {
-		fmt.Fprintln(os.Stderr, "tbstream: -batch-lines must be positive")
-		os.Exit(2)
+		usagef("-batch-lines must be positive")
 	}
 
-	sampler, err := core.NewRTBS[json.RawMessage](*lambda, *n, xrand.New(*seed))
+	sampler, err := makeSampler(*scheme, *checkpoint, options{
+		lambda: *lambda, n: *n, horizon: *horizon,
+		meanBatch: float64(*batchLines), seed: *seed,
+	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tbstream: %v\n", err)
-		os.Exit(2)
+		usagef("%v", err)
+	}
+	// The signal handler snapshots concurrently with the main loop, so the
+	// sampler goes behind the thread-safe wrapper.
+	cs := tbs.NewConcurrent(sampler)
+
+	// The EOF path and the signal handler can race to save; the Once makes
+	// sure exactly one checkpoint write happens.
+	var saveOnce sync.Once
+	save := func() {
+		saveOnce.Do(func() {
+			if err := saveCheckpoint(cs, *checkpoint); err != nil {
+				fatalf("%v", err)
+			}
+		})
+	}
+	if *checkpoint != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sig
+			save()
+			os.Exit(0)
+		}()
 	}
 
 	in := bufio.NewScanner(os.Stdin)
@@ -56,12 +103,18 @@ func main() {
 	enc := json.NewEncoder(out)
 
 	flush := func(batch []json.RawMessage) error {
-		sampler.Advance(batch)
+		cs.Advance(batch)
 		if *stats {
-			fmt.Fprintf(os.Stderr, "t=%.0f W=%.2f C=%.2f saturated=%v\n",
-				sampler.Now(), sampler.TotalWeight(), sampler.ExpectedSize(), sampler.Saturated())
+			line := fmt.Sprintf("C=%.2f", cs.ExpectedSize())
+			if t, ok := tbs.Now[json.RawMessage](cs); ok {
+				line = fmt.Sprintf("t=%.0f %s", t, line)
+			}
+			if w, lam, ok := tbs.Weight[json.RawMessage](cs); ok {
+				line += fmt.Sprintf(" W=%.2f lambda=%.3f", w, lam)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
-		if err := enc.Encode(sampler.Sample()); err != nil {
+		if err := enc.Encode(cs.Sample()); err != nil {
 			return err
 		}
 		return out.Flush()
@@ -74,8 +127,7 @@ func main() {
 		line := in.Bytes()
 		if string(line) == "---" {
 			if err := flush(batch); err != nil {
-				fmt.Fprintf(os.Stderr, "tbstream: %v\n", err)
-				os.Exit(1)
+				fatalf("%v", err)
 			}
 			batch = batch[:0]
 			continue
@@ -87,20 +139,107 @@ func main() {
 		batch = append(batch, json.RawMessage(append([]byte(nil), line...)))
 		if len(batch) >= *batchLines {
 			if err := flush(batch); err != nil {
-				fmt.Fprintf(os.Stderr, "tbstream: %v\n", err)
-				os.Exit(1)
+				fatalf("%v", err)
 			}
 			batch = batch[:0]
 		}
 	}
 	if err := in.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "tbstream: read: %v\n", err)
-		os.Exit(1)
+		fatalf("read: %v", err)
 	}
 	if len(batch) > 0 {
 		if err := flush(batch); err != nil {
-			fmt.Fprintf(os.Stderr, "tbstream: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 	}
+	if *checkpoint != "" {
+		save()
+	}
+}
+
+type options struct {
+	lambda, horizon, meanBatch float64
+	n                          int
+	seed                       uint64
+}
+
+// makeSampler restores the sampler from the checkpoint file when one
+// exists, and otherwise constructs it fresh, passing exactly the options
+// the chosen scheme accepts (consulting the registry metadata).
+func makeSampler(scheme, checkpoint string, o options) (tbs.Sampler[json.RawMessage], error) {
+	info, err := tbs.Lookup(scheme)
+	if err != nil {
+		return nil, err
+	}
+	if checkpoint != "" {
+		data, err := os.ReadFile(checkpoint)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// First run: fall through to a fresh sampler.
+		case err != nil:
+			return nil, err
+		default:
+			var snap tbs.Snapshot
+			if err := json.Unmarshal(data, &snap); err != nil {
+				return nil, fmt.Errorf("checkpoint %s: %w", checkpoint, err)
+			}
+			if snap.Scheme != info.Name {
+				return nil, fmt.Errorf("checkpoint %s holds scheme %q, but -scheme is %q",
+					checkpoint, snap.Scheme, info.Name)
+			}
+			s, err := tbs.Restore[json.RawMessage](snap)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint %s: %w", checkpoint, err)
+			}
+			fmt.Fprintf(os.Stderr, "tbstream: resumed %s from %s (C=%.2f)\n",
+				snap.Scheme, checkpoint, s.ExpectedSize())
+			return s, nil
+		}
+	}
+
+	var opts []tbs.Option
+	for _, name := range info.Options {
+		switch name {
+		case tbs.OptLambda:
+			opts = append(opts, tbs.Lambda(o.lambda))
+		case tbs.OptMaxSize:
+			opts = append(opts, tbs.MaxSize(o.n))
+		case tbs.OptSeed:
+			opts = append(opts, tbs.Seed(o.seed))
+		case tbs.OptMeanBatch:
+			opts = append(opts, tbs.MeanBatch(o.meanBatch))
+		case tbs.OptHorizon:
+			opts = append(opts, tbs.Horizon(o.horizon))
+		}
+	}
+	return tbs.New[json.RawMessage](info.Name, opts...)
+}
+
+// saveCheckpoint writes the snapshot atomically (temp file + rename).
+func saveCheckpoint(s tbs.Sampler[json.RawMessage], path string) error {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// fatalf reports a runtime failure (exit 1); usagef reports a
+// configuration error the operator must fix before retrying (exit 2).
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tbstream: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tbstream: "+format+"\n", args...)
+	os.Exit(2)
 }

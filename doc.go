@@ -1,13 +1,23 @@
 // Package repro is a from-scratch Go reproduction of Hentschel, Haas and
 // Tian, "Temporally-Biased Sampling for Online Model Management"
 // (EDBT 2018). The root package holds the repository-level benchmark
-// harness (bench_test.go); the library lives under internal/:
+// harness (bench_test.go).
+//
+// The supported public API is the tbs package — a scheme registry,
+// functional-options constructor, unified checkpoint envelope, and
+// concurrency wrapper over every sampler:
+//
+//   - tbs — the public façade; start here
+//
+// The implementation lives under internal/ and may change freely:
 //
 //   - internal/core — the T-TBS and R-TBS samplers and baselines
-//   - internal/dist — the simulated distributed implementations
+//   - internal/dist — the simulated distributed D-R-TBS / D-T-TBS
+//     implementations of Section 5
 //   - internal/ml, internal/datagen — the model-retraining substrate
+//   - internal/manage — the predict→sample→retrain loop and policies
 //   - internal/experiments — drivers for every table and figure
 //
-// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
-// results.
+// See README.md for a tour and EXPERIMENTS.md for the experiment index
+// and paper-vs-measured notes.
 package repro

@@ -20,12 +20,12 @@ import (
 	"log"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/manage"
 	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/xrand"
+	"repro/tbs"
 )
 
 func main() {
@@ -61,7 +61,9 @@ func run(policy manage.Policy) (missRate float64, retrains int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	sampler, err := core.NewRTBS[datagen.Point](0.07, 500, xrand.New(6))
+	// A tbs.Sampler satisfies manage's sampler interface directly.
+	sampler, err := tbs.New[datagen.Point]("rtbs",
+		tbs.Lambda(0.07), tbs.MaxSize(500), tbs.Seed(6))
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,4 +1,5 @@
-// Quickstart: maintain a temporally-biased sample over a stream of batches.
+// Quickstart: maintain a temporally-biased sample over a stream of batches
+// using the public tbs API.
 //
 // Run with:
 //
@@ -15,8 +16,7 @@ import (
 	"log"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/xrand"
+	"repro/tbs"
 )
 
 func main() {
@@ -24,7 +24,16 @@ func main() {
 		lambda = 0.1 // decay rate per batch: e^−0.1 ≈ 90% weight retained
 		bound  = 50  // hard cap on the sample size
 	)
-	sampler, err := core.NewRTBS[string](lambda, bound, xrand.New(42))
+	// Samplers are constructed by registry name; tbs.Schemes() lists what
+	// is available.
+	fmt.Print("registered schemes:")
+	for _, s := range tbs.Schemes() {
+		fmt.Printf(" %s", s.Name)
+	}
+	fmt.Println()
+
+	sampler, err := tbs.New[string]("rtbs",
+		tbs.Lambda(lambda), tbs.MaxSize(bound), tbs.Seed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,8 +48,9 @@ func main() {
 	}
 
 	sample := sampler.Sample()
+	totalW, _, _ := tbs.Weight(sampler)
 	fmt.Printf("after 20 batches: |S| = %d (bound %d), W = %.1f\n",
-		len(sample), bound, sampler.TotalWeight())
+		len(sample), bound, totalW)
 
 	// Count sample items per batch: recent batches dominate, old ones
 	// linger with exponentially small probability.
@@ -56,7 +66,10 @@ func main() {
 	// The decay rate can be derived from retention goals instead of picked
 	// by hand (Section 1 of the paper):
 	fmt.Printf("λ to keep 10%% of items after 40 batches: %.3f\n",
-		core.LambdaForRetention(40, 0.10))
-	fmt.Printf("theoretical inclusion probability of a batch-10 item now: %.4f\n",
-		sampler.InclusionProbability(10))
+		tbs.LambdaForRetention(40, 0.10))
+
+	// Theoretical inclusion probability of an item that arrived at t = 10:
+	// (Cₜ/Wₜ)·exp(−λ·age) (equation (4)).
+	incl, _ := tbs.InclusionProbability(sampler, 10)
+	fmt.Printf("theoretical inclusion probability of a batch-10 item now: %.4f\n", incl)
 }

@@ -17,10 +17,9 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
-	"repro/internal/xrand"
+	"repro/tbs"
 )
 
 func main() {
@@ -51,13 +50,14 @@ func main() {
 	// Show the unsaturated steady state directly: with λ = 0.07 and
 	// batches of 100, the total weight converges to 100/(1−e^−0.07) ≈ 1479,
 	// below the n = 1600 bound, so the R-TBS sample never fills.
-	s, err := core.NewRTBS[int](0.07, 1600, xrand.New(3))
+	s, err := tbs.New[int]("rtbs", tbs.Lambda(0.07), tbs.MaxSize(1600), tbs.Seed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
 	for t := 0; t < 200; t++ {
 		s.Advance(make([]int, 100))
 	}
+	w, _, _ := tbs.Weight(s)
 	fmt.Printf("R-TBS steady state with n=1600: W = %.0f, C = %.0f (paper: ≈1479), saturated = %v\n",
-		s.TotalWeight(), s.ExpectedSize(), s.Saturated())
+		w, s.ExpectedSize(), w >= 1600)
 }

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Snapshot/restore for the baseline schemes, completing the checkpoint
+// coverage started in checkpoint.go: every sampler in this package can be
+// checkpointed and restored to continue the identical stochastic process.
+// Weighted per-item state is encoded as parallel slices so the snapshot
+// types stay flat and gob/JSON-clean.
+
+// BTBSSnapshot is the full state of a BTBS sampler.
+type BTBSSnapshot[T any] struct {
+	Lambda float64
+	Sample []T
+	Now    float64
+	RNG    xrand.State
+}
+
+// Snapshot captures the sampler's complete state.
+func (s *BTBS[T]) Snapshot() BTBSSnapshot[T] {
+	return BTBSSnapshot[T]{
+		Lambda: s.lambda,
+		Sample: append([]T(nil), s.sample...),
+		Now:    s.now,
+		RNG:    s.rng.State(),
+	}
+}
+
+// RestoreBTBS reconstructs a sampler from a snapshot.
+func RestoreBTBS[T any](snap BTBSSnapshot[T]) (*BTBS[T], error) {
+	rng, err := xrand.FromState(snap.RNG)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewBTBS[T](snap.Lambda, rng)
+	if err != nil {
+		return nil, err
+	}
+	s.sample = append([]T(nil), snap.Sample...)
+	s.now = snap.Now
+	return s, nil
+}
+
+// BChaoSnapshot is the full state of a BChao sampler. Overweight items are
+// stored as parallel item/weight slices, ascending by weight.
+type BChaoSnapshot[T any] struct {
+	Lambda      float64
+	N           int
+	Sample      []T // non-overweight items
+	W           float64
+	Overweight  []T
+	OverWeights []float64
+	Now         float64
+	RNG         xrand.State
+}
+
+// Snapshot captures the sampler's complete state.
+func (c *BChao[T]) Snapshot() BChaoSnapshot[T] {
+	snap := BChaoSnapshot[T]{
+		Lambda: c.lambda,
+		N:      c.n,
+		Sample: append([]T(nil), c.s...),
+		W:      c.w,
+		Now:    c.now,
+		RNG:    c.rng.State(),
+	}
+	for i := range c.v {
+		snap.Overweight = append(snap.Overweight, c.v[i].item)
+		snap.OverWeights = append(snap.OverWeights, c.v[i].w)
+	}
+	return snap
+}
+
+// RestoreBChao reconstructs a sampler from a snapshot.
+func RestoreBChao[T any](snap BChaoSnapshot[T]) (*BChao[T], error) {
+	if len(snap.Overweight) != len(snap.OverWeights) {
+		return nil, fmt.Errorf("core: snapshot has %d overweight items but %d weights",
+			len(snap.Overweight), len(snap.OverWeights))
+	}
+	if len(snap.Sample)+len(snap.Overweight) > snap.N {
+		return nil, fmt.Errorf("core: snapshot sample %d+%d exceeds bound %d",
+			len(snap.Sample), len(snap.Overweight), snap.N)
+	}
+	if snap.W < 0 {
+		return nil, fmt.Errorf("core: snapshot has negative aggregate weight %v", snap.W)
+	}
+	rng, err := xrand.FromState(snap.RNG)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewBChao[T](snap.Lambda, snap.N, rng)
+	if err != nil {
+		return nil, err
+	}
+	c.s = append([]T(nil), snap.Sample...)
+	c.w = snap.W
+	for i := range snap.Overweight {
+		if i > 0 && snap.OverWeights[i] < snap.OverWeights[i-1] {
+			return nil, fmt.Errorf("core: snapshot overweight items not ascending by weight")
+		}
+		c.v = append(c.v, weighted[T]{item: snap.Overweight[i], w: snap.OverWeights[i]})
+	}
+	c.now = snap.Now
+	return c, nil
+}
+
+// SlidingWindowSnapshot is the full state of a SlidingWindow sampler. Items
+// are stored oldest first.
+type SlidingWindowSnapshot[T any] struct {
+	N     int
+	Items []T
+}
+
+// Snapshot captures the sampler's complete state.
+func (s *SlidingWindow[T]) Snapshot() SlidingWindowSnapshot[T] {
+	return SlidingWindowSnapshot[T]{N: s.n, Items: s.Sample()}
+}
+
+// RestoreSlidingWindow reconstructs a sampler from a snapshot.
+func RestoreSlidingWindow[T any](snap SlidingWindowSnapshot[T]) (*SlidingWindow[T], error) {
+	if len(snap.Items) > snap.N {
+		return nil, fmt.Errorf("core: snapshot holds %d items but window size is %d", len(snap.Items), snap.N)
+	}
+	s, err := NewSlidingWindow[T](snap.N)
+	if err != nil {
+		return nil, err
+	}
+	copy(s.buf, snap.Items)
+	s.size = len(snap.Items)
+	return s, nil
+}
+
+// TimeWindowSnapshot is the full state of a TimeWindow sampler. Items are
+// stored oldest first with their arrival times.
+type TimeWindowSnapshot[T any] struct {
+	Horizon float64
+	Items   []T
+	Times   []float64
+	Now     float64
+}
+
+// Snapshot captures the sampler's complete state.
+func (s *TimeWindow[T]) Snapshot() TimeWindowSnapshot[T] {
+	return TimeWindowSnapshot[T]{
+		Horizon: s.horizon,
+		Items:   append([]T(nil), s.items...),
+		Times:   append([]float64(nil), s.times...),
+		Now:     s.now,
+	}
+}
+
+// RestoreTimeWindow reconstructs a sampler from a snapshot.
+func RestoreTimeWindow[T any](snap TimeWindowSnapshot[T]) (*TimeWindow[T], error) {
+	if len(snap.Items) != len(snap.Times) {
+		return nil, fmt.Errorf("core: snapshot has %d items but %d times", len(snap.Items), len(snap.Times))
+	}
+	s, err := NewTimeWindow[T](snap.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range snap.Times {
+		if t > snap.Now || (i > 0 && t < snap.Times[i-1]) {
+			return nil, fmt.Errorf("core: snapshot arrival times not ascending and ≤ Now")
+		}
+	}
+	s.items = append([]T(nil), snap.Items...)
+	s.times = append([]float64(nil), snap.Times...)
+	s.now = snap.Now
+	return s, nil
+}
+
+// PriorityTimeWindowSnapshot is the full state of a PriorityTimeWindow
+// sampler, with candidates as parallel item/arrival/priority slices in
+// arrival order.
+type PriorityTimeWindowSnapshot[T any] struct {
+	Horizon    float64
+	N          int
+	Items      []T
+	Arrivals   []float64
+	Priorities []float64
+	Now        float64
+	RNG        xrand.State
+}
+
+// Snapshot captures the sampler's complete state.
+func (s *PriorityTimeWindow[T]) Snapshot() PriorityTimeWindowSnapshot[T] {
+	snap := PriorityTimeWindowSnapshot[T]{
+		Horizon: s.horizon,
+		N:       s.n,
+		Now:     s.now,
+		RNG:     s.rng.State(),
+	}
+	for i := range s.items {
+		snap.Items = append(snap.Items, s.items[i].item)
+		snap.Arrivals = append(snap.Arrivals, s.items[i].arrival)
+		snap.Priorities = append(snap.Priorities, s.items[i].priority)
+	}
+	return snap
+}
+
+// RestorePriorityTimeWindow reconstructs a sampler from a snapshot.
+func RestorePriorityTimeWindow[T any](snap PriorityTimeWindowSnapshot[T]) (*PriorityTimeWindow[T], error) {
+	if len(snap.Items) != len(snap.Arrivals) || len(snap.Items) != len(snap.Priorities) {
+		return nil, fmt.Errorf("core: snapshot has %d items, %d arrivals, %d priorities",
+			len(snap.Items), len(snap.Arrivals), len(snap.Priorities))
+	}
+	rng, err := xrand.FromState(snap.RNG)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewPriorityTimeWindow[T](snap.Horizon, snap.N, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := range snap.Items {
+		if snap.Arrivals[i] > snap.Now || (i > 0 && snap.Arrivals[i] < snap.Arrivals[i-1]) {
+			return nil, fmt.Errorf("core: snapshot arrival times not ascending and ≤ Now")
+		}
+		s.items = append(s.items, pwItem[T]{
+			item:     snap.Items[i],
+			arrival:  snap.Arrivals[i],
+			priority: snap.Priorities[i],
+		})
+	}
+	s.now = snap.Now
+	return s, nil
+}
+
+// AResSnapshot is the full state of an ARes sampler, with reservoir entries
+// as parallel item/log-key slices in heap order.
+type AResSnapshot[T any] struct {
+	Lambda  float64
+	N       int
+	Items   []T
+	LogKeys []float64
+	Now     float64
+	RNG     xrand.State
+}
+
+// Snapshot captures the sampler's complete state.
+func (s *ARes[T]) Snapshot() AResSnapshot[T] {
+	snap := AResSnapshot[T]{
+		Lambda: s.lambda,
+		N:      s.n,
+		Now:    s.now,
+		RNG:    s.rng.State(),
+	}
+	for i := range s.h {
+		snap.Items = append(snap.Items, s.h[i].item)
+		snap.LogKeys = append(snap.LogKeys, s.h[i].logKey)
+	}
+	return snap
+}
+
+// RestoreARes reconstructs a sampler from a snapshot.
+func RestoreARes[T any](snap AResSnapshot[T]) (*ARes[T], error) {
+	if len(snap.Items) != len(snap.LogKeys) {
+		return nil, fmt.Errorf("core: snapshot has %d items but %d keys", len(snap.Items), len(snap.LogKeys))
+	}
+	if len(snap.Items) > snap.N {
+		return nil, fmt.Errorf("core: snapshot holds %d items but bound is %d", len(snap.Items), snap.N)
+	}
+	rng, err := xrand.FromState(snap.RNG)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewARes[T](snap.Lambda, snap.N, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := range snap.Items {
+		s.h = append(s.h, aresEntry[T]{item: snap.Items[i], logKey: snap.LogKeys[i]})
+	}
+	heap.Init(&s.h)
+	s.now = snap.Now
+	return s, nil
+}

@@ -37,6 +37,9 @@
 //     (or everything younger than a horizon).
 //
 // All samplers are deterministic given an *xrand.RNG seed, single-goroutine
-// objects; wrap them in your own synchronization or use package dist for the
-// distributed variants.
+// objects. This package is internal: external consumers use the repro/tbs
+// façade, which constructs every scheme by registry name, wraps it for
+// concurrent use (tbs.Concurrent), and unifies the per-scheme snapshot
+// types below behind one checkpoint envelope. The distributed variants
+// live in internal/dist.
 package core

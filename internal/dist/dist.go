@@ -1,0 +1,353 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// Item is the unit flowing through the distributed samplers. The simulation
+// only needs item identity, so an integer id stands in for a record.
+type Item int64
+
+// Decisions selects where insert/delete decisions are made (Section 5.2).
+type Decisions int
+
+const (
+	// Centralized gathers per-partition statistics at a coordinator that
+	// selects the entering items and their victims (Section 5.2.1).
+	Centralized Decisions = iota
+	// Distributed makes every choice worker-locally via stratified
+	// sampling over the batch partitions (Section 5.2.2). Requires the
+	// co-partitioned store.
+	Distributed
+)
+
+func (d Decisions) String() string {
+	switch d {
+	case Centralized:
+		return "Cent"
+	case Distributed:
+		return "Dist"
+	}
+	return fmt.Sprintf("Decisions(%d)", int(d))
+}
+
+// StoreKind selects how the reservoir is stored (Section 5.1).
+type StoreKind int
+
+const (
+	// KeyValue keeps reservoir items in a distributed key-value store,
+	// individually addressable by key.
+	KeyValue StoreKind = iota
+	// CoPartitioned co-locates each reservoir partition with the worker
+	// that owns the corresponding batch partition.
+	CoPartitioned
+)
+
+func (s StoreKind) String() string {
+	switch s {
+	case KeyValue:
+		return "KV"
+	case CoPartitioned:
+		return "CP"
+	}
+	return fmt.Sprintf("StoreKind(%d)", int(s))
+}
+
+// JoinKind selects how insert decisions are matched with batch items when
+// the reservoir lives in a key-value store (Section 5.2.1). It is ignored
+// with a co-partitioned store, where the join is co-located by construction.
+type JoinKind int
+
+const (
+	// RepartitionJoin reshuffles the full batch by position to meet the
+	// decision table — the naive plan, and the zero value.
+	RepartitionJoin JoinKind = iota
+	// CoLocatedJoin ships the small decision table to the batch partitions
+	// instead of moving the batch.
+	CoLocatedJoin
+)
+
+func (j JoinKind) String() string {
+	switch j {
+	case RepartitionJoin:
+		return "RJ"
+	case CoLocatedJoin:
+		return "CJ"
+	}
+	return fmt.Sprintf("JoinKind(%d)", int(j))
+}
+
+// Config parameterizes a distributed sampler.
+type Config struct {
+	Workers   int       // cluster size (≥ 1)
+	Lambda    float64   // decay rate λ per batch
+	Reservoir int       // reservoir capacity n, in real items
+	Decisions Decisions // where insert/delete decisions are made (D-R-TBS)
+	Store     StoreKind // reservoir storage layout (D-R-TBS)
+	Join      JoinKind  // decision↔batch join plan (D-R-TBS with KeyValue)
+	CostScale float64   // virtual items per real item; 0 means 1
+	Seed      uint64    // RNG seed; worker RNGs are split deterministically
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Workers < 1:
+		return fmt.Errorf("dist: need at least one worker, got %d", c.Workers)
+	case !core.ValidateLambda(c.Lambda):
+		return fmt.Errorf("dist: invalid decay rate λ = %v", c.Lambda)
+	case c.Reservoir < 1:
+		return fmt.Errorf("dist: reservoir capacity must be positive, got %d", c.Reservoir)
+	case c.CostScale < 0:
+		return fmt.Errorf("dist: CostScale must be nonnegative, got %v", c.CostScale)
+	}
+	if c.CostScale == 0 {
+		c.CostScale = 1
+	}
+	return nil
+}
+
+// Partition splits a batch into `workers` contiguous partitions whose sizes
+// differ by at most one item, mirroring how a cluster's ingest layer would
+// hand ranges of a batch to workers.
+func Partition(items []Item, workers int) [][]Item {
+	if workers < 1 {
+		workers = 1
+	}
+	parts := make([][]Item, workers)
+	base, extra := len(items)/workers, len(items)%workers
+	off := 0
+	for i := range parts {
+		size := base
+		if i < extra {
+			size++
+		}
+		parts[i] = items[off : off+size]
+		off += size
+	}
+	return parts
+}
+
+// DRTBS is the distributed R-TBS sampler (Section 5.2). The realized sample
+// distribution is exact R-TBS: with centralized decisions a coordinator-side
+// sampler processes the merged batch; with distributed decisions each worker
+// runs R-TBS over its stratum with a proportional share of the reservoir.
+type DRTBS struct {
+	cfg     Config
+	master  *core.RTBS[Item]   // centralized decisions
+	workers []*core.RTBS[Item] // distributed decisions
+	cost    costState
+	merged  []Item // scratch for merging partitions (centralized)
+}
+
+// NewDRTBS returns a distributed R-TBS sampler for the given configuration.
+func NewDRTBS(cfg Config) (*DRTBS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &DRTBS{cfg: cfg, cost: costState{
+		lambda: cfg.Lambda,
+		n:      float64(cfg.Reservoir) * cfg.CostScale,
+	}}
+	rng := xrand.New(cfg.Seed)
+	switch cfg.Decisions {
+	case Centralized:
+		m, err := core.NewRTBS[Item](cfg.Lambda, cfg.Reservoir, rng)
+		if err != nil {
+			return nil, err
+		}
+		d.master = m
+	case Distributed:
+		if cfg.Store != CoPartitioned {
+			return nil, fmt.Errorf("dist: distributed decisions require the co-partitioned store (Section 5.2.2), got %v", cfg.Store)
+		}
+		if cfg.Reservoir < cfg.Workers {
+			return nil, fmt.Errorf("dist: reservoir %d smaller than worker count %d", cfg.Reservoir, cfg.Workers)
+		}
+		d.workers = make([]*core.RTBS[Item], cfg.Workers)
+		base, extra := cfg.Reservoir/cfg.Workers, cfg.Reservoir%cfg.Workers
+		for i := range d.workers {
+			n := base
+			if i < extra {
+				n++
+			}
+			w, err := core.NewRTBS[Item](cfg.Lambda, n, rng.Split())
+			if err != nil {
+				return nil, err
+			}
+			d.workers[i] = w
+		}
+	default:
+		return nil, fmt.Errorf("dist: unknown decision mode %v", cfg.Decisions)
+	}
+	return d, nil
+}
+
+// ProcessBatch folds one partitioned batch into the reservoir and returns
+// the batch's virtual runtime in seconds on the paper's cluster under the
+// configured design (see package doc). Partitions beyond the worker count
+// are assigned round-robin.
+func (d *DRTBS) ProcessBatch(parts [][]Item) float64 {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if d.master != nil {
+		d.merged = d.merged[:0]
+		for _, p := range parts {
+			d.merged = append(d.merged, p...)
+		}
+		d.master.Advance(d.merged)
+	} else {
+		// Worker fan-out: each worker folds its stratum into its local
+		// reservoir partition in parallel.
+		strata := make([][]Item, len(d.workers))
+		for i, p := range parts {
+			w := i % len(d.workers)
+			strata[w] = append(strata[w], p...)
+		}
+		var wg sync.WaitGroup
+		for i, w := range d.workers {
+			wg.Add(1)
+			go func(w *core.RTBS[Item], stratum []Item) {
+				defer wg.Done()
+				w.Advance(stratum)
+			}(w, strata[i])
+		}
+		wg.Wait()
+	}
+	inserts, saturated := d.cost.step(float64(total) * d.cfg.CostScale)
+	return drtbsCost(d.cfg, float64(total)*d.cfg.CostScale, inserts, saturated)
+}
+
+// Sample returns a freshly realized copy of the current global sample.
+func (d *DRTBS) Sample() []Item {
+	if d.master != nil {
+		return d.master.Sample()
+	}
+	var out []Item
+	for _, w := range d.workers {
+		out = append(out, w.Sample()...)
+	}
+	return out
+}
+
+// TotalWeight returns the global decayed weight Wₜ (in real items).
+func (d *DRTBS) TotalWeight() float64 {
+	if d.master != nil {
+		return d.master.TotalWeight()
+	}
+	sum := 0.0
+	for _, w := range d.workers {
+		sum += w.TotalWeight()
+	}
+	return sum
+}
+
+// ExpectedSize returns the global sample weight Cₜ = Σᵢ min(nᵢ, Wᵢ).
+func (d *DRTBS) ExpectedSize() float64 {
+	if d.master != nil {
+		return d.master.ExpectedSize()
+	}
+	sum := 0.0
+	for _, w := range d.workers {
+		sum += w.ExpectedSize()
+	}
+	return sum
+}
+
+// PartitionCounts returns the number of items physically stored in each
+// worker's reservoir partition. It returns nil under centralized decisions,
+// where the reservoir has no worker-local structure.
+func (d *DRTBS) PartitionCounts() []int {
+	if d.workers == nil {
+		return nil
+	}
+	out := make([]int, len(d.workers))
+	for i, w := range d.workers {
+		out[i] = w.Latent().Footprint()
+	}
+	return out
+}
+
+// DTTBS is the distributed T-TBS sampler (Section 5.3): each worker runs an
+// independent T-TBS over its stratum — Bernoulli thinning needs no
+// cross-worker coordination at all.
+type DTTBS struct {
+	cfg     Config
+	workers []*core.TTBS[Item]
+}
+
+// NewDTTBS returns a distributed T-TBS sampler. meanBatch is the assumed
+// mean total batch size (in real items), split evenly across workers; as in
+// the sequential scheme it must satisfy meanBatch ≥ Reservoir·(1−e^−λ).
+func NewDTTBS(cfg Config, meanBatch int) (*DTTBS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if meanBatch < 1 {
+		return nil, fmt.Errorf("dist: mean batch size must be positive, got %d", meanBatch)
+	}
+	if cfg.Reservoir < cfg.Workers {
+		return nil, fmt.Errorf("dist: reservoir %d smaller than worker count %d", cfg.Reservoir, cfg.Workers)
+	}
+	d := &DTTBS{cfg: cfg, workers: make([]*core.TTBS[Item], cfg.Workers)}
+	rng := xrand.New(cfg.Seed)
+	base, extra := cfg.Reservoir/cfg.Workers, cfg.Reservoir%cfg.Workers
+	for i := range d.workers {
+		n := base
+		if i < extra {
+			n++
+		}
+		w, err := core.NewTTBS[Item](cfg.Lambda, n, float64(meanBatch)/float64(cfg.Workers), rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		d.workers[i] = w
+	}
+	return d, nil
+}
+
+// ProcessBatch folds one partitioned batch into the sample and returns the
+// batch's virtual runtime in seconds. Partitions beyond the worker count are
+// assigned round-robin.
+func (d *DTTBS) ProcessBatch(parts [][]Item) float64 {
+	strata := make([][]Item, len(d.workers))
+	total := 0
+	for i, p := range parts {
+		total += len(p)
+		w := i % len(d.workers)
+		strata[w] = append(strata[w], p...)
+	}
+	var wg sync.WaitGroup
+	for i, w := range d.workers {
+		wg.Add(1)
+		go func(w *core.TTBS[Item], stratum []Item) {
+			defer wg.Done()
+			w.Advance(stratum)
+		}(w, strata[i])
+	}
+	wg.Wait()
+	return dttbsCost(d.cfg, float64(total)*d.cfg.CostScale)
+}
+
+// Sample returns a copy of the current global sample.
+func (d *DTTBS) Sample() []Item {
+	var out []Item
+	for _, w := range d.workers {
+		out = append(out, w.Sample()...)
+	}
+	return out
+}
+
+// Size returns the exact current global sample size.
+func (d *DTTBS) Size() int {
+	sum := 0
+	for _, w := range d.workers {
+		sum += w.Size()
+	}
+	return sum
+}

@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mkItems(start, n int) []Item {
+	out := make([]Item, n)
+	for i := range out {
+		out[i] = Item(start + i)
+	}
+	return out
+}
+
+func TestPartition(t *testing.T) {
+	items := mkItems(0, 103)
+	parts := Partition(items, 12)
+	if len(parts) != 12 {
+		t.Fatalf("got %d partitions, want 12", len(parts))
+	}
+	var flat []Item
+	min, max := len(items), 0
+	for _, p := range parts {
+		flat = append(flat, p...)
+		if len(p) < min {
+			min = len(p)
+		}
+		if len(p) > max {
+			max = len(p)
+		}
+	}
+	if !reflect.DeepEqual(flat, items) {
+		t.Fatal("partitions do not concatenate back to the input")
+	}
+	if max-min > 1 {
+		t.Fatalf("partition sizes range %d..%d, want spread ≤ 1", min, max)
+	}
+	if got := Partition(nil, 4); len(got) != 4 {
+		t.Fatalf("Partition(nil, 4) gave %d parts", len(got))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{Workers: 4, Lambda: 0.1, Reservoir: 100, Seed: 1}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"no workers", func(c *Config) { c.Workers = 0 }, "worker"},
+		{"bad lambda", func(c *Config) { c.Lambda = math.NaN() }, "decay rate"},
+		{"no reservoir", func(c *Config) { c.Reservoir = 0 }, "reservoir"},
+		{"negative scale", func(c *Config) { c.CostScale = -1 }, "CostScale"},
+		{"dist needs CP", func(c *Config) { c.Decisions = Distributed; c.Store = KeyValue }, "co-partitioned"},
+		{"reservoir under workers", func(c *Config) {
+			c.Decisions = Distributed
+			c.Store = CoPartitioned
+			c.Reservoir = 2
+		}, "smaller than worker count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := NewDRTBS(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("NewDRTBS err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := NewDTTBS(base, 0); err == nil {
+		t.Fatal("NewDTTBS with zero mean batch: want error")
+	}
+}
+
+// run feeds `rounds` batches of `batch` fresh items and returns the sampler
+// plus the last round's virtual cost.
+func run(t *testing.T, cfg Config, batch, rounds int) (*DRTBS, float64) {
+	t.Helper()
+	d, err := NewDRTBS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	id := 0
+	for r := 0; r < rounds; r++ {
+		last = d.ProcessBatch(Partition(mkItems(id, batch), cfg.Workers))
+		id += batch
+	}
+	return d, last
+}
+
+// TestDRTBSSampling checks the real sampling behavior underneath the cost
+// model: bounded sample, correct steady-state weight, balanced partitions.
+func TestDRTBSSampling(t *testing.T) {
+	const (
+		workers = 4
+		lambda  = 0.1
+		n       = 400
+		batch   = 200
+		rounds  = 60
+	)
+	for _, mode := range []struct {
+		name string
+		dec  Decisions
+		st   StoreKind
+	}{
+		{"centralized", Centralized, KeyValue},
+		{"distributed", Distributed, CoPartitioned},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			d, _ := run(t, Config{
+				Workers: workers, Lambda: lambda, Reservoir: n,
+				Decisions: mode.dec, Store: mode.st, Seed: 5,
+			}, batch, rounds)
+
+			if got := len(d.Sample()); got > n || got < n*9/10 {
+				t.Fatalf("sample size %d, want saturated near bound %d", got, n)
+			}
+			// Steady state: W → batch/(1−e^−λ), here ≈ 2101.
+			want := batch / (1 - math.Exp(-lambda))
+			if got := d.TotalWeight(); math.Abs(got-want) > want*0.05 {
+				t.Fatalf("TotalWeight = %.1f, want ≈ %.1f", got, want)
+			}
+			if c := d.ExpectedSize(); c > float64(n)+1e-9 {
+				t.Fatalf("ExpectedSize %.1f exceeds bound %d", c, n)
+			}
+
+			counts := d.PartitionCounts()
+			if mode.dec == Centralized {
+				if counts != nil {
+					t.Fatalf("PartitionCounts under centralized decisions = %v, want nil", counts)
+				}
+				return
+			}
+			if len(counts) != workers {
+				t.Fatalf("got %d partition counts, want %d", len(counts), workers)
+			}
+			sum := 0
+			for _, c := range counts {
+				sum += c
+				if c < n/workers-1 || c > n/workers+1 {
+					t.Fatalf("unbalanced partitions: %v", counts)
+				}
+			}
+			if sum != len(d.Sample()) && sum != len(d.Sample())+1 {
+				// Footprint may exceed the realized sample by the partial items.
+				t.Logf("footprint %d vs realized %d", sum, len(d.Sample()))
+			}
+		})
+	}
+}
+
+func TestDRTBSDeterminism(t *testing.T) {
+	cfg := Config{
+		Workers: 4, Lambda: 0.1, Reservoir: 200,
+		Decisions: Distributed, Store: CoPartitioned, Seed: 9,
+	}
+	a, _ := run(t, cfg, 100, 20)
+	b, _ := run(t, cfg, 100, 20)
+	if a.TotalWeight() != b.TotalWeight() {
+		t.Fatalf("same seed, different weights: %v vs %v", a.TotalWeight(), b.TotalWeight())
+	}
+	// Worker-local streams are independent of goroutine scheduling, so the
+	// per-partition contents must match exactly.
+	if !reflect.DeepEqual(a.PartitionCounts(), b.PartitionCounts()) {
+		t.Fatalf("same seed, different partition counts: %v vs %v",
+			a.PartitionCounts(), b.PartitionCounts())
+	}
+}
+
+// TestCostOrdering verifies the Figure 7 headline: the five implementations
+// order as Cent,KV,RJ > Cent,KV,CJ > Cent,CP > Dist,CP > D-T-TBS in
+// per-batch virtual runtime, with meaningful separation.
+func TestCostOrdering(t *testing.T) {
+	const (
+		workers = 12
+		lambda  = 0.07
+		batch   = 1000
+		n       = 2000
+		scale   = 10000
+		rounds  = 40
+	)
+	variants := []struct {
+		name string
+		dec  Decisions
+		st   StoreKind
+		join JoinKind
+	}{
+		{"Cent,KV,RJ", Centralized, KeyValue, RepartitionJoin},
+		{"Cent,KV,CJ", Centralized, KeyValue, CoLocatedJoin},
+		{"Cent,CP", Centralized, CoPartitioned, CoLocatedJoin},
+		{"Dist,CP", Distributed, CoPartitioned, CoLocatedJoin},
+	}
+	var costs []float64
+	for i, v := range variants {
+		_, sec := run(t, Config{
+			Workers: workers, Lambda: lambda, Reservoir: n,
+			Decisions: v.dec, Store: v.st, Join: v.join,
+			CostScale: scale, Seed: uint64(i + 1),
+		}, batch, rounds)
+		costs = append(costs, sec)
+	}
+	dt, err := NewDTTBS(Config{
+		Workers: workers, Lambda: lambda, Reservoir: n,
+		CostScale: scale, Seed: 99,
+	}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ttbsSec float64
+	for r := 0; r < rounds; r++ {
+		ttbsSec = dt.ProcessBatch(Partition(mkItems(r*batch, batch), workers))
+	}
+	costs = append(costs, ttbsSec)
+
+	for i := 1; i < len(costs); i++ {
+		if !(costs[i-1] > costs[i]*1.2) {
+			t.Fatalf("cost ordering violated at %d: %v", i, costs)
+		}
+	}
+	// Fig. 7 headline factors: RJ ≈ 30× the D-T-TBS cost, Dist,CP ≈ 3.5×.
+	if ratio := costs[0] / costs[4]; ratio < 10 || ratio > 100 {
+		t.Fatalf("RJ/T-TBS cost ratio %.1f outside the paper's regime", ratio)
+	}
+}
+
+func TestDTTBSSize(t *testing.T) {
+	const (
+		workers = 4
+		lambda  = 0.1
+		n       = 400
+		batch   = 200
+	)
+	dt, err := NewDTTBS(Config{Workers: workers, Lambda: lambda, Reservoir: n, Seed: 3}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 120; r++ {
+		dt.ProcessBatch(Partition(mkItems(r*batch, batch), workers))
+	}
+	// E[C] → n; allow generous stochastic slack.
+	if got := dt.Size(); got < n*3/4 || got > n*5/4 {
+		t.Fatalf("D-T-TBS size %d far from target %d", got, n)
+	}
+	if got := len(dt.Sample()); got != dt.Size() {
+		t.Fatalf("Sample() has %d items but Size() = %d", got, dt.Size())
+	}
+}
+
+// TestUnsaturatedCost: while the reservoir is filling, the cost model must
+// treat every batch item as an insert (appends, not replacements).
+func TestUnsaturatedCost(t *testing.T) {
+	cfg := Config{
+		Workers: 4, Lambda: 0.05, Reservoir: 100000,
+		Decisions: Distributed, Store: CoPartitioned, Seed: 2,
+	}
+	d, err := NewDRTBS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := d.ProcessBatch(Partition(mkItems(0, 1000), cfg.Workers))
+	if first <= costFixed {
+		t.Fatalf("first-batch cost %v not above the fixed overhead", first)
+	}
+	if d.TotalWeight() != 1000 {
+		t.Fatalf("W after one batch = %v, want 1000", d.TotalWeight())
+	}
+}

@@ -1,0 +1,34 @@
+// Package dist implements the distributed temporally-biased samplers of
+// Section 5 of Hentschel, Haas and Tian, "Temporally-Biased Sampling for
+// Online Model Management" (EDBT 2018): D-R-TBS and D-T-TBS.
+//
+// The package simulates a cluster on a single machine. Sampling is real —
+// every batch is processed by actual R-TBS/T-TBS samplers, with worker-level
+// parallelism via goroutines — while the elapsed time of each batch on the
+// paper's cluster is reported as *virtual* seconds computed from a calibrated
+// cost model (see cost.go). Config.CostScale maps each real item to that many
+// virtual items, so paper-scale experiments (10M-item batches, 20M-item
+// reservoirs) run in milliseconds at a 1:1000 item scale and still report
+// full-scale runtimes; the figure-7/8/9 experiments rely on this.
+//
+// The design axes of Section 5 are:
+//
+//   - Decisions — where the insert/delete choices are made. Centralized
+//     gathers batch statistics at a coordinator which selects the entering
+//     items and their victims (Section 5.2.1); Distributed makes all choices
+//     worker-locally via stratified sampling (Section 5.2.2) and requires the
+//     co-partitioned store.
+//   - StoreKind — how the reservoir is stored. KeyValue holds items in a
+//     distributed key-value store accessed by key; CoPartitioned co-locates
+//     each reservoir partition with the worker that owns the corresponding
+//     batch partition (Section 5.1).
+//   - JoinKind — how selected batch positions are matched with batch items
+//     under the key-value store: RepartitionJoin reshuffles the batch by
+//     position (the naive plan), CoLocatedJoin ships only the small decision
+//     table to the data (Section 5.2.1). With a co-partitioned store the
+//     join is always co-located, so JoinKind is ignored.
+//
+// D-T-TBS needs none of this coordination — Bernoulli thinning is
+// embarrassingly parallel — which is exactly the paper's point when
+// comparing the two (Figure 7).
+package dist

@@ -64,6 +64,26 @@ type OnDrift struct {
 	quiet int
 }
 
+// Validate rejects configurations that would silently misbehave — most
+// importantly a negative Factor, which would put the trigger threshold
+// *below* the trailing mean and fire a retrain on nearly every batch.
+// Manager constructors call this; Factor = 0 still means "default".
+func (d *OnDrift) Validate() error {
+	switch {
+	case d.Factor < 0:
+		return fmt.Errorf("manage: OnDrift.Factor must be nonnegative, got %v", d.Factor)
+	case math.IsNaN(d.Factor):
+		return fmt.Errorf("manage: OnDrift.Factor must not be NaN")
+	case d.Window < 0:
+		return fmt.Errorf("manage: OnDrift.Window must be nonnegative, got %d", d.Window)
+	case d.MinObs < 0:
+		return fmt.Errorf("manage: OnDrift.MinObs must be nonnegative, got %d", d.MinObs)
+	case d.MaxStale < 0:
+		return fmt.Errorf("manage: OnDrift.MaxStale must be nonnegative, got %d", d.MaxStale)
+	}
+	return nil
+}
+
 // ShouldRetrain implements Policy.
 func (d *OnDrift) ShouldRetrain(_ int, err float64) bool {
 	window := d.Window
@@ -71,7 +91,10 @@ func (d *OnDrift) ShouldRetrain(_ int, err float64) bool {
 		window = 10
 	}
 	factor := d.Factor
-	if factor == 0 {
+	if factor <= 0 || math.IsNaN(factor) {
+		// 0 selects the default; negative/NaN values are rejected by
+		// Validate, and clamped to the default here for callers that use
+		// the policy standalone.
 		factor = 2
 	}
 	minObs := d.MinObs
@@ -143,6 +166,11 @@ type Manager[T, M any] struct {
 func New[T, M any](sampler core.Sampler[T], train Trainer[T, M], eval Evaluator[T, M], policy Policy) (*Manager[T, M], error) {
 	if sampler == nil || train == nil || eval == nil || policy == nil {
 		return nil, fmt.Errorf("manage: nil component")
+	}
+	if v, ok := policy.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	return &Manager[T, M]{sampler: sampler, train: train, eval: eval, policy: policy}, nil
 }

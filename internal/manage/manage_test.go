@@ -94,6 +94,44 @@ func TestManagerValidation(t *testing.T) {
 	}
 }
 
+// Regression test: a negative OnDrift.Factor used to be passed through as
+// the trigger threshold, putting it *below* the trailing mean so the policy
+// retrained on essentially every batch. It must now be rejected at
+// construction and clamped to the default when the policy is used
+// standalone.
+func TestOnDriftRejectsNegativeFactor(t *testing.T) {
+	s, _ := core.NewSlidingWindow[int](5)
+	tr := func([]int) (int, error) { return 0, nil }
+	ev := func(int, []int) float64 { return 0 }
+	for _, bad := range []*OnDrift{
+		{Factor: -2},
+		{Factor: math.NaN()},
+		{Window: -1},
+		{MinObs: -1},
+		{MaxStale: -1},
+	} {
+		if _, err := New[int, int](s, tr, ev, bad); err == nil {
+			t.Errorf("New accepted invalid policy %+v", bad)
+		}
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+	if err := (&OnDrift{Window: 8, Factor: 2, MinObs: 3, MaxStale: 25}).Validate(); err != nil {
+		t.Errorf("Validate rejected a valid policy: %v", err)
+	}
+
+	// Standalone use: steady sub-mean errors must not trigger even with a
+	// negative Factor (clamped to the default rather than used as-is).
+	d := &OnDrift{Window: 10, Factor: -3, MinObs: 3}
+	errs := []float64{10, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9, 10.0, 9.7}
+	for i, e := range errs {
+		if d.ShouldRetrain(i+1, e) {
+			t.Fatalf("negative Factor fired on steady error %v at t=%d", e, i+1)
+		}
+	}
+}
+
 func TestManagerBasicLoop(t *testing.T) {
 	s, _ := core.NewSlidingWindow[int](100)
 	trained := 0

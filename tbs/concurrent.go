@@ -1,0 +1,95 @@
+package tbs
+
+import "sync"
+
+// Concurrent makes a Sampler safe for concurrent use by serializing every
+// method behind one mutex, so a sampler can sit behind request handlers:
+// writers call Advance as batches arrive while readers call Sample and
+// ExpectedSize, and a checkpointing goroutine calls Snapshot — all without
+// external locking. The capability helpers (Weight, AdvanceAt, Now) remain
+// available and are serialized too.
+type Concurrent[T any] struct {
+	mu sync.Mutex
+	s  Sampler[T]
+}
+
+// NewConcurrent wraps s in a Concurrent. Wrapping an existing Concurrent
+// returns it unchanged.
+func NewConcurrent[T any](s Sampler[T]) *Concurrent[T] {
+	if c, ok := s.(*Concurrent[T]); ok {
+		return c
+	}
+	return &Concurrent[T]{s: s}
+}
+
+// Advance implements Sampler.
+func (c *Concurrent[T]) Advance(batch []T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Advance(batch)
+}
+
+// Sample implements Sampler.
+func (c *Concurrent[T]) Sample() []T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Sample()
+}
+
+// ExpectedSize implements Sampler.
+func (c *Concurrent[T]) ExpectedSize() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.ExpectedSize()
+}
+
+// Scheme implements Sampler.
+func (c *Concurrent[T]) Scheme() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Scheme()
+}
+
+// Snapshot implements Sampler. The snapshot is atomic with respect to
+// concurrent Advance and Sample calls.
+func (c *Concurrent[T]) Snapshot() (Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Snapshot()
+}
+
+func (c *Concurrent[T]) weightCap() (float64, float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.s.(extended[T]); ok {
+		return e.weightCap()
+	}
+	return 0, 0, false
+}
+
+func (c *Concurrent[T]) advanceAtCap(t float64, batch []T) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.s.(extended[T]); ok {
+		return e.advanceAtCap(t, batch)
+	}
+	return false
+}
+
+func (c *Concurrent[T]) nowCap() (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.s.(extended[T]); ok {
+		return e.nowCap()
+	}
+	return 0, false
+}
+
+func (c *Concurrent[T]) inclusionCap(arrival float64) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.s.(extended[T]); ok {
+		return e.inclusionCap(arrival)
+	}
+	return 0, false
+}

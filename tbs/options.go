@@ -1,0 +1,104 @@
+package tbs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Option names, used in Scheme.Options/Scheme.Required and in error
+// messages.
+const (
+	OptLambda    = "lambda"
+	OptMaxSize   = "maxsize"
+	OptSeed      = "seed"
+	OptMeanBatch = "meanbatch"
+	OptHorizon   = "horizon"
+)
+
+// config collects option values before a scheme is built.
+type config struct {
+	lambda    float64
+	maxSize   int
+	seed      uint64
+	meanBatch float64
+	horizon   float64
+}
+
+// Option configures a sampler under construction. Options are created by
+// Lambda, MaxSize, Seed, MeanBatch and Horizon; passing an option a scheme
+// does not accept is an error.
+type Option struct {
+	name  string
+	apply func(*config) error
+}
+
+// Lambda sets the decay rate λ per batch (≥ 0). The helpers
+// LambdaForRetention and LambdaForEntitySurvival derive λ from retention
+// goals.
+func Lambda(v float64) Option {
+	return Option{name: OptLambda, apply: func(c *config) error {
+		if !core.ValidateLambda(v) {
+			return fmt.Errorf("invalid decay rate λ = %v", v)
+		}
+		c.lambda = v
+		return nil
+	}}
+}
+
+// MaxSize sets the sample-size bound n (> 0): a hard cap for the bounded
+// schemes, the equilibrium target for T-TBS.
+func MaxSize(n int) Option {
+	return Option{name: OptMaxSize, apply: func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("sample size bound must be positive, got %d", n)
+		}
+		c.maxSize = n
+		return nil
+	}}
+}
+
+// Seed sets the RNG seed. Samplers are deterministic given a seed; the
+// default is 1.
+func Seed(seed uint64) Option {
+	return Option{name: OptSeed, apply: func(c *config) error {
+		c.seed = seed
+		return nil
+	}}
+}
+
+// MeanBatch sets the assumed mean batch size b (> 0) required by T-TBS,
+// which must satisfy b ≥ n(1−e^−λ).
+func MeanBatch(b float64) Option {
+	return Option{name: OptMeanBatch, apply: func(c *config) error {
+		if b <= 0 {
+			return fmt.Errorf("mean batch size must be positive, got %v", b)
+		}
+		c.meanBatch = b
+		return nil
+	}}
+}
+
+// Horizon sets the age cutoff (> 0, in batch time units) for the time-window
+// schemes.
+func Horizon(h float64) Option {
+	return Option{name: OptHorizon, apply: func(c *config) error {
+		if h <= 0 {
+			return fmt.Errorf("window horizon must be positive, got %v", h)
+		}
+		c.horizon = h
+		return nil
+	}}
+}
+
+// LambdaForRetention returns the decay rate λ such that an item's appearance
+// probability after k batches is p times its initial appearance probability
+// (Section 1 of the paper). It panics unless k > 0 and 0 < p < 1.
+func LambdaForRetention(k int, p float64) float64 { return core.LambdaForRetention(k, p) }
+
+// LambdaForEntitySurvival returns λ such that if an entity was represented
+// by n items k batches ago, at least one remains in the sample with
+// probability q (Section 1). It panics unless k, n > 0 and 0 < q < 1.
+func LambdaForEntitySurvival(k, n int, q float64) float64 {
+	return core.LambdaForEntitySurvival(k, n, q)
+}

@@ -1,0 +1,128 @@
+package tbs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scheme describes one registered sampling scheme: its canonical name (the
+// key used by New, Snapshot.Scheme and Restore), accepted aliases, and
+// which options it accepts and requires. Options not listed in Options are
+// rejected by New; OptSeed, when accepted, defaults to 1.
+type Scheme struct {
+	Name        string
+	Aliases     []string
+	Description string
+	Options     []string
+	Required    []string
+}
+
+// Accepts reports whether the scheme accepts the named option.
+func (s Scheme) Accepts(option string) bool {
+	for _, o := range s.Options {
+		if o == option {
+			return true
+		}
+	}
+	return false
+}
+
+var registry = []Scheme{
+	{
+		Name:        "rtbs",
+		Aliases:     []string{"r-tbs"},
+		Description: "reservoir-based time-biased sampling (Algorithm 2): exact exponential decay with a hard sample-size bound",
+		Options:     []string{OptLambda, OptMaxSize, OptSeed},
+		Required:    []string{OptLambda, OptMaxSize},
+	},
+	{
+		Name:        "ttbs",
+		Aliases:     []string{"t-tbs"},
+		Description: "targeted-size time-biased sampling (Algorithm 1): embarrassingly parallel, size controlled only probabilistically",
+		Options:     []string{OptLambda, OptMaxSize, OptMeanBatch, OptSeed},
+		Required:    []string{OptLambda, OptMaxSize, OptMeanBatch},
+	},
+	{
+		Name:        "btbs",
+		Aliases:     []string{"b-tbs", "bernoulli"},
+		Description: "plain Bernoulli time-biased sampling (Appendix A): exact decay, unbounded sample size",
+		Options:     []string{OptLambda, OptSeed},
+		Required:    []string{OptLambda},
+	},
+	{
+		Name:        "brs",
+		Aliases:     []string{"unif", "reservoir"},
+		Description: "batched reservoir sampling (Appendix B): bounded uniform sample, no time biasing (the paper's Unif baseline)",
+		Options:     []string{OptMaxSize, OptSeed},
+		Required:    []string{OptMaxSize},
+	},
+	{
+		Name:        "bchao",
+		Aliases:     []string{"chao"},
+		Description: "batched time-decayed Chao sampling (Appendix D): bounded, but violates the relative-inclusion property",
+		Options:     []string{OptLambda, OptMaxSize, OptSeed},
+		Required:    []string{OptLambda, OptMaxSize},
+	},
+	{
+		Name:        "ares",
+		Aliases:     []string{"a-res"},
+		Description: "A-Res weighted reservoir with forward decay (Section 7): bounded, biases acceptance rather than appearance",
+		Options:     []string{OptLambda, OptMaxSize, OptSeed},
+		Required:    []string{OptLambda, OptMaxSize},
+	},
+	{
+		Name:        "window",
+		Aliases:     []string{"sw", "sliding-window"},
+		Description: "count-based sliding window (the paper's SW baseline): exactly the last n items",
+		Options:     []string{OptMaxSize},
+		Required:    []string{OptMaxSize},
+	},
+	{
+		Name:        "timewindow",
+		Aliases:     []string{"tw", "time-window"},
+		Description: "wall-clock time window: every item younger than the horizon; unbounded size",
+		Options:     []string{OptHorizon},
+		Required:    []string{OptHorizon},
+	},
+	{
+		Name:        "ptwindow",
+		Aliases:     []string{"priority-window"},
+		Description: "bounded uniform sample over a time window via priority sampling (Gemulla & Lehner)",
+		Options:     []string{OptHorizon, OptMaxSize, OptSeed},
+		Required:    []string{OptHorizon, OptMaxSize},
+	},
+}
+
+// Schemes returns a description of every registered scheme, sorted by
+// canonical name. The returned slice is a copy.
+func Schemes() []Scheme {
+	out := append([]Scheme(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup resolves a scheme name or alias (case-insensitive) to its
+// descriptor.
+func Lookup(name string) (Scheme, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	for _, s := range registry {
+		if s.Name == key {
+			return s, nil
+		}
+		for _, a := range s.Aliases {
+			if a == key {
+				return s, nil
+			}
+		}
+	}
+	return Scheme{}, fmt.Errorf("tbs: unknown scheme %q (known: %s)", name, knownNames())
+}
+
+func knownNames() string {
+	names := make([]string, 0, len(registry))
+	for _, s := range Schemes() {
+		names = append(names, s.Name)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,150 @@
+package tbs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// SnapshotVersion is the current checkpoint-envelope format version.
+const SnapshotVersion = 1
+
+// Snapshot is the unified checkpoint envelope (paper Section 5.1:
+// implementations "periodically checkpoint the sample as well as other
+// system state variables to ensure fault tolerance"). It is a tagged union:
+// Scheme names the sampling scheme and State carries that scheme's complete
+// state — sample items, weights, clock, and RNG — JSON-encoded. The
+// envelope itself serializes cleanly with both encoding/json and
+// encoding/gob; the item type T must be JSON-serializable.
+type Snapshot struct {
+	Scheme  string `json:"scheme"`
+	Version int    `json:"version"`
+	State   []byte `json:"state"`
+}
+
+// encodeState wraps a scheme-specific state value into the envelope.
+func encodeState(scheme string, state any) (Snapshot, error) {
+	b, err := json.Marshal(state)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("tbs: snapshot %s: %w", scheme, err)
+	}
+	return Snapshot{Scheme: scheme, Version: SnapshotVersion, State: b}, nil
+}
+
+// decodeState unmarshals the envelope payload into a scheme-specific state.
+func decodeState[S any](snap Snapshot) (S, error) {
+	var st S
+	if err := json.Unmarshal(snap.State, &st); err != nil {
+		return st, fmt.Errorf("tbs: restore %s: %w", snap.Scheme, err)
+	}
+	return st, nil
+}
+
+// Restore reconstructs a sampler from a checkpoint envelope, validating the
+// snapshot's structural invariants. The restored sampler continues the
+// exact stochastic process of the snapshotted one: feeding both the same
+// future batches yields identical samples. T must match the item type the
+// snapshot was taken with.
+func Restore[T any](snap Snapshot) (Sampler[T], error) {
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("tbs: unsupported snapshot version %d (want %d)", snap.Version, SnapshotVersion)
+	}
+	info, err := Lookup(snap.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	switch info.Name {
+	case "rtbs":
+		st, err := decodeState[core.RTBSSnapshot[T]](snap)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.RestoreRTBS(st)
+		if err != nil {
+			return nil, err
+		}
+		return wrapRTBS(u), nil
+	case "ttbs":
+		st, err := decodeState[core.TTBSSnapshot[T]](snap)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.RestoreTTBS(st)
+		if err != nil {
+			return nil, err
+		}
+		return wrapTTBS(u), nil
+	case "btbs":
+		st, err := decodeState[core.BTBSSnapshot[T]](snap)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.RestoreBTBS(st)
+		if err != nil {
+			return nil, err
+		}
+		return wrapBTBS(u), nil
+	case "brs":
+		st, err := decodeState[core.BRSSnapshot[T]](snap)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.RestoreBRS(st)
+		if err != nil {
+			return nil, err
+		}
+		return wrapBRS(u), nil
+	case "bchao":
+		st, err := decodeState[core.BChaoSnapshot[T]](snap)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.RestoreBChao(st)
+		if err != nil {
+			return nil, err
+		}
+		return wrapBChao(u), nil
+	case "ares":
+		st, err := decodeState[core.AResSnapshot[T]](snap)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.RestoreARes(st)
+		if err != nil {
+			return nil, err
+		}
+		return wrapARes(u), nil
+	case "window":
+		st, err := decodeState[core.SlidingWindowSnapshot[T]](snap)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.RestoreSlidingWindow(st)
+		if err != nil {
+			return nil, err
+		}
+		return wrapWindow(u), nil
+	case "timewindow":
+		st, err := decodeState[core.TimeWindowSnapshot[T]](snap)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.RestoreTimeWindow(st)
+		if err != nil {
+			return nil, err
+		}
+		return wrapTimeWindow(u), nil
+	case "ptwindow":
+		st, err := decodeState[core.PriorityTimeWindowSnapshot[T]](snap)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.RestorePriorityTimeWindow(st)
+		if err != nil {
+			return nil, err
+		}
+		return wrapPTWindow(u), nil
+	}
+	return nil, fmt.Errorf("tbs: scheme %q registered but not restorable", info.Name)
+}

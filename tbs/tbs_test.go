@@ -1,0 +1,360 @@
+package tbs_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/tbs"
+)
+
+// fullOptions returns a valid option set covering everything the scheme
+// accepts.
+func fullOptions(s tbs.Scheme) []tbs.Option {
+	var opts []tbs.Option
+	for _, name := range s.Options {
+		switch name {
+		case tbs.OptLambda:
+			opts = append(opts, tbs.Lambda(0.2))
+		case tbs.OptMaxSize:
+			opts = append(opts, tbs.MaxSize(30))
+		case tbs.OptSeed:
+			opts = append(opts, tbs.Seed(7))
+		case tbs.OptMeanBatch:
+			opts = append(opts, tbs.MeanBatch(10))
+		case tbs.OptHorizon:
+			opts = append(opts, tbs.Horizon(5))
+		}
+	}
+	return opts
+}
+
+func batch(t, size int) []int {
+	b := make([]int, size)
+	for i := range b {
+		b[i] = t*1000 + i
+	}
+	return b
+}
+
+// TestNewEveryScheme constructs every registered scheme by canonical name
+// and by each alias, and checks basic stream behavior.
+func TestNewEveryScheme(t *testing.T) {
+	for _, info := range tbs.Schemes() {
+		t.Run(info.Name, func(t *testing.T) {
+			names := append([]string{info.Name, strings.ToUpper(info.Name)}, info.Aliases...)
+			for _, name := range names {
+				s, err := tbs.New[int](name, fullOptions(info)...)
+				if err != nil {
+					t.Fatalf("New(%q): %v", name, err)
+				}
+				if s.Scheme() != info.Name {
+					t.Fatalf("New(%q).Scheme() = %q, want %q", name, s.Scheme(), info.Name)
+				}
+			}
+			s, err := tbs.New[int](info.Name, fullOptions(info)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 10; i++ {
+				s.Advance(batch(i, 10))
+			}
+			if got := s.ExpectedSize(); got <= 0 {
+				t.Fatalf("ExpectedSize after 10 batches = %v, want > 0", got)
+			}
+			if len(s.Sample()) == 0 {
+				t.Fatal("empty sample after 10 batches")
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTrip checks, for every scheme, that a snapshot
+// round-tripped through JSON and through gob restores a sampler that
+// continues the identical stochastic process.
+func TestSnapshotRoundTrip(t *testing.T) {
+	codecs := []struct {
+		name string
+		trip func(tbs.Snapshot) (tbs.Snapshot, error)
+	}{
+		{"json", func(in tbs.Snapshot) (tbs.Snapshot, error) {
+			b, err := json.Marshal(in)
+			if err != nil {
+				return tbs.Snapshot{}, err
+			}
+			var out tbs.Snapshot
+			return out, json.Unmarshal(b, &out)
+		}},
+		{"gob", func(in tbs.Snapshot) (tbs.Snapshot, error) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+				return tbs.Snapshot{}, err
+			}
+			var out tbs.Snapshot
+			return out, gob.NewDecoder(&buf).Decode(&out)
+		}},
+	}
+	for _, info := range tbs.Schemes() {
+		for _, codec := range codecs {
+			t.Run(info.Name+"/"+codec.name, func(t *testing.T) {
+				orig, err := tbs.New[int](info.Name, fullOptions(info)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 1; i <= 8; i++ {
+					orig.Advance(batch(i, 13))
+				}
+				snap, err := orig.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if snap.Scheme != info.Name || snap.Version != tbs.SnapshotVersion {
+					t.Fatalf("envelope = {%q, %d}, want {%q, %d}",
+						snap.Scheme, snap.Version, info.Name, tbs.SnapshotVersion)
+				}
+				tripped, err := codec.trip(snap)
+				if err != nil {
+					t.Fatalf("%s round-trip: %v", codec.name, err)
+				}
+				restored, err := tbs.Restore[int](tripped)
+				if err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				if restored.Scheme() != info.Name {
+					t.Fatalf("restored scheme = %q, want %q", restored.Scheme(), info.Name)
+				}
+				// The restored sampler must continue the *identical*
+				// stochastic process: same future batches, same samples,
+				// call for call.
+				for i := 9; i <= 14; i++ {
+					b := batch(i, 13)
+					orig.Advance(b)
+					restored.Advance(b)
+					got, want := restored.Sample(), orig.Sample()
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("t=%d: restored sample diverged:\n got %v\nwant %v", i, got, want)
+					}
+					if restored.ExpectedSize() != orig.ExpectedSize() {
+						t.Fatalf("t=%d: ExpectedSize %v != %v", i, restored.ExpectedSize(), orig.ExpectedSize())
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		call func() (any, error)
+		want string // substring of the error
+	}{
+		{"unknown scheme", func() (any, error) { return tbs.New[int]("nope") }, "unknown scheme"},
+		{"missing required lambda", func() (any, error) { return tbs.New[int]("rtbs", tbs.MaxSize(10)) }, "requires option lambda"},
+		{"missing required maxsize", func() (any, error) { return tbs.New[int]("rtbs", tbs.Lambda(0.1)) }, "requires option maxsize"},
+		{"unaccepted option", func() (any, error) {
+			return tbs.New[int]("rtbs", tbs.Lambda(0.1), tbs.MaxSize(10), tbs.Horizon(4))
+		}, "does not accept option horizon"},
+		{"negative lambda", func() (any, error) { return tbs.New[int]("rtbs", tbs.Lambda(-1), tbs.MaxSize(10)) }, "decay rate"},
+		{"nonpositive maxsize", func() (any, error) { return tbs.New[int]("rtbs", tbs.Lambda(0.1), tbs.MaxSize(0)) }, "positive"},
+		{"nonpositive horizon", func() (any, error) { return tbs.New[int]("timewindow", tbs.Horizon(0)) }, "horizon"},
+		{"nonpositive meanbatch", func() (any, error) {
+			return tbs.New[int]("ttbs", tbs.Lambda(0.1), tbs.MaxSize(10), tbs.MeanBatch(0))
+		}, "mean batch"},
+		{"ttbs acceptance rate over 1", func() (any, error) {
+			return tbs.New[int]("ttbs", tbs.Lambda(5), tbs.MaxSize(1000), tbs.MeanBatch(1))
+		}, "b ≥ n"},
+		{"zero option value", func() (any, error) { return tbs.New[int]("rtbs", tbs.Option{}) }, "zero-value"},
+		{"seed on seedless scheme", func() (any, error) { return tbs.New[int]("window", tbs.MaxSize(5), tbs.Seed(3)) }, "does not accept option seed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.call()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	s, err := tbs.New[int]("rtbs", tbs.Lambda(0.1), tbs.MaxSize(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := snap
+	bad.Version = 99
+	if _, err := tbs.Restore[int](bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version: err = %v", err)
+	}
+
+	bad = snap
+	bad.Scheme = "nope"
+	if _, err := tbs.Restore[int](bad); err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+		t.Fatalf("bad scheme: err = %v", err)
+	}
+
+	bad = snap
+	bad.State = []byte("{not json")
+	if _, err := tbs.Restore[int](bad); err == nil {
+		t.Fatal("corrupt state: want error, got nil")
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	rtbs, err := tbs.New[int]("rtbs", tbs.Lambda(0.5), tbs.MaxSize(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtbs.Advance(batch(1, 20))
+	total, lambda, ok := tbs.Weight(rtbs)
+	if !ok || lambda != 0.5 || total != 20 {
+		t.Fatalf("Weight(rtbs) = (%v, %v, %v), want (20, 0.5, true)", total, lambda, ok)
+	}
+	if err := tbs.AdvanceAt(rtbs, 2.5, batch(2, 5)); err != nil {
+		t.Fatalf("AdvanceAt(rtbs): %v", err)
+	}
+	if now, ok := tbs.Now(rtbs); !ok || now != 2.5 {
+		t.Fatalf("Now(rtbs) = (%v, %v), want (2.5, true)", now, ok)
+	}
+	// Equation (4): an item arriving at the current time has inclusion
+	// probability C/W exactly.
+	w, _, _ := tbs.Weight(rtbs)
+	if p, ok := tbs.InclusionProbability(rtbs, 2.5); !ok || p != rtbs.ExpectedSize()/w {
+		t.Fatalf("InclusionProbability(rtbs, now) = (%v, %v), want (%v, true)",
+			p, ok, rtbs.ExpectedSize()/w)
+	}
+
+	window, err := tbs.New[int]("window", tbs.MaxSize(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tbs.Weight(window); ok {
+		t.Fatal("Weight(window) reported ok for a weightless scheme")
+	}
+	if err := tbs.AdvanceAt(window, 2, nil); err == nil {
+		t.Fatal("AdvanceAt(window) should be unsupported")
+	}
+	if _, ok := tbs.Now(window); ok {
+		t.Fatal("Now(window) reported ok for an untimed scheme")
+	}
+	if _, ok := tbs.InclusionProbability(window, 1); ok {
+		t.Fatal("InclusionProbability(window) reported ok")
+	}
+}
+
+// TestConcurrent hammers a Concurrent wrapper from parallel writers,
+// readers, and checkpointers; run under -race this verifies the locking.
+func TestConcurrent(t *testing.T) {
+	inner, err := tbs.New[int]("rtbs", tbs.Lambda(0.1), tbs.MaxSize(100), tbs.Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbs.NewConcurrent(inner)
+	if again := tbs.NewConcurrent[int](s); again != s {
+		t.Fatal("NewConcurrent(Concurrent) should be idempotent")
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Advance(batch(w*100+i, 20))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := len(s.Sample()); got > 100 {
+					t.Errorf("sample size %d exceeds bound 100", got)
+					return
+				}
+				_ = s.ExpectedSize()
+				_, _, _ = tbs.Weight[int](s)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			if _, err := s.Snapshot(); err != nil {
+				t.Errorf("Snapshot: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The wrapper must still checkpoint-restore like any Sampler.
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbs.Restore[int](snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemesMetadata(t *testing.T) {
+	schemes := tbs.Schemes()
+	if len(schemes) < 7 {
+		t.Fatalf("only %d schemes registered", len(schemes))
+	}
+	seen := map[string]bool{}
+	for i, s := range schemes {
+		if i > 0 && schemes[i-1].Name >= s.Name {
+			t.Fatalf("Schemes() not sorted: %q before %q", schemes[i-1].Name, s.Name)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scheme %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Description == "" {
+			t.Fatalf("scheme %q has no description", s.Name)
+		}
+		for _, req := range s.Required {
+			if !s.Accepts(req) {
+				t.Fatalf("scheme %q requires %q but does not accept it", s.Name, req)
+			}
+		}
+		if _, err := tbs.Lookup(s.Name); err != nil {
+			t.Fatalf("Lookup(%q): %v", s.Name, err)
+		}
+	}
+	for _, name := range []string{"rtbs", "ttbs", "btbs", "brs", "bchao", "window", "timewindow"} {
+		if !seen[name] {
+			t.Fatalf("scheme %q missing from registry", name)
+		}
+	}
+}
+
+func ExampleNew() {
+	s, err := tbs.New[string]("rtbs", tbs.Lambda(0.07), tbs.MaxSize(3), tbs.Seed(1))
+	if err != nil {
+		panic(err)
+	}
+	for t := 1; t <= 5; t++ {
+		s.Advance([]string{fmt.Sprintf("a%d", t), fmt.Sprintf("b%d", t)})
+	}
+	fmt.Println(s.Scheme(), len(s.Sample()))
+	// Output: rtbs 3
+}
