@@ -8,28 +8,47 @@
 //	tbsbench -exp table1 -quick    # reduced replication for a fast pass
 //	tbsbench -all                  # run everything
 //	tbsbench -all -quick -seed 7   # fast full sweep, custom seed
+//	tbsbench -exp fig7 -json BENCH_fig7.json   # machine-readable results
 //
 // Each experiment prints the same rows or series that the paper reports;
-// EXPERIMENTS.md records paper-vs-measured values.
+// EXPERIMENTS.md records paper-vs-measured values. With -json the results
+// are also written as a JSON array (experiment id, params, header, rows,
+// notes, elapsed milliseconds), so bench trajectories can be recorded as
+// BENCH_*.json files and diffed across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/experiments"
 )
 
+// runRecord is the machine-readable form of one experiment run.
+type runRecord struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Quick     bool       `json:"quick"`
+	Seed      uint64     `json:"seed"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS int64      `json:"elapsedMs"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		quick = flag.Bool("quick", false, "reduced replication (fast, noisier)")
-		plot  = flag.Bool("plot", false, "render series as ASCII sparklines instead of tables")
-		seed  = flag.Uint64("seed", 1, "base random seed")
+		exp      = flag.String("exp", "", "experiment ID to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quick    = flag.Bool("quick", false, "reduced replication (fast, noisier)")
+		plot     = flag.Bool("plot", false, "render series as ASCII sparklines instead of tables")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		jsonPath = flag.String("json", "", "also write results to this file as JSON")
 	)
 	flag.Parse()
 
@@ -57,6 +76,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	var records []runRecord
 	for _, s := range specs {
 		start := time.Now()
 		res, err := s.Run(*quick, *seed)
@@ -64,6 +84,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tbsbench: %s: %v\n", s.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		render := res.Format
 		if *plot {
 			render = res.Plot
@@ -72,6 +93,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s finished in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s finished in %v)\n\n", s.ID, elapsed.Round(time.Millisecond))
+		records = append(records, runRecord{
+			ID:        res.ID,
+			Title:     res.Title,
+			Quick:     *quick,
+			Seed:      *seed,
+			Header:    res.Header,
+			Rows:      res.Rows,
+			Notes:     res.Notes,
+			ElapsedMS: elapsed.Milliseconds(),
+		})
 	}
+	if *jsonPath != "" {
+		if err := writeJSONResults(*jsonPath, records); err != nil {
+			fmt.Fprintf(os.Stderr, "tbsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tbsbench: wrote %d result(s) to %s\n", len(records), *jsonPath)
+	}
+}
+
+// writeJSONResults writes the run records atomically.
+func writeJSONResults(path string, records []runRecord) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicfile.WriteFile(path, append(data, '\n'), 0o644)
 }

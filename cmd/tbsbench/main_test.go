@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestWriteJSONResults runs one fast experiment and checks the -json
+// output round-trips with the fields a BENCH_*.json consumer needs.
+func TestWriteJSONResults(t *testing.T) {
+	spec, err := experiments.Lookup("fig1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Run(true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := runRecord{
+		ID: res.ID, Title: res.Title, Quick: true, Seed: 7,
+		Header: res.Header, Rows: res.Rows, Notes: res.Notes, ElapsedMS: 12,
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeJSONResults(path, []runRecord{rec}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []runRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("got %d records, want 1", len(back))
+	}
+	got := back[0]
+	if got.ID != "fig1a" || !got.Quick || got.Seed != 7 || got.ElapsedMS != 12 {
+		t.Fatalf("record fields lost in round trip: %+v", got)
+	}
+	if len(got.Header) == 0 || len(got.Rows) == 0 {
+		t.Fatalf("empty series in record: header=%v rows=%d", got.Header, len(got.Rows))
+	}
+	if len(got.Rows[0]) != len(got.Header) {
+		t.Fatalf("row width %d does not match header width %d", len(got.Rows[0]), len(got.Header))
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}

@@ -1,0 +1,163 @@
+// Command tbsd serves temporally-biased samples over HTTP: one lazily
+// created sampler per stream key, all built from one configured scheme,
+// with wall-clock batch boundaries, periodic checkpointing, and Prometheus
+// text metrics. See internal/server for the architecture and README.md
+// for a curl quickstart.
+//
+// Usage:
+//
+//	tbsd -addr :8377 -scheme rtbs -lambda 0.07 -n 1000 \
+//	     -batch-interval 10s -checkpoint-dir /var/lib/tbsd
+//	tbsd -config tbsd.json            # sampler config from JSON instead
+//
+// API:
+//
+//	POST /v1/streams/{key}/items     ingest (JSON array = bulk, else one
+//	                                 item); ?advance=true closes the batch
+//	POST /v1/streams/{key}/advance   explicit batch boundary
+//	GET  /v1/streams/{key}/sample    realized sample
+//	GET  /v1/streams/{key}/stats     size/weight/clock bookkeeping
+//	GET  /v1/streams                 enumerate stream keys
+//	GET  /metrics                    Prometheus text metrics
+//	GET  /healthz                    liveness
+//
+// On SIGINT/SIGTERM the daemon drains HTTP, stops the background loops,
+// and writes a final checkpoint so a restart resumes every stream's exact
+// stochastic process.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/tbs"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port)")
+		configPath = flag.String("config", "", "JSON file holding the sampler config (overrides the scheme flags)")
+		scheme     = flag.String("scheme", "rtbs", "sampling scheme for every stream (see tbstream -schemes)")
+		lambda     = flag.Float64("lambda", 0.07, "decay rate per batch interval")
+		n          = flag.Int("n", 1000, "sample size bound / target per stream")
+		meanBatch  = flag.Float64("meanbatch", 100, "assumed mean batch size (T-TBS only)")
+		horizon    = flag.Float64("horizon", 10, "time-window horizon in batches (window schemes only)")
+		seed       = flag.Uint64("seed", 1, "base RNG seed; per-stream seeds are derived from it")
+		shards     = flag.Int("shards", 16, "lock stripes in the keyed registry")
+		batchIv    = flag.Duration("batch-interval", 0, "wall-clock batch boundary period for every stream (0 = explicit /advance only)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for per-stream checkpoints (restore on boot, save periodically and on shutdown)")
+		ckptIv     = flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period")
+		maxPending = flag.Int("max-pending", 1<<20, "max items in one stream's open batch (negative = unbounded)")
+		maxStreams = flag.Int("max-streams", 1<<16, "max live streams; creation beyond it gets 429 (negative = unbounded)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "tbsd: ", log.LstdFlags)
+
+	cfg, err := samplerConfig(*configPath, *scheme, *lambda, *n, *meanBatch, *horizon, *seed)
+	if err != nil {
+		logger.Println(err)
+		os.Exit(2)
+	}
+	srv, err := server.New(server.Options{
+		Sampler:            cfg,
+		Shards:             *shards,
+		BatchInterval:      *batchIv,
+		CheckpointDir:      *ckptDir,
+		CheckpointInterval: *ckptIv,
+		MaxPendingItems:    *maxPending,
+		MaxStreams:         *maxStreams,
+		Logf:               logger.Printf,
+	})
+	if err != nil {
+		logger.Println(err)
+		os.Exit(2)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Println(err)
+		os.Exit(2)
+	}
+	logger.Printf("listening on %s (scheme %s)", lis.Addr(), cfg.Scheme)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	srv.Start()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(lis) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	exitCode := 0
+	select {
+	case s := <-sig:
+		logger.Printf("received %s, shutting down", s)
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			// A dead listener is a failure even though shutdown (and its
+			// final checkpoint) still proceeds; the supervisor must see a
+			// nonzero exit so it restarts the daemon.
+			logger.Printf("serve: %v", err)
+			exitCode = 1
+		}
+	}
+
+	// Separate deadlines: a slow HTTP drain must not eat into the final
+	// checkpoint's budget.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancelDrain()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	stopCtx, cancelStop := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancelStop()
+	if err := srv.Stop(stopCtx); err != nil {
+		logger.Printf("stop: %v", err)
+		exitCode = 1
+	}
+	logger.Println("shutdown complete")
+	os.Exit(exitCode)
+}
+
+// samplerConfig builds the per-stream sampler config: from a JSON file
+// when -config is given, otherwise from the scheme flags — passing only
+// the options the chosen scheme accepts, so e.g. -scheme window ignores
+// the default -lambda rather than rejecting it.
+func samplerConfig(path, scheme string, lambda float64, n int, meanBatch, horizon float64, seed uint64) (tbs.Config, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return tbs.Config{}, err
+		}
+		var cfg tbs.Config
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return tbs.Config{}, fmt.Errorf("config %s: %w", path, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			return tbs.Config{}, fmt.Errorf("config %s: %w", path, err)
+		}
+		return cfg, nil
+	}
+	cfg, err := tbs.Config{
+		Lambda: &lambda, MaxSize: &n, MeanBatch: &meanBatch,
+		Horizon: &horizon, Seed: &seed,
+	}.RestrictedTo(scheme)
+	if err != nil {
+		return tbs.Config{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return tbs.Config{}, err
+	}
+	return cfg, nil
+}

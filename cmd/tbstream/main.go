@@ -31,12 +31,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"os/signal"
 	"sync"
 	"syscall"
 
+	"repro/internal/atomicfile"
 	"repro/tbs"
 )
 
@@ -61,99 +63,35 @@ func main() {
 		}
 		return
 	}
-	if *batchLines < 1 {
-		usagef("-batch-lines must be positive")
-	}
 
-	sampler, err := makeSampler(*scheme, *checkpoint, options{
-		lambda: *lambda, n: *n, horizon: *horizon,
-		meanBatch: float64(*batchLines), seed: *seed,
-	})
+	p, err := newProcessor(processorConfig{
+		scheme:     *scheme,
+		checkpoint: *checkpoint,
+		batchLines: *batchLines,
+		stats:      *stats,
+		opts: options{
+			lambda: *lambda, n: *n, horizon: *horizon,
+			meanBatch: float64(*batchLines), seed: *seed,
+		},
+	}, os.Stderr)
 	if err != nil {
 		usagef("%v", err)
 	}
-	// The signal handler snapshots concurrently with the main loop, so the
-	// sampler goes behind the thread-safe wrapper.
-	cs := tbs.NewConcurrent(sampler)
 
-	// The EOF path and the signal handler can race to save; the Once makes
-	// sure exactly one checkpoint write happens.
-	var saveOnce sync.Once
-	save := func() {
-		saveOnce.Do(func() {
-			if err := saveCheckpoint(cs, *checkpoint); err != nil {
-				fatalf("%v", err)
-			}
-		})
-	}
 	if *checkpoint != "" {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		go func() {
 			<-sig
-			save()
+			if err := p.save(); err != nil {
+				fatalf("%v", err)
+			}
 			os.Exit(0)
 		}()
 	}
 
-	in := bufio.NewScanner(os.Stdin)
-	in.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
-	enc := json.NewEncoder(out)
-
-	flush := func(batch []json.RawMessage) error {
-		cs.Advance(batch)
-		if *stats {
-			line := fmt.Sprintf("C=%.2f", cs.ExpectedSize())
-			if t, ok := tbs.Now[json.RawMessage](cs); ok {
-				line = fmt.Sprintf("t=%.0f %s", t, line)
-			}
-			if w, lam, ok := tbs.Weight[json.RawMessage](cs); ok {
-				line += fmt.Sprintf(" W=%.2f lambda=%.3f", w, lam)
-			}
-			fmt.Fprintln(os.Stderr, line)
-		}
-		if err := enc.Encode(cs.Sample()); err != nil {
-			return err
-		}
-		return out.Flush()
-	}
-
-	var batch []json.RawMessage
-	lineno := 0
-	for in.Scan() {
-		lineno++
-		line := in.Bytes()
-		if string(line) == "---" {
-			if err := flush(batch); err != nil {
-				fatalf("%v", err)
-			}
-			batch = batch[:0]
-			continue
-		}
-		if !json.Valid(line) {
-			fmt.Fprintf(os.Stderr, "tbstream: line %d: invalid JSON, skipping\n", lineno)
-			continue
-		}
-		batch = append(batch, json.RawMessage(append([]byte(nil), line...)))
-		if len(batch) >= *batchLines {
-			if err := flush(batch); err != nil {
-				fatalf("%v", err)
-			}
-			batch = batch[:0]
-		}
-	}
-	if err := in.Err(); err != nil {
-		fatalf("read: %v", err)
-	}
-	if len(batch) > 0 {
-		if err := flush(batch); err != nil {
-			fatalf("%v", err)
-		}
-	}
-	if *checkpoint != "" {
-		save()
+	if err := p.run(os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fatalf("%v", err)
 	}
 }
 
@@ -163,10 +101,123 @@ type options struct {
 	seed                       uint64
 }
 
+type processorConfig struct {
+	scheme     string
+	checkpoint string
+	batchLines int
+	stats      bool
+	opts       options
+}
+
+// processor is the extracted run loop of tbstream, constructed apart from
+// main so tests can drive it in-process: feed lines, checkpoint, build a
+// second processor from the same file, and assert the resumed stochastic
+// process matches an uninterrupted one.
+type processor struct {
+	cfg processorConfig
+	// The signal handler snapshots concurrently with the run loop, so the
+	// sampler goes behind the thread-safe wrapper.
+	sampler *tbs.Concurrent[json.RawMessage]
+	// The EOF path and the signal handler can race to save; the Once
+	// makes sure exactly one checkpoint write happens.
+	saveOnce sync.Once
+	saveErr  error
+}
+
+// newProcessor validates the configuration and builds the sampler,
+// restoring it from the checkpoint file when one exists (diagnostics on
+// the restore go to errw).
+func newProcessor(cfg processorConfig, errw io.Writer) (*processor, error) {
+	if cfg.batchLines < 1 {
+		return nil, errors.New("-batch-lines must be positive")
+	}
+	sampler, err := makeSampler(cfg.scheme, cfg.checkpoint, cfg.opts, errw)
+	if err != nil {
+		return nil, err
+	}
+	return &processor{cfg: cfg, sampler: tbs.NewConcurrent(sampler)}, nil
+}
+
+// save checkpoints the sampler at most once, from whichever of the EOF
+// path and the signal handler gets there first.
+func (p *processor) save() error {
+	p.saveOnce.Do(func() {
+		if p.cfg.checkpoint == "" {
+			return
+		}
+		p.saveErr = saveCheckpoint(p.sampler, p.cfg.checkpoint)
+	})
+	return p.saveErr
+}
+
+// run consumes the line stream: every batchLines lines (or a literal "---"
+// line) closes a batch, advances the sampler, and writes the realized
+// sample as one JSON array to out. On EOF a partial batch is flushed and
+// the checkpoint (when configured) is saved.
+func (p *processor) run(in io.Reader, out, errw io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	bw := bufio.NewWriter(out)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+
+	flush := func(batch []json.RawMessage) error {
+		p.sampler.Advance(batch)
+		if p.cfg.stats {
+			line := fmt.Sprintf("C=%.2f", p.sampler.ExpectedSize())
+			if t, ok := tbs.Now[json.RawMessage](p.sampler); ok {
+				line = fmt.Sprintf("t=%.0f %s", t, line)
+			}
+			if w, lam, ok := tbs.Weight[json.RawMessage](p.sampler); ok {
+				line += fmt.Sprintf(" W=%.2f lambda=%.3f", w, lam)
+			}
+			fmt.Fprintln(errw, line)
+		}
+		if err := enc.Encode(p.sampler.Sample()); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	var batch []json.RawMessage
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if string(line) == "---" {
+			if err := flush(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+			continue
+		}
+		if !json.Valid(line) {
+			fmt.Fprintf(errw, "tbstream: line %d: invalid JSON, skipping\n", lineno)
+			continue
+		}
+		batch = append(batch, json.RawMessage(append([]byte(nil), line...)))
+		if len(batch) >= p.cfg.batchLines {
+			if err := flush(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("read: %w", err)
+	}
+	if len(batch) > 0 {
+		if err := flush(batch); err != nil {
+			return err
+		}
+	}
+	return p.save()
+}
+
 // makeSampler restores the sampler from the checkpoint file when one
 // exists, and otherwise constructs it fresh, passing exactly the options
 // the chosen scheme accepts (consulting the registry metadata).
-func makeSampler(scheme, checkpoint string, o options) (tbs.Sampler[json.RawMessage], error) {
+func makeSampler(scheme, checkpoint string, o options, errw io.Writer) (tbs.Sampler[json.RawMessage], error) {
 	info, err := tbs.Lookup(scheme)
 	if err != nil {
 		return nil, err
@@ -191,31 +242,23 @@ func makeSampler(scheme, checkpoint string, o options) (tbs.Sampler[json.RawMess
 			if err != nil {
 				return nil, fmt.Errorf("checkpoint %s: %w", checkpoint, err)
 			}
-			fmt.Fprintf(os.Stderr, "tbstream: resumed %s from %s (C=%.2f)\n",
+			fmt.Fprintf(errw, "tbstream: resumed %s from %s (C=%.2f)\n",
 				snap.Scheme, checkpoint, s.ExpectedSize())
 			return s, nil
 		}
 	}
 
-	var opts []tbs.Option
-	for _, name := range info.Options {
-		switch name {
-		case tbs.OptLambda:
-			opts = append(opts, tbs.Lambda(o.lambda))
-		case tbs.OptMaxSize:
-			opts = append(opts, tbs.MaxSize(o.n))
-		case tbs.OptSeed:
-			opts = append(opts, tbs.Seed(o.seed))
-		case tbs.OptMeanBatch:
-			opts = append(opts, tbs.MeanBatch(o.meanBatch))
-		case tbs.OptHorizon:
-			opts = append(opts, tbs.Horizon(o.horizon))
-		}
+	cfg, err := tbs.Config{
+		Lambda: &o.lambda, MaxSize: &o.n, MeanBatch: &o.meanBatch,
+		Horizon: &o.horizon, Seed: &o.seed,
+	}.RestrictedTo(info.Name)
+	if err != nil {
+		return nil, err
 	}
-	return tbs.New[json.RawMessage](info.Name, opts...)
+	return tbs.NewFromConfig[json.RawMessage](cfg)
 }
 
-// saveCheckpoint writes the snapshot atomically (temp file + rename).
+// saveCheckpoint writes the snapshot atomically.
 func saveCheckpoint(s tbs.Sampler[json.RawMessage], path string) error {
 	snap, err := s.Snapshot()
 	if err != nil {
@@ -225,11 +268,7 @@ func saveCheckpoint(s tbs.Sampler[json.RawMessage], path string) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicfile.WriteFile(path, data, 0o644)
 }
 
 // fatalf reports a runtime failure (exit 1); usagef reports a

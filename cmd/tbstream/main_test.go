@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func lines(from, to int) string {
+	var b strings.Builder
+	for i := from; i <= to; i++ {
+		fmt.Fprintf(&b, "%d\n", i)
+	}
+	return b.String()
+}
+
+// lastLine returns the final newline-terminated line of a run's output —
+// the sample emitted at the last batch boundary.
+func lastLine(t *testing.T, out *bytes.Buffer) string {
+	t.Helper()
+	all := strings.TrimRight(out.String(), "\n")
+	if all == "" {
+		t.Fatal("run produced no output")
+	}
+	parts := strings.Split(all, "\n")
+	return parts[len(parts)-1]
+}
+
+func testConfig(checkpoint string) processorConfig {
+	return processorConfig{
+		scheme:     "rtbs",
+		checkpoint: checkpoint,
+		batchLines: 25,
+		opts:       options{lambda: 0.2, n: 20, meanBatch: 25, seed: 3},
+	}
+}
+
+// TestCheckpointRoundTrip is the tbstream regression test: a run split in
+// two by a checkpoint + restart must emit exactly the same samples as one
+// uninterrupted run — the resumed stochastic process is identical, batch
+// boundary for batch boundary.
+func TestCheckpointRoundTrip(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ck.json")
+
+	// Interrupted pipeline: lines 1–100 (4 batches), checkpoint at EOF,
+	// then a second processor resumes from the file for lines 101–200.
+	var out1, out2 bytes.Buffer
+	p1, err := newProcessor(testConfig(ckpt), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.run(strings.NewReader(lines(1, 100)), &out1, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var resumeDiag bytes.Buffer
+	p2, err := newProcessor(testConfig(ckpt), &resumeDiag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumeDiag.String(), "resumed rtbs") {
+		t.Fatalf("second processor did not restore from checkpoint: %q", resumeDiag.String())
+	}
+	if err := p2.run(strings.NewReader(lines(101, 200)), &out2, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference: lines 1–200 through one processor with the
+	// same seed and batch boundaries, no checkpoint.
+	cfg := testConfig("")
+	ref, err := newProcessor(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refOut bytes.Buffer
+	if err := ref.run(strings.NewReader(lines(1, 200)), &refOut, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every batch boundary's sample must match: the interrupted run's
+	// output is the concatenation of both halves.
+	got := out1.String() + out2.String()
+	if got != refOut.String() {
+		t.Fatalf("resumed run diverges from uninterrupted run\n got: %s\nwant: %s", got, refOut.String())
+	}
+	if last := lastLine(t, &refOut); !strings.HasPrefix(last, "[") {
+		t.Fatalf("final sample is not a JSON array: %q", last)
+	}
+}
+
+// TestProcessorBatchBoundaries: "---" closes a batch early and invalid
+// JSON lines are skipped without aborting the stream.
+func TestProcessorBatchBoundaries(t *testing.T) {
+	p, err := newProcessor(processorConfig{
+		scheme:     "brs",
+		batchLines: 100,
+		opts:       options{n: 5, seed: 1},
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := "1\n2\nnot json\n---\n3\n4\n"
+	var out, diag bytes.Buffer
+	if err := p.run(strings.NewReader(in), &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	// One flush from "---", one from the partial batch at EOF.
+	if got := strings.Count(out.String(), "\n"); got != 2 {
+		t.Fatalf("got %d sample lines, want 2:\n%s", got, out.String())
+	}
+	if !strings.Contains(diag.String(), "invalid JSON") {
+		t.Fatalf("invalid line not reported: %q", diag.String())
+	}
+}
+
+// TestProcessorRejectsBadConfig mirrors the old flag validation.
+func TestProcessorRejectsBadConfig(t *testing.T) {
+	if _, err := newProcessor(processorConfig{scheme: "rtbs", batchLines: 0}, io.Discard); err == nil {
+		t.Fatal("batchLines=0 accepted")
+	}
+	if _, err := newProcessor(processorConfig{scheme: "no-such", batchLines: 1}, io.Discard); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

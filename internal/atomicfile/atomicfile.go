@@ -1,0 +1,46 @@
+// Package atomicfile holds the one write-temp-then-rename helper shared by
+// every checkpoint and results writer in the repo, so the atomicity
+// discipline (and any future fsync or cleanup fix) lives in one place.
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically: readers observe either the
+// old content or the new, never a partial write. Each call gets a unique
+// temporary file (next to path — rename must not cross filesystems), so
+// concurrent writers of the same path cannot corrupt each other; the last
+// rename wins.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

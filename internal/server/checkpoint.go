@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/atomicfile"
+	"repro/tbs"
+)
+
+// checkpointState is the on-disk record for one stream: the sampler's
+// snapshot envelope plus the open batch and counters, so a restored stream
+// resumes the exact stochastic process — items ingested but not yet
+// advanced survive the restart too.
+type checkpointState struct {
+	Key      string       `json:"key"`
+	Snapshot tbs.Snapshot `json:"snapshot"`
+	Pending  []Item       `json:"pending,omitempty"`
+	Ingested uint64       `json:"ingested"`
+	Batches  uint64       `json:"batches"`
+}
+
+const checkpointSuffix = ".ckpt.json"
+
+// checkpointFileName maps a stream key to a filesystem-safe file name.
+// Base64url keeps arbitrary keys (slashes, dots, unicode) collision-free
+// and reversible.
+func checkpointFileName(key string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(key)) + checkpointSuffix
+}
+
+// keyFromFileName inverts checkpointFileName; ok is false for foreign
+// files in the checkpoint directory.
+func keyFromFileName(name string) (string, bool) {
+	enc, found := strings.CutSuffix(name, checkpointSuffix)
+	if !found {
+		return "", false
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(enc)
+	if err != nil {
+		return "", false
+	}
+	return string(raw), true
+}
+
+// writeCheckpointFile persists one stream state atomically.
+func writeCheckpointFile(dir string, st checkpointState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("server: checkpoint %q: %w", st.Key, err)
+	}
+	return atomicfile.WriteFile(filepath.Join(dir, checkpointFileName(st.Key)), data, 0o644)
+}
+
+// checkpointAll persists every stream. It is driven by the background
+// checkpointer, by Stop, and is safe to call concurrently with request
+// traffic: each entry is captured under its own lock at some point during
+// the pass (per-stream consistency, not a global cut — the same guarantee
+// the paper's per-sampler checkpointing gives). Passes themselves are
+// serialized by ckptMu, so Stop's final pass cannot interleave with a
+// straggling background pass and have its fresh files overwritten by
+// stale ones — the final pass simply runs after the straggler finishes.
+func (s *Server) checkpointAll() error {
+	if s.opts.CheckpointDir == "" {
+		return nil
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	start := time.Now()
+	entries := s.reg.all()
+	var firstErr error
+	written := 0
+	for _, e := range entries {
+		st, wasDirty, err := e.checkpoint()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !wasDirty {
+			// The previous checkpoint file is still current; skip the
+			// write so idle tenants cost nothing per pass.
+			continue
+		}
+		if err := writeCheckpointFile(s.opts.CheckpointDir, st); err != nil {
+			e.markDirty()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		written++
+	}
+	s.metrics.ObserveCheckpoint(written, time.Since(start), firstErr)
+	return firstErr
+}
+
+// restoreAll loads every checkpoint file in the directory into the
+// registry. Foreign files are ignored; a corrupt checkpoint is an error
+// (silently dropping a tenant's stream would be worse than failing boot).
+func (s *Server) restoreAll() (int, error) {
+	dir := s.opts.CheckpointDir
+	if dir == "" {
+		return 0, nil
+	}
+	des, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, os.MkdirAll(dir, 0o755)
+	}
+	if err != nil {
+		return 0, err
+	}
+	// Resolve the configured scheme's canonical name once: restoring a
+	// stream checkpointed under a different scheme would silently mix
+	// sampling semantics across tenants, so it fails boot instead.
+	info, err := tbs.Lookup(s.opts.Sampler.Scheme)
+	if err != nil {
+		return 0, err
+	}
+	restored := 0
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		key, ok := keyFromFileName(de.Name())
+		if !ok {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			return restored, err
+		}
+		var st checkpointState
+		if err := json.Unmarshal(data, &st); err != nil {
+			return restored, fmt.Errorf("server: checkpoint file %s: %w", de.Name(), err)
+		}
+		if st.Key != key {
+			return restored, fmt.Errorf("server: checkpoint file %s names key %q", de.Name(), st.Key)
+		}
+		if st.Snapshot.Scheme != info.Name {
+			return restored, fmt.Errorf("server: checkpoint file %s holds scheme %q, but the server is configured for %q",
+				de.Name(), st.Snapshot.Scheme, info.Name)
+		}
+		sampler, err := tbs.Restore[Item](st.Snapshot)
+		if err != nil {
+			return restored, fmt.Errorf("server: checkpoint file %s: %w", de.Name(), err)
+		}
+		cs := tbs.NewConcurrent(sampler)
+		e := &entry{
+			key:            key,
+			sampler:        cs,
+			sampleMutating: tbs.SampleMutates[Item](cs),
+			pending:        st.Pending,
+			ingested:       st.Ingested,
+			batches:        st.Batches,
+		}
+		if err := s.reg.insertRestored(e); err != nil {
+			return restored, err
+		}
+		restored++
+	}
+	return restored, nil
+}

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/tbs"
+)
+
+// maxBodyBytes bounds one ingest request (items are buffered in memory).
+const maxBodyBytes = 32 << 20
+
+// maxKeyBytes bounds stream keys. Keys become checkpoint file names via
+// base64url (4 name bytes per 3 key bytes) plus the ".ckpt.json" suffix
+// and atomicfile's transient ".tmp<random>" suffix (≤ 15 bytes), and the
+// whole name must stay within the common 255-byte filesystem limit:
+// base64(168) + 10 + 15 = 249.
+const maxKeyBytes = 168
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/streams/{key}/items", s.handleItems)
+	mux.HandleFunc("POST /v1/streams/{key}/advance", s.handleAdvance)
+	mux.HandleFunc("GET /v1/streams/{key}/sample", s.handleSample)
+	mux.HandleFunc("GET /v1/streams/{key}/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/streams", s.handleList)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "streams": s.reg.count()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// streamKey extracts and validates the {key} path segment.
+func streamKey(w http.ResponseWriter, r *http.Request) (string, bool) {
+	key := r.PathValue("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "empty stream key")
+		return "", false
+	}
+	if len(key) > maxKeyBytes {
+		writeError(w, http.StatusBadRequest, "stream key longer than %d bytes", maxKeyBytes)
+		return "", false
+	}
+	return key, true
+}
+
+// ingestRequest is the decoded body of POST …/items: a JSON array is a
+// bulk request (one element per item), any other JSON value is a single
+// item. To ingest one item that is itself an array, wrap it in an array.
+type ingestRequest struct {
+	items []Item
+}
+
+func decodeIngest(r *http.Request) (ingestRequest, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return ingestRequest{}, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
+		}
+		return ingestRequest{}, err
+	}
+	if !json.Valid(body) {
+		return ingestRequest{}, errors.New("body is not valid JSON")
+	}
+	// Only a JSON array is bulk; every other value — including null,
+	// which would also unmarshal into a nil slice — is one item.
+	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+		var bulk []Item
+		if err := json.Unmarshal(body, &bulk); err != nil {
+			return ingestRequest{}, err
+		}
+		return ingestRequest{items: bulk}, nil
+	}
+	return ingestRequest{items: []Item{Item(body)}}, nil
+}
+
+// handleItems ingests into the stream's open batch — the whole request is
+// appended in one critical section, so a bulk POST is one batched hot-path
+// operation, not N. With ?advance=true the batch is closed afterwards.
+func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
+	key, ok := streamKey(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeIngest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.reg.getOrCreate(key)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, errTooManyStreams) {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	pending, ingested, err := e.append(req.items, s.opts.MaxPendingItems)
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	s.metrics.ObserveIngest(len(req.items))
+
+	resp := map[string]any{
+		"key":      key,
+		"added":    len(req.items),
+		"pending":  pending,
+		"ingested": ingested,
+	}
+	if q := r.URL.Query().Get("advance"); q == "1" || q == "true" {
+		n, batches, elapsed := e.advance()
+		s.metrics.ObserveAdvance(n, elapsed)
+		resp["pending"] = 0
+		resp["advanced"] = true
+		resp["batches"] = batches
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdvance closes the stream's open batch — an explicit batch
+// boundary in the paper's sense. Advancing a stream that has received no
+// items is legal and still moves the decay clock; advancing an unknown
+// stream creates it, so pure time-decay streams can be driven without a
+// prior ingest.
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	key, ok := streamKey(w, r)
+	if !ok {
+		return
+	}
+	e, err := s.reg.getOrCreate(key)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, errTooManyStreams) {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	n, batches, elapsed := e.advance()
+	s.metrics.ObserveAdvance(n, elapsed)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":           key,
+		"batch":         n,
+		"batches":       batches,
+		"expectedSize":  e.sampler.ExpectedSize(),
+		"elapsedMicros": elapsed.Microseconds(),
+	})
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	key, ok := streamKey(w, r)
+	if !ok {
+		return
+	}
+	e := s.reg.lookup(key)
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown stream %q", key)
+		return
+	}
+	items := e.sampler.Sample()
+	// R-TBS realization consumes RNG draws, so the next checkpoint must
+	// persist the advanced RNG; pure-read schemes stay clean.
+	if e.sampleMutating {
+		e.markDirty()
+	}
+	if items == nil {
+		items = []Item{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":    key,
+		"scheme": e.sampler.Scheme(),
+		"size":   len(items),
+		"items":  items,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	key, ok := streamKey(w, r)
+	if !ok {
+		return
+	}
+	e := s.reg.lookup(key)
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown stream %q", key)
+		return
+	}
+	pending, ingested, batches := e.counters()
+	resp := map[string]any{
+		"key":          key,
+		"scheme":       e.sampler.Scheme(),
+		"expectedSize": e.sampler.ExpectedSize(),
+		"pending":      pending,
+		"ingested":     ingested,
+		"batches":      batches,
+	}
+	if total, lambda, ok := tbs.Weight[Item](e.sampler); ok {
+		resp["totalWeight"] = total
+		resp["lambda"] = lambda
+	}
+	if t, ok := tbs.Now[Item](e.sampler); ok {
+		resp["now"] = t
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	keys := s.reg.keys()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(keys), "streams": keys})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.metrics.WriteTo(w, s.reg.count(), s.reg.perShardCounts())
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// latencyRingSize bounds the window the latency quantiles are computed
+// over; the Welford mean covers the full history.
+const latencyRingSize = 512
+
+// latencyStats tracks a latency distribution: all-time mean/std via a
+// Welford accumulator and p50/p95/p99 over a ring of recent observations.
+// It carries its own mutex so the two distributions (advance, checkpoint)
+// never contend with each other or with the counter hot path.
+type latencyStats struct {
+	mu     sync.Mutex
+	w      metrics.Welford
+	ring   [latencyRingSize]float64
+	next   int
+	filled bool
+}
+
+func (l *latencyStats) observe(d time.Duration) {
+	s := d.Seconds()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Add(s)
+	l.ring[l.next] = s
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.filled = true
+	}
+}
+
+// snapshot returns the accumulator and a copy of the recent window.
+func (l *latencyStats) snapshot() (w metrics.Welford, window []float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filled {
+		window = append(window, l.ring[:]...)
+	} else {
+		window = append(window, l.ring[:l.next]...)
+	}
+	return l.w, window
+}
+
+// Metrics aggregates the server's observability counters. Counts are
+// atomics so the ingest/advance hot paths never share a lock — the
+// lock-striped registry's parallelism is not re-serialized here; only the
+// latency rings take a (per-distribution) mutex.
+type Metrics struct {
+	ingestRequests atomic.Uint64
+	ingestedItems  atomic.Uint64
+
+	advances      atomic.Uint64
+	advancedItems atomic.Uint64
+	advanceLat    latencyStats
+
+	checkpoints        atomic.Uint64
+	checkpointErrors   atomic.Uint64
+	checkpointedKeys   atomic.Uint64
+	checkpointLat      latencyStats
+	lastCheckpointUnix atomic.Int64
+	restoredStreams    atomic.Int64
+}
+
+// ObserveIngest records one ingest request that accepted n items.
+func (m *Metrics) ObserveIngest(n int) {
+	m.ingestRequests.Add(1)
+	m.ingestedItems.Add(uint64(n))
+}
+
+// ObserveAdvance records one closed batch of n items and the sampler
+// update latency.
+func (m *Metrics) ObserveAdvance(n int, d time.Duration) {
+	m.advances.Add(1)
+	m.advancedItems.Add(uint64(n))
+	m.advanceLat.observe(d)
+}
+
+// ObserveCheckpoint records one full checkpoint pass over keys streams.
+func (m *Metrics) ObserveCheckpoint(keys int, d time.Duration, err error) {
+	m.checkpoints.Add(1)
+	m.checkpointedKeys.Add(uint64(keys))
+	m.checkpointLat.observe(d)
+	m.lastCheckpointUnix.Store(time.Now().Unix())
+	if err != nil {
+		m.checkpointErrors.Add(1)
+	}
+}
+
+// SetRestored records how many streams boot-time restore brought back.
+func (m *Metrics) SetRestored(n int) {
+	m.restoredStreams.Store(int64(n))
+}
+
+// quantileOrZero is Quantile over a possibly-empty window.
+func quantileOrZero(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	v, err := metrics.Quantile(xs, q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// WriteTo renders the counters in Prometheus text format. Registry-shape
+// gauges (stream and shard counts) are passed in by the caller so Metrics
+// stays a pure accumulator. Rendering snapshots state first and performs
+// the response write lock-free, so a slow scraper cannot stall the
+// ingest/advance hot paths.
+func (m *Metrics) WriteTo(w io.Writer, streams int, perShard []int) error {
+	_, err := w.Write(m.render(streams, perShard))
+	return err
+}
+
+func (m *Metrics) render(streams int, perShard []int) []byte {
+	var b []byte
+	line := func(format string, args ...any) {
+		b = fmt.Appendf(b, format+"\n", args...)
+	}
+	lat := func(name string, l *latencyStats) {
+		w, win := l.snapshot()
+		line("%s_count %d", name, w.N())
+		line("%s{stat=%q} %g", name, "mean", w.Mean())
+		line("%s{stat=%q} %g", name, "std", w.Std())
+		line("%s{stat=%q} %g", name, "p50", quantileOrZero(win, 0.50))
+		line("%s{stat=%q} %g", name, "p95", quantileOrZero(win, 0.95))
+		line("%s{stat=%q} %g", name, "p99", quantileOrZero(win, 0.99))
+	}
+
+	line("tbsd_streams %d", streams)
+	line("tbsd_shards %d", len(perShard))
+	for i, n := range perShard {
+		line("tbsd_shard_streams{shard=%q} %d", fmt.Sprint(i), n)
+	}
+	line("tbsd_restored_streams %d", m.restoredStreams.Load())
+	line("tbsd_ingest_requests_total %d", m.ingestRequests.Load())
+	line("tbsd_ingested_items_total %d", m.ingestedItems.Load())
+	line("tbsd_advances_total %d", m.advances.Load())
+	line("tbsd_advanced_items_total %d", m.advancedItems.Load())
+	lat("tbsd_advance_latency_seconds", &m.advanceLat)
+	line("tbsd_checkpoints_total %d", m.checkpoints.Load())
+	line("tbsd_checkpoint_errors_total %d", m.checkpointErrors.Load())
+	line("tbsd_checkpointed_streams_total %d", m.checkpointedKeys.Load())
+	lat("tbsd_checkpoint_duration_seconds", &m.checkpointLat)
+	if last := m.lastCheckpointUnix.Load(); last != 0 {
+		line("tbsd_checkpoint_last_unix_seconds %d", last)
+	}
+	return b
+}

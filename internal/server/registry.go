@@ -1,0 +1,269 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/tbs"
+)
+
+// Item is the wire type of stream items: arbitrary JSON, kept opaque.
+type Item = json.RawMessage
+
+// entry is the per-stream state: the sampler plus the open (not yet
+// advanced) batch and ingest counters. The mutex guards pending and the
+// counters, and is held across Advance so a checkpoint can never observe
+// an advanced sampler paired with the pre-advance open batch.
+type entry struct {
+	key     string
+	sampler *tbs.Concurrent[Item]
+	// sampleMutating records whether Sample consumes RNG draws (R-TBS),
+	// in which case a read dirties the checkpoint state.
+	sampleMutating bool
+
+	mu       sync.Mutex
+	pending  []Item
+	ingested uint64 // items ever accepted
+	batches  uint64 // batch boundaries ever closed
+	dirty    bool   // state changed since the last persisted checkpoint
+}
+
+// append adds items to the open batch and returns the new pending and
+// total counts. A positive maxPending bounds the open batch: one tenant
+// that ingests forever without a batch boundary must not grow server
+// memory (and checkpoint size) without limit.
+func (e *entry) append(items []Item, maxPending int) (pending int, ingested uint64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if maxPending > 0 && len(e.pending)+len(items) > maxPending {
+		if len(items) > maxPending {
+			// No amount of advancing makes one oversized request fit.
+			return len(e.pending), e.ingested,
+				fmt.Errorf("request of %d items exceeds the per-stream open-batch limit %d; split the request", len(items), maxPending)
+		}
+		return len(e.pending), e.ingested,
+			fmt.Errorf("open batch holds %d items (limit %d); advance the stream or enable -batch-interval", len(e.pending), maxPending)
+	}
+	e.pending = append(e.pending, items...)
+	e.ingested += uint64(len(items))
+	e.dirty = true
+	return len(e.pending), e.ingested, nil
+}
+
+// advance closes the open batch — possibly empty, which still moves the
+// decay clock — and returns its size, the total boundary count, and how
+// long the sampler update took.
+func (e *entry) advance() (batchLen int, batches uint64, elapsed time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	batch := e.pending
+	e.pending = nil
+	start := time.Now()
+	e.sampler.Advance(batch)
+	elapsed = time.Since(start)
+	e.batches++
+	e.dirty = true
+	return len(batch), e.batches, elapsed
+}
+
+// counters returns the ingest bookkeeping without touching the sampler.
+func (e *entry) counters() (pending int, ingested, batches uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending), e.ingested, e.batches
+}
+
+// markDirty flags the entry for the next checkpoint pass. Read endpoints
+// call it after Sample, because R-TBS's realization draws from the RNG —
+// state that must be persisted for a restart to resume the identical
+// stochastic process.
+func (e *entry) markDirty() {
+	e.mu.Lock()
+	e.dirty = true
+	e.mu.Unlock()
+}
+
+// checkpoint captures a consistent (snapshot, open batch, counters) triple
+// and clears the dirty flag; wasDirty false means the previous checkpoint
+// is still current and the caller can skip the write. If the write fails,
+// the caller must markDirty again.
+func (e *entry) checkpoint() (st checkpointState, wasDirty bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.dirty {
+		return checkpointState{}, false, nil
+	}
+	snap, err := e.sampler.Snapshot()
+	if err != nil {
+		return checkpointState{}, true, err
+	}
+	e.dirty = false
+	return checkpointState{
+		Key:      e.key,
+		Snapshot: snap,
+		Pending:  append([]Item(nil), e.pending...),
+		Ingested: e.ingested,
+		Batches:  e.batches,
+	}, true, nil
+}
+
+// errTooManyStreams is returned by getOrCreate when the stream cap is
+// reached; handlers map it to 429 rather than 500.
+var errTooManyStreams = errors.New("server: stream limit reached")
+
+// registry maps stream keys to entries across lock-striped shards, so
+// concurrent requests for unrelated keys never contend on one lock.
+// Samplers are created lazily from the base config with a per-key seed
+// derived from the base seed, making the whole registry deterministic
+// while keeping every key on its own RNG trajectory. A positive
+// maxStreams bounds the number of live streams: every key costs memory, a
+// checkpoint file, and a slice of every checkpoint pass forever (there is
+// no stream deletion yet), so hostile or typo'd keys must not grow the
+// server without limit.
+type registry struct {
+	cfg        tbs.Config
+	baseSeed   uint64
+	maxStreams int
+	total      atomic.Int64
+	shards     []*shard
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+func newRegistry(cfg tbs.Config, nShards, maxStreams int) (*registry, error) {
+	if nShards < 1 {
+		return nil, fmt.Errorf("server: shard count must be positive, got %d", nShards)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	baseSeed := uint64(1)
+	if cfg.Seed != nil {
+		baseSeed = *cfg.Seed
+	}
+	r := &registry{
+		cfg:        cfg,
+		baseSeed:   baseSeed,
+		maxStreams: maxStreams,
+		shards:     make([]*shard, nShards),
+	}
+	for i := range r.shards {
+		r.shards[i] = &shard{entries: make(map[string]*entry)}
+	}
+	return r, nil
+}
+
+func (r *registry) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return r.shards[h.Sum32()%uint32(len(r.shards))]
+}
+
+// lookup returns the entry for key, or nil when the stream does not exist.
+func (r *registry) lookup(key string) *entry {
+	sh := r.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.entries[key]
+}
+
+// getOrCreate returns the entry for key, building the sampler on first
+// touch. The construction runs under the shard's write lock; it is cheap
+// (no allocation proportional to stream volume) and keeps double-creation
+// races impossible.
+func (r *registry) getOrCreate(key string) (*entry, error) {
+	sh := r.shardFor(key)
+	sh.mu.RLock()
+	e := sh.entries[key]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e, nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.entries[key]; e != nil {
+		return e, nil
+	}
+	// Reserve the slot atomically before building: concurrent first-touch
+	// creations on different shards would otherwise all pass a plain
+	// load-then-check and overshoot the cap by up to nShards-1.
+	if n := r.total.Add(1); r.maxStreams > 0 && n > int64(r.maxStreams) {
+		r.total.Add(-1)
+		return nil, fmt.Errorf("%w (%d)", errTooManyStreams, r.maxStreams)
+	}
+	s, err := tbs.NewFromConfig[Item](r.cfg.WithSeed(tbs.DeriveSeed(r.baseSeed, key)))
+	if err != nil {
+		r.total.Add(-1)
+		return nil, err
+	}
+	cs := tbs.NewConcurrent(s)
+	e = &entry{key: key, sampler: cs, sampleMutating: tbs.SampleMutates[Item](cs)}
+	sh.entries[key] = e
+	return e, nil
+}
+
+// insertRestored installs a checkpointed entry at boot. It refuses to
+// clobber an existing stream.
+func (r *registry) insertRestored(e *entry) error {
+	sh := r.shardFor(e.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.entries[e.key]; dup {
+		return fmt.Errorf("server: duplicate checkpoint for stream %q", e.key)
+	}
+	sh.entries[e.key] = e
+	r.total.Add(1)
+	return nil
+}
+
+// keys returns every stream key, sorted.
+func (r *registry) keys() []string {
+	var out []string
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for k := range sh.entries {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// all returns every entry in an unspecified order.
+func (r *registry) all() []*entry {
+	var out []*entry
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			out = append(out, e)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// count returns the number of live streams.
+func (r *registry) count() int {
+	return int(r.total.Load())
+}
+
+// perShardCounts returns the number of streams on each shard.
+func (r *registry) perShardCounts() []int {
+	out := make([]int, len(r.shards))
+	for i, sh := range r.shards {
+		sh.mu.RLock()
+		out[i] = len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return out
+}

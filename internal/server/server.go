@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/tbs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Sampler is the base sampler configuration applied to every stream;
+	// each key gets a seed derived from Sampler.Seed (default 1), so the
+	// whole server is deterministic given the base seed and per-key batch
+	// sequences.
+	Sampler tbs.Config
+
+	// Shards is the number of lock stripes in the keyed registry
+	// (default 16).
+	Shards int
+
+	// BatchInterval, when positive, runs the wall-clock ticker: every
+	// interval each stream's open batch is closed and its sampler
+	// advanced — one paper batch-time unit per interval. Zero leaves
+	// batch boundaries entirely to explicit /advance calls.
+	BatchInterval time.Duration
+
+	// CheckpointDir, when set, enables persistence: restore on New,
+	// periodic background checkpoints, and a final checkpoint on Stop.
+	CheckpointDir string
+
+	// CheckpointInterval is the background checkpoint period
+	// (default 30s; ignored without CheckpointDir).
+	CheckpointInterval time.Duration
+
+	// MaxPendingItems bounds one stream's open batch; ingest beyond it is
+	// rejected until a batch boundary drains the buffer (default 1<<20
+	// items; negative disables the bound).
+	MaxPendingItems int
+
+	// MaxStreams bounds the number of live streams; requests that would
+	// create one beyond it get 429 (default 1<<16; negative disables the
+	// bound). Boot-time restore is exempt, so lowering the cap never
+	// strands an existing checkpoint directory.
+	MaxStreams int
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.Shards == 0 {
+		o.Shards = 16
+	}
+	if o.BatchInterval < 0 {
+		o.BatchInterval = 0
+	}
+	// time.NewTicker panics on non-positive intervals, so a nonsense
+	// checkpoint period falls back to the default rather than crashing
+	// the checkpointer goroutine.
+	if o.CheckpointInterval <= 0 {
+		o.CheckpointInterval = 30 * time.Second
+	}
+	if o.MaxPendingItems == 0 {
+		o.MaxPendingItems = 1 << 20
+	}
+	if o.MaxStreams == 0 {
+		o.MaxStreams = 1 << 16
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Server is the tbsd core: the keyed sampler registry, its HTTP handler,
+// and the background ticker and checkpointer. Construct with New, attach
+// Handler to an http.Server, call Start for the background loops and Stop
+// to drain them.
+type Server struct {
+	opts    Options
+	reg     *registry
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	ckptMu    sync.Mutex // serializes whole checkpoint passes
+}
+
+// New validates the configuration and, when a checkpoint directory is
+// configured, restores every stream found there.
+func New(opts Options) (*Server, error) {
+	opts.setDefaults()
+	reg, err := newRegistry(opts.Sampler, opts.Shards, opts.MaxStreams)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:    opts,
+		reg:     reg,
+		metrics: &Metrics{},
+		stop:    make(chan struct{}),
+	}
+	restored, err := s.restoreAll()
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.SetRestored(restored)
+	if restored > 0 {
+		// Snapshots carry their own parameters, so restored streams keep
+		// the lambda/n they were checkpointed with even if the server's
+		// flags changed — worth a log line, since only a scheme mismatch
+		// fails boot loudly.
+		s.opts.Logf("restored %d stream(s) from %s (restored streams keep their checkpointed parameters)",
+			restored, opts.CheckpointDir)
+	}
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// Handler returns the HTTP API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics accumulator.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Start launches the wall-clock ticker and the background checkpointer
+// (each only when configured). It is idempotent.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		if s.opts.BatchInterval > 0 {
+			s.wg.Add(1)
+			go s.runTicker()
+		}
+		if s.opts.CheckpointDir != "" {
+			s.wg.Add(1)
+			go s.runCheckpointer()
+		}
+	})
+}
+
+// Stop halts the background loops, waits for them, and takes a final
+// checkpoint so a restart loses nothing. The final checkpoint is taken
+// even when ctx expires before the loops drain — checkpointAll is safe
+// concurrently with a straggling background pass, and losing it would
+// drop everything since the last periodic checkpoint. Stop is idempotent;
+// the HTTP handler keeps serving (shut the http.Server down first).
+func (s *Server) Stop(ctx context.Context) error {
+	var err error
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		// The final checkpoint gets the same deadline: a hung checkpoint
+		// disk (or a straggling pass holding ckptMu) must not block
+		// shutdown forever. On timeout the pass keeps running detached —
+		// its writes are atomic, so a killed process leaves no torn files.
+		ckc := make(chan error, 1)
+		go func() { ckc <- s.checkpointAll() }()
+		select {
+		case cerr := <-ckc:
+			err = errors.Join(err, cerr)
+		case <-ctx.Done():
+			err = errors.Join(err, fmt.Errorf("server: final checkpoint timed out: %w", ctx.Err()))
+		}
+	})
+	return err
+}
+
+// AdvanceAll closes every stream's open batch — the ticker's unit of work,
+// also usable directly (tests, admin tooling).
+func (s *Server) AdvanceAll() {
+	for _, e := range s.reg.all() {
+		n, _, elapsed := e.advance()
+		s.metrics.ObserveAdvance(n, elapsed)
+	}
+}
+
+// runTicker maps the paper's batch-arrival model onto real time: every
+// BatchInterval is one batch-time unit for every stream, whether or not
+// items arrived.
+func (s *Server) runTicker() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.BatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.AdvanceAll()
+		}
+	}
+}
+
+func (s *Server) runCheckpointer() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if err := s.checkpointAll(); err != nil {
+				s.opts.Logf("checkpoint: %v", err)
+			}
+		}
+	}
+}

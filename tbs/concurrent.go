@@ -2,15 +2,39 @@ package tbs
 
 import "sync"
 
-// Concurrent makes a Sampler safe for concurrent use by serializing every
-// method behind one mutex, so a sampler can sit behind request handlers:
-// writers call Advance as batches arrive while readers call Sample and
-// ExpectedSize, and a checkpointing goroutine calls Snapshot — all without
-// external locking. The capability helpers (Weight, AdvanceAt, Now) remain
-// available and are serialized too.
+// samplingMutator is implemented by samplers whose Sample method mutates
+// internal state (R-TBS draws from its RNG to realize the partial item).
+// Concurrent consults it to decide whether Sample may share the read lock.
+type samplingMutator interface {
+	sampleMutates() bool
+}
+
+// Concurrent makes a Sampler safe for concurrent use behind one RWMutex,
+// so a sampler can sit behind request handlers: writers call Advance as
+// batches arrive while readers call Sample and ExpectedSize, and a
+// checkpointing goroutine calls Snapshot — all without external locking.
+// Read-only paths (Sample, ExpectedSize, Scheme, and the Weight, Now and
+// InclusionProbability helpers) take the read lock and run concurrently
+// with each other; Advance, AdvanceAt and Snapshot are exclusive. The one
+// exception is R-TBS's Sample, which draws from the sampler's RNG to
+// realize the partial item and therefore takes the write lock.
 type Concurrent[T any] struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	s  Sampler[T]
+	// mutSample records whether s.Sample mutates state. Unknown
+	// implementations are assumed to mutate — correctness over speed.
+	mutSample bool
+}
+
+// SampleMutates reports whether s's Sample method mutates sampler state
+// (true for R-TBS, whose realization draws from the RNG; conservatively
+// true for unknown implementations). Checkpointing callers use it to know
+// whether a read requires re-persisting the sampler.
+func SampleMutates[T any](s Sampler[T]) bool {
+	if m, ok := s.(samplingMutator); ok {
+		return m.sampleMutates()
+	}
+	return true
 }
 
 // NewConcurrent wraps s in a Concurrent. Wrapping an existing Concurrent
@@ -19,7 +43,11 @@ func NewConcurrent[T any](s Sampler[T]) *Concurrent[T] {
 	if c, ok := s.(*Concurrent[T]); ok {
 		return c
 	}
-	return &Concurrent[T]{s: s}
+	mutSample := true
+	if m, ok := s.(samplingMutator); ok {
+		mutSample = m.sampleMutates()
+	}
+	return &Concurrent[T]{s: s, mutSample: mutSample}
 }
 
 // Advance implements Sampler.
@@ -29,26 +57,34 @@ func (c *Concurrent[T]) Advance(batch []T) {
 	c.s.Advance(batch)
 }
 
-// Sample implements Sampler.
+// Sample implements Sampler. For schemes whose realization is a pure read
+// it holds only the read lock, so concurrent readers do not serialize.
 func (c *Concurrent[T]) Sample() []T {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.mutSample {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	} else {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+	}
 	return c.s.Sample()
 }
 
 // ExpectedSize implements Sampler.
 func (c *Concurrent[T]) ExpectedSize() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.s.ExpectedSize()
 }
 
 // Scheme implements Sampler.
 func (c *Concurrent[T]) Scheme() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.s.Scheme()
 }
+
+func (c *Concurrent[T]) sampleMutates() bool { return c.mutSample }
 
 // Snapshot implements Sampler. The snapshot is atomic with respect to
 // concurrent Advance and Sample calls.
@@ -59,8 +95,8 @@ func (c *Concurrent[T]) Snapshot() (Snapshot, error) {
 }
 
 func (c *Concurrent[T]) weightCap() (float64, float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if e, ok := c.s.(extended[T]); ok {
 		return e.weightCap()
 	}
@@ -77,8 +113,8 @@ func (c *Concurrent[T]) advanceAtCap(t float64, batch []T) bool {
 }
 
 func (c *Concurrent[T]) nowCap() (float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if e, ok := c.s.(extended[T]); ok {
 		return e.nowCap()
 	}
@@ -86,8 +122,8 @@ func (c *Concurrent[T]) nowCap() (float64, bool) {
 }
 
 func (c *Concurrent[T]) inclusionCap(arrival float64) (float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if e, ok := c.s.(extended[T]); ok {
 		return e.inclusionCap(arrival)
 	}

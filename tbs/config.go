@@ -1,0 +1,164 @@
+package tbs
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Config is the declarative counterpart of New's functional options: a
+// plain struct naming a scheme and its option values, decodable from JSON
+// and fillable from command-line flags. It exists for processes that build
+// many samplers from one configuration — a server creating one sampler per
+// stream key, a CLI constructing from a config file — where a value that
+// can be stored, transported and re-seeded per key is more convenient than
+// an option list.
+//
+// Pointer fields distinguish "not set" from a zero value. Setting an
+// option the scheme does not accept is an error, with one deliberate
+// exception: a Seed set for a scheme that takes no seed (window,
+// timewindow) is ignored, so a keyed registry can derive per-key seeds
+// uniformly without consulting the registry metadata first.
+type Config struct {
+	Scheme    string   `json:"scheme"`
+	Lambda    *float64 `json:"lambda,omitempty"`
+	MaxSize   *int     `json:"maxsize,omitempty"`
+	MeanBatch *float64 `json:"meanbatch,omitempty"`
+	Horizon   *float64 `json:"horizon,omitempty"`
+	Seed      *uint64  `json:"seed,omitempty"`
+}
+
+// WithSeed returns a copy of the config with the seed replaced. Combined
+// with DeriveSeed it gives every stream key its own deterministic
+// stochastic process from one base config.
+func (c Config) WithSeed(seed uint64) Config {
+	c.Seed = &seed
+	return c
+}
+
+// DeriveSeed mixes a base seed with a stream key into a per-key seed, so a
+// registry of samplers built from one Config is deterministic as a whole
+// yet no two keys share an RNG trajectory.
+func DeriveSeed(base uint64, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	// Splitmix-style finalizer over the xor keeps derived seeds
+	// well-separated even for near-identical keys.
+	z := base ^ h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Options resolves the config into the option list New expects, validating
+// the scheme name and dropping an unaccepted Seed (see the type comment).
+func (c Config) Options() (scheme string, opts []Option, err error) {
+	info, opts, err := c.resolve()
+	if err != nil {
+		return "", nil, err
+	}
+	return info.Name, opts, nil
+}
+
+// resolve is the shared core of Options and Validate: one registry lookup
+// plus the per-field acceptance checks.
+func (c Config) resolve() (Scheme, []Option, error) {
+	info, err := Lookup(c.Scheme)
+	if err != nil {
+		return Scheme{}, nil, err
+	}
+	var opts []Option
+	add := func(name string, opt Option) error {
+		if !info.Accepts(name) {
+			return fmt.Errorf("tbs: scheme %q does not accept option %s", info.Name, name)
+		}
+		opts = append(opts, opt)
+		return nil
+	}
+	if c.Lambda != nil {
+		if err := add(OptLambda, Lambda(*c.Lambda)); err != nil {
+			return Scheme{}, nil, err
+		}
+	}
+	if c.MaxSize != nil {
+		if err := add(OptMaxSize, MaxSize(*c.MaxSize)); err != nil {
+			return Scheme{}, nil, err
+		}
+	}
+	if c.MeanBatch != nil {
+		if err := add(OptMeanBatch, MeanBatch(*c.MeanBatch)); err != nil {
+			return Scheme{}, nil, err
+		}
+	}
+	if c.Horizon != nil {
+		if err := add(OptHorizon, Horizon(*c.Horizon)); err != nil {
+			return Scheme{}, nil, err
+		}
+	}
+	if c.Seed != nil && info.Accepts(OptSeed) {
+		opts = append(opts, Seed(*c.Seed))
+	}
+	return info, opts, nil
+}
+
+// Validate reports whether the config would construct successfully:
+// a known scheme, every required option present, no rejected option set,
+// every value in range.
+func (c Config) Validate() error {
+	info, opts, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	var scratch config
+	set := make(map[string]bool, len(opts))
+	for _, o := range opts {
+		if err := o.apply(&scratch); err != nil {
+			return fmt.Errorf("tbs: %s: %w", info.Name, err)
+		}
+		set[o.name] = true
+	}
+	for _, req := range info.Required {
+		if !set[req] {
+			return fmt.Errorf("tbs: scheme %q requires option %s", info.Name, req)
+		}
+	}
+	return nil
+}
+
+// RestrictedTo returns a copy of the config scoped to the named scheme:
+// the canonical name is set and every field the scheme rejects is
+// cleared. CLIs that expose one flag set across all schemes build one
+// full Config and narrow it here, instead of each maintaining its own
+// flag-to-option switch over the registry metadata.
+func (c Config) RestrictedTo(scheme string) (Config, error) {
+	info, err := Lookup(scheme)
+	if err != nil {
+		return Config{}, err
+	}
+	out := Config{Scheme: info.Name, Seed: c.Seed} // Options drops an unaccepted seed
+	if info.Accepts(OptLambda) {
+		out.Lambda = c.Lambda
+	}
+	if info.Accepts(OptMaxSize) {
+		out.MaxSize = c.MaxSize
+	}
+	if info.Accepts(OptMeanBatch) {
+		out.MeanBatch = c.MeanBatch
+	}
+	if info.Accepts(OptHorizon) {
+		out.Horizon = c.Horizon
+	}
+	return out, nil
+}
+
+// NewFromConfig constructs a sampler from a declarative config, applying
+// exactly the same validation as New.
+func NewFromConfig[T any](c Config) (Sampler[T], error) {
+	scheme, opts, err := c.Options()
+	if err != nil {
+		return nil, err
+	}
+	return New[T](scheme, opts...)
+}

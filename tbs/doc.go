@@ -26,7 +26,17 @@
 // The item type T must be JSON-serializable.
 //
 // Samplers are single-goroutine objects; wrap one in tbs.NewConcurrent to
-// share it between request handlers. Scheme-specific capabilities beyond
-// the core interface are reached through the capability helpers tbs.Weight,
-// tbs.AdvanceAt and tbs.Now, which report whether the scheme supports them.
+// share it between request handlers (read-only calls share an RWMutex
+// read lock, so readers never serialize against each other — except
+// R-TBS's Sample, which draws from the RNG to realize the partial item
+// and therefore takes the write lock). Scheme-specific
+// capabilities beyond the core interface are reached through the capability
+// helpers tbs.Weight, tbs.AdvanceAt and tbs.Now, which report whether the
+// scheme supports them.
+//
+// tbs.Config is the declarative counterpart of the functional options — a
+// JSON-decodable struct consumed by NewFromConfig — for processes that
+// build many samplers from one stored configuration; tbs.DeriveSeed turns
+// a base seed plus a stream key into well-separated per-key seeds (see
+// internal/server for the keyed registry built on both).
 package tbs

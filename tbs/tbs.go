@@ -44,12 +44,13 @@ type extended[T any] interface {
 
 // wrapper adapts one concrete internal sampler to the Sampler interface.
 type wrapper[T any] struct {
-	inner  core.Sampler[T]
-	scheme string
-	snap   func() (Snapshot, error)
-	weight func() (total, lambda float64) // nil when the scheme tracks no weights
-	timed  core.TimedSampler[T]           // nil when real-valued times are unsupported
-	incl   func(arrival float64) float64  // nil unless the scheme has exact inclusion probabilities
+	inner     core.Sampler[T]
+	scheme    string
+	snap      func() (Snapshot, error)
+	weight    func() (total, lambda float64) // nil when the scheme tracks no weights
+	timed     core.TimedSampler[T]           // nil when real-valued times are unsupported
+	incl      func(arrival float64) float64  // nil unless the scheme has exact inclusion probabilities
+	mutSample bool                           // true when Sample draws from the RNG (R-TBS)
 }
 
 func (w *wrapper[T]) Advance(batch []T)           { w.inner.Advance(batch) }
@@ -57,6 +58,7 @@ func (w *wrapper[T]) Sample() []T                 { return w.inner.Sample() }
 func (w *wrapper[T]) ExpectedSize() float64       { return w.inner.ExpectedSize() }
 func (w *wrapper[T]) Scheme() string              { return w.scheme }
 func (w *wrapper[T]) Snapshot() (Snapshot, error) { return w.snap() }
+func (w *wrapper[T]) sampleMutates() bool         { return w.mutSample }
 
 func (w *wrapper[T]) weightCap() (float64, float64, bool) {
 	if w.weight == nil {
@@ -228,12 +230,13 @@ func build[T any](name string, cfg config) (Sampler[T], error) {
 
 func wrapRTBS[T any](u *core.RTBS[T]) Sampler[T] {
 	return &wrapper[T]{
-		inner:  u,
-		scheme: "rtbs",
-		snap:   func() (Snapshot, error) { return encodeState("rtbs", u.Snapshot()) },
-		weight: func() (float64, float64) { return u.TotalWeight(), u.DecayRate() },
-		timed:  u,
-		incl:   u.InclusionProbability,
+		inner:     u,
+		scheme:    "rtbs",
+		snap:      func() (Snapshot, error) { return encodeState("rtbs", u.Snapshot()) },
+		weight:    func() (float64, float64) { return u.TotalWeight(), u.DecayRate() },
+		timed:     u,
+		incl:      u.InclusionProbability,
+		mutSample: true,
 	}
 }
 
