@@ -445,6 +445,52 @@ func evalKNN(m *ml.KNN, batch []datagen.Point) float64 {
 	return 100 * float64(wrong) / float64(len(batch))
 }
 
+// --- Ingest pipeline microbenchmarks --------------------------------------
+
+// BenchmarkIngestRTBSSteadyState is the acceptance gate of the sharded
+// zero-allocation ingest pipeline: a saturated R-TBS reservoir driven with
+// Advance + AppendSample into caller-owned buffers must report 0 allocs/op.
+// The copy variant shows what the pre-append API paid per call.
+func BenchmarkIngestRTBSSteadyState(b *testing.B) {
+	const n, lambda, batchSize = 10000, 0.07, 1000
+	setup := func(b *testing.B) (*core.RTBS[int], []int) {
+		b.Helper()
+		s, err := core.NewRTBS[int](lambda, n, xrand.New(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := make([]int, batchSize)
+		for i := 0; i < 40; i++ {
+			s.Advance(batch)
+		}
+		if !s.Saturated() {
+			b.Fatal("warmup did not saturate the reservoir")
+		}
+		return s, batch
+	}
+	b.Run("advance+append", func(b *testing.B) {
+		s, batch := setup(b)
+		buf := make([]int, 0, n+1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Advance(batch)
+			buf = s.AppendSample(buf[:0])
+		}
+		b.ReportMetric(float64(batchSize), "items/op")
+	})
+	b.Run("advance+sample-copy", func(b *testing.B) {
+		s, batch := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Advance(batch)
+			_ = s.Sample()
+		}
+		b.ReportMetric(float64(batchSize), "items/op")
+	})
+}
+
 // --- Core sampler microbenchmarks -----------------------------------------
 
 func benchSamplerAdvance(b *testing.B, mk func() core.Sampler[int], batchSize int) {

@@ -22,22 +22,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/atomicfile"
 	"repro/internal/experiments"
 )
 
-// runRecord is the machine-readable form of one experiment run.
+// runRecord is the machine-readable form of one experiment run. Allocs and
+// AllocBytes are b.ReportAllocs-equivalent counters for the whole run
+// (heap allocation count and bytes, from runtime.MemStats deltas), so
+// BENCH_*.json trajectories expose allocation regressions, not just time.
 type runRecord struct {
-	ID        string     `json:"id"`
-	Title     string     `json:"title"`
-	Quick     bool       `json:"quick"`
-	Seed      uint64     `json:"seed"`
-	Header    []string   `json:"header"`
-	Rows      [][]string `json:"rows"`
-	Notes     []string   `json:"notes,omitempty"`
-	ElapsedMS int64      `json:"elapsedMs"`
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	Quick      bool       `json:"quick"`
+	Seed       uint64     `json:"seed"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	ElapsedMS  int64      `json:"elapsedMs"`
+	Allocs     uint64     `json:"allocs"`
+	AllocBytes uint64     `json:"allocBytes"`
 }
 
 func main() {
@@ -78,6 +84,8 @@ func main() {
 
 	var records []runRecord
 	for _, s := range specs {
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		res, err := s.Run(*quick, *seed)
 		if err != nil {
@@ -85,6 +93,7 @@ func main() {
 			os.Exit(1)
 		}
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
 		render := res.Format
 		if *plot {
 			render = res.Plot
@@ -95,14 +104,16 @@ func main() {
 		}
 		fmt.Printf("(%s finished in %v)\n\n", s.ID, elapsed.Round(time.Millisecond))
 		records = append(records, runRecord{
-			ID:        res.ID,
-			Title:     res.Title,
-			Quick:     *quick,
-			Seed:      *seed,
-			Header:    res.Header,
-			Rows:      res.Rows,
-			Notes:     res.Notes,
-			ElapsedMS: elapsed.Milliseconds(),
+			ID:         res.ID,
+			Title:      res.Title,
+			Quick:      *quick,
+			Seed:       *seed,
+			Header:     res.Header,
+			Rows:       res.Rows,
+			Notes:      res.Notes,
+			ElapsedMS:  elapsed.Milliseconds(),
+			Allocs:     msAfter.Mallocs - msBefore.Mallocs,
+			AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
 		})
 	}
 	if *jsonPath != "" {

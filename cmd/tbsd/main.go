@@ -13,13 +13,24 @@
 // API:
 //
 //	POST /v1/streams/{key}/items     ingest (JSON array = bulk, else one
-//	                                 item); ?advance=true closes the batch
+//	                                 item); ?advance=true closes the batch.
+//	                                 With Content-Type application/x-ndjson
+//	                                 the body streams one JSON value per
+//	                                 line through the sharded zero-copy
+//	                                 decoder; ?batch=N closes a pipelined
+//	                                 batch boundary every N items
 //	POST /v1/streams/{key}/advance   explicit batch boundary
 //	GET  /v1/streams/{key}/sample    realized sample
 //	GET  /v1/streams/{key}/stats     size/weight/clock bookkeeping
 //	GET  /v1/streams                 enumerate stream keys
 //	GET  /metrics                    Prometheus text metrics
 //	GET  /healthz                    liveness
+//
+// Batch boundaries are applied asynchronously by -shards engine workers,
+// each draining a bounded mailbox of -queue closed batches (key-affine, so
+// per-stream order is preserved); a full mailbox applies backpressure to
+// that worker's streams. -queue 0 disables the engine and applies batches
+// inline.
 //
 // On SIGINT/SIGTERM the daemon drains HTTP, stops the background loops,
 // and writes a final checkpoint so a restart resumes every stream's exact
@@ -54,7 +65,8 @@ func main() {
 		meanBatch  = flag.Float64("meanbatch", 100, "assumed mean batch size (T-TBS only)")
 		horizon    = flag.Float64("horizon", 10, "time-window horizon in batches (window schemes only)")
 		seed       = flag.Uint64("seed", 1, "base RNG seed; per-stream seeds are derived from it")
-		shards     = flag.Int("shards", 16, "lock stripes in the keyed registry")
+		shards     = flag.Int("shards", 16, "lock stripes in the keyed registry and engine shard workers")
+		queue      = flag.Int("queue", 128, "bounded mailbox depth per engine worker (0 = apply batches inline, no engine)")
 		batchIv    = flag.Duration("batch-interval", 0, "wall-clock batch boundary period for every stream (0 = explicit /advance only)")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for per-stream checkpoints (restore on boot, save periodically and on shutdown)")
 		ckptIv     = flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period")
@@ -69,9 +81,14 @@ func main() {
 		logger.Println(err)
 		os.Exit(2)
 	}
+	queueDepth := *queue
+	if queueDepth <= 0 {
+		queueDepth = -1 // Options semantics: negative disables the engine.
+	}
 	srv, err := server.New(server.Options{
 		Sampler:            cfg,
 		Shards:             *shards,
+		QueueDepth:         queueDepth,
 		BatchInterval:      *batchIv,
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: *ckptIv,

@@ -92,11 +92,15 @@ func (s *ARes[T]) AdvanceAt(t float64, batch []T) {
 
 // Sample returns a copy of the current sample.
 func (s *ARes[T]) Sample() []T {
-	out := make([]T, len(s.h))
+	return s.AppendSample(make([]T, 0, len(s.h)))
+}
+
+// AppendSample appends the current sample to dst; see core.AppendSampler.
+func (s *ARes[T]) AppendSample(dst []T) []T {
 	for i := range s.h {
-		out[i] = s.h[i].item
+		dst = append(dst, s.h[i].item)
 	}
-	return out
+	return dst
 }
 
 // Size returns the exact current sample size.

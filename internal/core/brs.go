@@ -61,10 +61,11 @@ func (s *BRS[T]) Advance(batch []T) {
 
 // Sample returns a copy of the current sample.
 func (s *BRS[T]) Sample() []T {
-	out := make([]T, len(s.sample))
-	copy(out, s.sample)
-	return out
+	return s.AppendSample(make([]T, 0, len(s.sample)))
 }
+
+// AppendSample appends the current sample to dst; see core.AppendSampler.
+func (s *BRS[T]) AppendSample(dst []T) []T { return append(dst, s.sample...) }
 
 // Size returns the exact current sample size.
 func (s *BRS[T]) Size() int { return len(s.sample) }

@@ -47,10 +47,11 @@ func (s *BTBS[T]) AdvanceAt(t float64, batch []T) {
 
 // Sample returns a copy of the current sample.
 func (s *BTBS[T]) Sample() []T {
-	out := make([]T, len(s.sample))
-	copy(out, s.sample)
-	return out
+	return s.AppendSample(make([]T, 0, len(s.sample)))
 }
+
+// AppendSample appends the current sample to dst; see core.AppendSampler.
+func (s *BTBS[T]) AppendSample(dst []T) []T { return append(dst, s.sample...) }
 
 // Size returns the exact current sample size.
 func (s *BTBS[T]) Size() int { return len(s.sample) }

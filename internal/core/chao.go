@@ -169,12 +169,17 @@ func (c *BChao[T]) normalize(x T) (pix float64, a []weighted[T], xOver bool) {
 
 // Sample returns a copy of the current sample S ∪ V.
 func (c *BChao[T]) Sample() []T {
-	out := make([]T, 0, len(c.s)+len(c.v))
-	out = append(out, c.s...)
+	return c.AppendSample(make([]T, 0, len(c.s)+len(c.v)))
+}
+
+// AppendSample appends the current sample S ∪ V to dst; see
+// core.AppendSampler.
+func (c *BChao[T]) AppendSample(dst []T) []T {
+	dst = append(dst, c.s...)
 	for i := range c.v {
-		out = append(out, c.v[i].item)
+		dst = append(dst, c.v[i].item)
 	}
-	return out
+	return dst
 }
 
 // Size returns the exact current sample size |S| + |V|.

@@ -75,7 +75,7 @@ func RestoreRTBS[T any](snap RTBSSnapshot[T]) (*RTBS[T], error) {
 		rng:    rng,
 		latent: &Latent[T]{
 			full:    append([]T(nil), snap.Full...),
-			partial: append([]T(nil), snap.Partial...),
+			partial: append(make([]T, 0, 1), snap.Partial...),
 			weight:  snap.C,
 		},
 		w:   snap.W,

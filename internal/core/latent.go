@@ -20,9 +20,11 @@ type Latent[T any] struct {
 }
 
 // NewLatent returns a latent sample containing the given items as full
-// items, with weight len(items). The slice is copied.
+// items, with weight len(items). The slice is copied. The one-slot partial
+// buffer is pre-allocated so that swap1/move1 never allocate, keeping the
+// steady-state Advance path allocation-free.
 func NewLatent[T any](items []T) *Latent[T] {
-	l := &Latent[T]{weight: float64(len(items))}
+	l := &Latent[T]{weight: float64(len(items)), partial: make([]T, 0, 1)}
 	l.full = append(l.full, items...)
 	return l
 }
@@ -49,12 +51,21 @@ func (l *Latent[T]) Full() []T { return l.full }
 // every full item is included, and the partial item is included with
 // probability frac(C). The returned slice is a fresh copy.
 func (l *Latent[T]) Realize(rng *xrand.RNG) []T {
-	out := make([]T, 0, l.Footprint())
-	out = append(out, l.full...)
+	return l.AppendRealize(rng, make([]T, 0, l.Footprint()))
+}
+
+// AppendRealize is Realize into a caller-owned buffer: the realized sample
+// is appended to dst and the extended slice returned. A caller that reuses
+// the returned slice (dst = l.AppendRealize(rng, dst[:0])) realizes without
+// allocating once the buffer has grown to the sample footprint — the
+// append-side half of the zero-allocation ingest path. It consumes exactly
+// the same RNG draws as Realize.
+func (l *Latent[T]) AppendRealize(rng *xrand.RNG, dst []T) []T {
+	dst = append(dst, l.full...)
 	if len(l.partial) == 1 && rng.Bernoulli(frac(l.weight)) {
-		out = append(out, l.partial[0])
+		dst = append(dst, l.partial[0])
 	}
-	return out
+	return dst
 }
 
 // appendFull adds items to A with weight 1 each, increasing C by len(items).

@@ -27,6 +27,12 @@ type RTBS[T any] struct {
 	latent *Latent[T]
 	w      float64 // total weight Wₜ
 	now    float64 // time of the most recent batch
+
+	// Scratch buffers for the saturated-case victim/insert index draws.
+	// They are derived state (never serialized) and let AdvanceAt run
+	// allocation-free once grown to the reservoir size.
+	victimScratch []int
+	insertScratch []int
 }
 
 // NewRTBS returns an R-TBS sampler with decay rate lambda (≥ 0), maximum
@@ -103,8 +109,9 @@ func (s *RTBS[T]) AdvanceAt(t float64, batch []T) {
 		if m == 0 {
 			return
 		}
-		victims := s.rng.SampleIndices(len(s.latent.full), m)
-		inserts := s.rng.SampleIndices(len(batch), m)
+		victims := s.rng.SampleIndicesInto(s.victimScratch, len(s.latent.full), m)
+		inserts := s.rng.SampleIndicesInto(s.insertScratch, len(batch), m)
+		s.victimScratch, s.insertScratch = victims, inserts
 		for i := 0; i < m; i++ {
 			s.latent.full[victims[i]] = batch[inserts[i]]
 		}
@@ -119,6 +126,10 @@ func (s *RTBS[T]) AdvanceAt(t float64, batch []T) {
 
 // Sample realizes and returns the current sample Sₜ (equation (2)).
 func (s *RTBS[T]) Sample() []T { return s.latent.Realize(s.rng) }
+
+// AppendSample realizes the current sample into a caller-owned buffer; see
+// core.AppendSampler. It consumes the same RNG draws as Sample.
+func (s *RTBS[T]) AppendSample(dst []T) []T { return s.latent.AppendRealize(s.rng, dst) }
 
 // Latent exposes the internal latent sample for read-only inspection
 // (tests, distributed merging, and footprint accounting).

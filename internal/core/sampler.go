@@ -21,6 +21,19 @@ type Sampler[T any] interface {
 	ExpectedSize() float64
 }
 
+// AppendSampler is implemented by samplers whose realization can be
+// appended into a caller-owned buffer. AppendSample(dst[:0]) draws exactly
+// the same realization (consuming the same RNG state) as Sample, but reuses
+// dst's backing array when it has capacity — the read-side half of the
+// steady-state zero-allocation ingest path. Every scheme in this package
+// implements it; Sample is a thin copying wrapper over it.
+type AppendSampler[T any] interface {
+	// AppendSample appends a freshly realized sample to dst and returns
+	// the extended slice. Items are value copies; for reference-typed T
+	// (slices, pointers) the pointees are shared with sampler storage.
+	AppendSample(dst []T) []T
+}
+
 // TimedSampler is implemented by samplers that support arbitrary real-valued
 // batch-arrival times (Section 2: "our results can be applied to arbitrary
 // sequences of real-valued batch arrival times").

@@ -126,8 +126,13 @@ func (h *maxHeapF64) Pop() any {
 // Sample returns the current sample: the min(n, unexpired) items with the
 // smallest priorities.
 func (s *PriorityTimeWindow[T]) Sample() []T {
+	return s.AppendSample(make([]T, 0, s.Size()))
+}
+
+// AppendSample appends the current sample to dst; see core.AppendSampler.
+func (s *PriorityTimeWindow[T]) AppendSample(dst []T) []T {
 	// Candidates are few (expected O(n log(W/n))); select the n smallest
-	// priorities with a bounded max-heap over indices.
+	// priorities with a bounded scan over indices.
 	type cand struct {
 		idx      int
 		priority float64
@@ -153,11 +158,10 @@ func (s *PriorityTimeWindow[T]) Sample() []T {
 			best[w] = c
 		}
 	}
-	out := make([]T, len(best))
-	for i, c := range best {
-		out[i] = s.items[c.idx].item
+	for _, c := range best {
+		dst = append(dst, s.items[c.idx].item)
 	}
-	return out
+	return dst
 }
 
 // Size returns the current sample size: min(n, unexpired items).

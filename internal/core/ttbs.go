@@ -25,6 +25,10 @@ type TTBS[T any] struct {
 
 	sample []T
 	now    float64
+
+	// idxScratch backs the batch-acceptance index draw so steady-state
+	// AdvanceAt does not allocate; derived state, never serialized.
+	idxScratch []int
 }
 
 // NewTTBS returns a T-TBS sampler with decay rate lambda (> 0), target
@@ -76,15 +80,20 @@ func (s *TTBS[T]) AdvanceAt(t float64, batch []T) {
 	s.sample = xrand.SampleInPlace(s.rng, s.sample, m)
 
 	k := s.rng.Binomial(len(batch), s.q)
-	s.sample = append(s.sample, xrand.Sample(s.rng, batch, k)...)
+	idx := s.rng.SampleIndicesInto(s.idxScratch, len(batch), k)
+	s.idxScratch = idx
+	for _, j := range idx {
+		s.sample = append(s.sample, batch[j])
+	}
 }
 
 // Sample returns a copy of the current sample.
 func (s *TTBS[T]) Sample() []T {
-	out := make([]T, len(s.sample))
-	copy(out, s.sample)
-	return out
+	return s.AppendSample(make([]T, 0, len(s.sample)))
 }
+
+// AppendSample appends the current sample to dst; see core.AppendSampler.
+func (s *TTBS[T]) AppendSample(dst []T) []T { return append(dst, s.sample...) }
 
 // Size returns the exact current sample size Cₜ.
 func (s *TTBS[T]) Size() int { return len(s.sample) }

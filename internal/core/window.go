@@ -39,11 +39,16 @@ func (s *SlidingWindow[T]) Advance(batch []T) {
 
 // Sample returns the window contents, oldest first.
 func (s *SlidingWindow[T]) Sample() []T {
-	out := make([]T, s.size)
+	return s.AppendSample(make([]T, 0, s.size))
+}
+
+// AppendSample appends the window contents, oldest first, to dst; see
+// core.AppendSampler.
+func (s *SlidingWindow[T]) AppendSample(dst []T) []T {
 	for i := 0; i < s.size; i++ {
-		out[i] = s.buf[(s.start+i)%s.n]
+		dst = append(dst, s.buf[(s.start+i)%s.n])
 	}
-	return out
+	return dst
 }
 
 // Size returns the number of items currently held.
@@ -100,10 +105,12 @@ func (s *TimeWindow[T]) AdvanceAt(t float64, batch []T) {
 
 // Sample returns the window contents, oldest first.
 func (s *TimeWindow[T]) Sample() []T {
-	out := make([]T, len(s.items))
-	copy(out, s.items)
-	return out
+	return s.AppendSample(make([]T, 0, len(s.items)))
 }
+
+// AppendSample appends the window contents, oldest first, to dst; see
+// core.AppendSampler.
+func (s *TimeWindow[T]) AppendSample(dst []T) []T { return append(dst, s.items...) }
 
 // Size returns the number of items currently held.
 func (s *TimeWindow[T]) Size() int { return len(s.items) }

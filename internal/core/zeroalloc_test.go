@@ -1,0 +1,57 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestIngestHotPathZeroAlloc enforces the steady-state allocation contract
+// of the sharded ingest pipeline: once an R-TBS reservoir is saturated and
+// its scratch buffers have grown, Advance + AppendSample allocate nothing.
+// (Excluded under -race: the detector's instrumentation perturbs the
+// allocation accounting.)
+func TestIngestHotPathZeroAlloc(t *testing.T) {
+	const n, lambda, batchSize = 5000, 0.07, 500
+	s, err := NewRTBS[int](lambda, n, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]int, batchSize)
+	for i := range batch {
+		batch[i] = i
+	}
+	// Saturate and let every scratch buffer reach its high-water mark.
+	for i := 0; i < 40; i++ {
+		s.Advance(batch)
+	}
+	if !s.Saturated() {
+		t.Fatal("reservoir not saturated after warmup")
+	}
+	buf := make([]int, 0, n+1)
+	if avg := testing.AllocsPerRun(200, func() {
+		s.Advance(batch)
+		buf = s.AppendSample(buf[:0])
+	}); avg != 0 {
+		t.Fatalf("steady-state Advance+AppendSample allocates %.2f times per op, want 0", avg)
+	}
+
+	// The decaying (unsaturated) regime with a stable batch flow also runs
+	// clean once capacities have stabilized: T-TBS.
+	tt, err := NewTTBS[int](lambda, n, batchSize, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		tt.Advance(batch)
+	}
+	tbuf := make([]int, 0, 2*n)
+	if avg := testing.AllocsPerRun(200, func() {
+		tt.Advance(batch)
+		tbuf = tt.AppendSample(tbuf[:0])
+	}); avg > 0.05 {
+		t.Fatalf("steady-state T-TBS Advance+AppendSample allocates %.2f times per op, want ~0", avg)
+	}
+}

@@ -1,0 +1,212 @@
+// Package engine is the sharded asynchronous apply stage of the ingest
+// pipeline: a fixed pool of shard workers, each draining a bounded FIFO
+// mailbox of tasks. Stream keys are hashed to workers, so every task for
+// one key executes on one goroutine in submission order — per-stream
+// sampler updates stay sequential (the samplers are not concurrent data
+// structures) while unrelated streams apply batches in parallel across
+// cores instead of serializing on registry locks.
+//
+// Backpressure is explicit: a Submit against a full mailbox blocks (and is
+// counted) until the worker drains, so a burst cannot grow memory without
+// bound — the paper's "sampling must keep up with the stream" constraint
+// becomes a bounded queue instead of an unbounded one. Close drains every
+// mailbox before returning, which is what lets tbsd take its final
+// checkpoint after shutdown with no batch left behind.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Submit and Flush after Close has begun; callers
+// fall back to applying the task inline.
+var ErrClosed = errors.New("engine: closed")
+
+// task is one mailbox element: either work (run != nil) or a flush
+// sentinel (done != nil).
+type task struct {
+	run  func()
+	done chan struct{}
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	Workers   int
+	QueueCap  int
+	Submitted uint64 // tasks accepted (sentinels excluded)
+	Completed uint64 // tasks fully executed
+	Blocked   uint64 // submissions that found their mailbox full
+	Depths    []int  // current queue depth per worker
+}
+
+// Pending returns the number of accepted-but-unfinished tasks.
+func (s Stats) Pending() uint64 { return s.Submitted - s.Completed }
+
+// Engine is the worker pool. Create with New, feed with Submit, await
+// per-key completion with Flush, and shut down with Close.
+type Engine struct {
+	queues   []chan task
+	depths   []atomic.Int64
+	queueCap int
+	seed     maphash.Seed
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	blocked   atomic.Uint64
+
+	// closeMu guards the closed flag against in-flight Submits: Submit
+	// holds the read side across its channel send, so Close (write side)
+	// cannot close a channel mid-send.
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New returns a started engine with the given number of shard workers,
+// each owning a mailbox of the given depth.
+func New(workers, depth int) (*Engine, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("engine: worker count must be positive, got %d", workers)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("engine: queue depth must be positive, got %d", depth)
+	}
+	e := &Engine{
+		queues:   make([]chan task, workers),
+		depths:   make([]atomic.Int64, workers),
+		queueCap: depth,
+		seed:     maphash.MakeSeed(),
+	}
+	for i := range e.queues {
+		e.queues[i] = make(chan task, depth)
+		e.wg.Add(1)
+		go e.run(i)
+	}
+	return e, nil
+}
+
+func (e *Engine) run(i int) {
+	defer e.wg.Done()
+	for t := range e.queues[i] {
+		e.depths[i].Add(-1)
+		if t.done != nil {
+			close(t.done)
+			continue
+		}
+		t.run()
+		e.completed.Add(1)
+	}
+}
+
+// Workers returns the shard worker count.
+func (e *Engine) Workers() int { return len(e.queues) }
+
+// workerFor maps a key to its owning worker.
+func (e *Engine) workerFor(key string) int {
+	return int(maphash.String(e.seed, key) % uint64(len(e.queues)))
+}
+
+// Submit enqueues fn on the worker owning key. Tasks submitted for one key
+// from one goroutine run in submission order. When the worker's mailbox is
+// full, Submit blocks until space frees up — that blocking is the
+// pipeline's backpressure, surfaced in Stats.Blocked. After Close it
+// returns ErrClosed without running fn.
+func (e *Engine) Submit(key string, fn func()) error {
+	return e.enqueue(key, task{run: fn}, true)
+}
+
+// Flush blocks until every task submitted for key's worker before the call
+// has finished. Because mailboxes are FIFO, this is a happens-after
+// barrier for all of key's prior tasks (and, incidentally, for other keys
+// sharing the worker). After Close it returns immediately: Close has
+// already drained everything.
+func (e *Engine) Flush(key string) {
+	done := make(chan struct{})
+	if err := e.enqueue(key, task{done: done}, false); err != nil {
+		return
+	}
+	<-done
+}
+
+// FlushAll is Flush across every worker, waiting in parallel.
+func (e *Engine) FlushAll() {
+	dones := make([]chan struct{}, len(e.queues))
+	for i := range e.queues {
+		done := make(chan struct{})
+		if err := e.enqueueWorker(i, task{done: done}, false); err != nil {
+			continue
+		}
+		dones[i] = done
+	}
+	for _, done := range dones {
+		if done != nil {
+			<-done
+		}
+	}
+}
+
+func (e *Engine) enqueue(key string, t task, counted bool) error {
+	return e.enqueueWorker(e.workerFor(key), t, counted)
+}
+
+func (e *Engine) enqueueWorker(i int, t task, counted bool) error {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	q := e.queues[i]
+	// Count before the send: a fast worker may complete the task before
+	// this function returns, and Completed must never exceed Submitted
+	// (Stats.Pending would underflow).
+	e.depths[i].Add(1)
+	if counted {
+		e.submitted.Add(1)
+	}
+	select {
+	case q <- t:
+	default:
+		// Mailbox full: record the backpressure event, then block.
+		if counted {
+			e.blocked.Add(1)
+		}
+		q <- t
+	}
+	return nil
+}
+
+// Close stops accepting tasks, drains every mailbox, and joins the
+// workers. It is idempotent; concurrent and later Submits get ErrClosed.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return
+	}
+	e.closed = true
+	for _, q := range e.queues {
+		close(q)
+	}
+	e.closeMu.Unlock()
+	e.wg.Wait()
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Workers:   len(e.queues),
+		QueueCap:  e.queueCap,
+		Submitted: e.submitted.Load(),
+		Completed: e.completed.Load(),
+		Blocked:   e.blocked.Load(),
+		Depths:    make([]int, len(e.depths)),
+	}
+	for i := range e.depths {
+		st.Depths[i] = int(e.depths[i].Load())
+	}
+	return st
+}

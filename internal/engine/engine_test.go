@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Fatal("New(0, 4) succeeded")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Fatal("New(4, 0) succeeded")
+	}
+}
+
+// TestPerKeyOrdering: tasks for one key run in submission order even with
+// many workers and concurrent submitters on other keys.
+func TestPerKeyOrdering(t *testing.T) {
+	e, err := New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const keys, perKey = 16, 200
+	got := make([][]int, keys)
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("stream-%d", k)
+			for i := 0; i < perKey; i++ {
+				if err := e.Submit(key, func() { got[k] = append(got[k], i) }); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+			e.Flush(key)
+		}()
+	}
+	wg.Wait()
+	for k := range got {
+		if len(got[k]) != perKey {
+			t.Fatalf("key %d: %d tasks ran, want %d", k, len(got[k]), perKey)
+		}
+		for i, v := range got[k] {
+			if v != i {
+				t.Fatalf("key %d: out-of-order execution at %d: %v", k, i, got[k][:i+1])
+			}
+		}
+	}
+}
+
+// TestFlushIsBarrier: Flush returns only after previously submitted tasks
+// for the key have completed.
+func TestFlushIsBarrier(t *testing.T) {
+	e, err := New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var done atomic.Bool
+	release := make(chan struct{})
+	if err := e.Submit("k", func() {
+		<-release
+		done.Store(true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	e.Flush("k")
+	if !done.Load() {
+		t.Fatal("Flush returned before the task completed")
+	}
+}
+
+// TestBackpressure: with a depth-1 mailbox and a stalled worker, further
+// submissions block and are counted.
+func TestBackpressure(t *testing.T) {
+	e, err := New(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stall := make(chan struct{})
+	if err := e.Submit("a", func() { <-stall }); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the mailbox behind the stalled task, then one more to block.
+	if err := e.Submit("a", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	unblocked := make(chan struct{})
+	go func() {
+		if err := e.Submit("a", func() {}); err != nil {
+			t.Errorf("Submit: %v", err)
+		}
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("submit to a full mailbox did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(stall)
+	<-unblocked
+	e.Close()
+
+	st := e.Stats()
+	if st.Blocked == 0 {
+		t.Fatalf("Stats.Blocked = 0 after a blocking submit: %+v", st)
+	}
+	if st.Submitted != 3 || st.Completed != 3 {
+		t.Fatalf("Stats = %+v, want 3 submitted and completed", st)
+	}
+}
+
+// TestCloseDrains: every accepted task runs before Close returns, and
+// post-Close submissions are refused.
+func TestCloseDrains(t *testing.T) {
+	e, err := New(3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := e.Submit(fmt.Sprint("k", i%7), func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	if got := ran.Load(); got != n {
+		t.Fatalf("%d tasks ran before Close returned, want %d", got, n)
+	}
+	if err := e.Submit("k", func() {}); err != ErrClosed {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	e.Flush("k") // must not hang
+	e.Close()    // idempotent
+	if p := e.Stats().Pending(); p != 0 {
+		t.Fatalf("Pending = %d after Close", p)
+	}
+}
+
+// TestConcurrentChurn is a -race workout: submitters, flushers and stats
+// readers racing against Close.
+func TestConcurrentChurn(t *testing.T) {
+	e, err := New(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprint("key-", g%3)
+			for i := 0; i < 100; i++ {
+				_ = e.Submit(key, func() {})
+				if i%10 == 0 {
+					e.Flush(key)
+					_ = e.Stats()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	e.FlushAll()
+	e.Close()
+	st := e.Stats()
+	if st.Submitted != st.Completed {
+		t.Fatalf("submitted %d != completed %d after Close", st.Submitted, st.Completed)
+	}
+}

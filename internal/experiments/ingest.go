@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/xrand"
+	"repro/tbs"
+)
+
+// IngestPipeline is the ingest-pipeline benchmark mode: it measures the
+// wire→engine→shard→sampler data path end to end (handler-direct, no
+// sockets) on both wire formats, plus the core sampler hot path, and
+// reports throughput with b.ReportAllocs-equivalent counters. It is the
+// measurable form of the sharded zero-allocation refactor: the JSON row
+// is the per-request buffered path, the NDJSON row the streaming decoder
+// with engine-pipelined batch boundaries.
+func IngestPipeline(quick bool, seed uint64) (*Result, error) {
+	itemsPerRequest := 2000
+	requests := runsFor(quick, 300, 40)
+
+	jsonBody, ndjsonBody := ingestBodies(itemsPerRequest)
+	res := &Result{
+		ID:     "ingest",
+		Title:  "ingest pipeline throughput: buffered JSON vs streaming NDJSON vs core hot path",
+		Header: []string{"path", "items", "elapsed ms", "items/sec", "allocs/item", "B/item"},
+	}
+
+	jsonRate, err := runIngestPath(res, "http JSON array", seed, requests, itemsPerRequest,
+		"/v1/streams/bench/items?advance=true", "", jsonBody)
+	if err != nil {
+		return nil, err
+	}
+	ndjsonRate, err := runIngestPath(res, "http NDJSON engine", seed, requests, itemsPerRequest,
+		fmt.Sprintf("/v1/streams/bench/items?batch=%d", itemsPerRequest),
+		"application/x-ndjson", ndjsonBody)
+	if err != nil {
+		return nil, err
+	}
+	if err := runIngestCore(res, seed, requests, itemsPerRequest); err != nil {
+		return nil, err
+	}
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("NDJSON/JSON speedup: %.2fx items/sec", ndjsonRate/jsonRate))
+	return res, nil
+}
+
+func ingestBodies(items int) (jsonBody, ndjsonBody []byte) {
+	var j, nd bytes.Buffer
+	j.WriteByte('[')
+	for i := 0; i < items; i++ {
+		item := fmt.Sprintf(`{"sensor":%d,"v":%d.%03d,"tag":"s-%d"}`, i%64, i%97, i%1000, i)
+		if i > 0 {
+			j.WriteByte(',')
+		}
+		j.WriteString(item)
+		nd.WriteString(item)
+		nd.WriteByte('\n')
+	}
+	j.WriteByte(']')
+	return j.Bytes(), nd.Bytes()
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// runIngestPath drives one wire format through a fresh server and appends
+// its row.
+func runIngestPath(res *Result, name string, seed uint64, requests, itemsPerRequest int, path, contentType string, body []byte) (itemsPerSec float64, err error) {
+	lambda, n := 0.07, 1000
+	srv, err := server.New(server.Options{
+		Sampler: tbs.Config{Scheme: "rtbs", Lambda: &lambda, MaxSize: &n, Seed: ptr(seed)},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if serr := srv.Stop(ctx); err == nil {
+			err = serr
+		}
+	}()
+	handler := srv.Handler()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			return 0, fmt.Errorf("ingest: %s: status %d: %s", name, rec.Code, rec.Body.String())
+		}
+	}
+	// Drain inside the timed window: the NDJSON path pipelines batch
+	// application through the engine, and a synchronous /advance is a
+	// FIFO barrier behind every queued boundary — without it the NDJSON
+	// row would stop the clock with work still in flight while the JSON
+	// row (advanceWait per request) pays for everything in-window.
+	drain := httptest.NewRequest("POST", "/v1/streams/bench/advance", nil)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, drain)
+	if rec.Code != 200 {
+		return 0, fmt.Errorf("ingest: %s: drain status %d: %s", name, rec.Code, rec.Body.String())
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	total := requests * itemsPerRequest
+	itemsPerSec = float64(total) / elapsed.Seconds()
+	allocsPerItem := float64(after.Mallocs-before.Mallocs) / float64(total)
+	bytesPerItem := float64(after.TotalAlloc-before.TotalAlloc) / float64(total)
+	res.Rows = append(res.Rows, []string{
+		name, fmt.Sprint(total), f1(elapsed.Seconds() * 1000),
+		f0(itemsPerSec), f2(allocsPerItem), f1(bytesPerItem),
+	})
+	return itemsPerSec, nil
+}
+
+// runIngestCore measures the bare sampler hot path — saturated R-TBS
+// Advance + AppendSample with caller-owned buffers — whose steady-state
+// allocation count must be zero.
+func runIngestCore(res *Result, seed uint64, requests, itemsPerRequest int) error {
+	const n, lambda = 1000, 0.07
+	s, err := core.NewRTBS[int](lambda, n, xrand.New(seed))
+	if err != nil {
+		return err
+	}
+	batch := make([]int, itemsPerRequest)
+	for i := 0; i < 10; i++ {
+		s.Advance(batch)
+	}
+	buf := make([]int, 0, n+1)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		s.Advance(batch)
+		buf = s.AppendSample(buf[:0])
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	total := requests * itemsPerRequest
+	res.Rows = append(res.Rows, []string{
+		"core advance+append", fmt.Sprint(total), f1(elapsed.Seconds() * 1000),
+		f0(float64(total) / elapsed.Seconds()),
+		f2(float64(after.Mallocs-before.Mallocs) / float64(total)),
+		f1(float64(after.TotalAlloc-before.TotalAlloc) / float64(total)),
+	})
+	return nil
+}

@@ -88,6 +88,7 @@ func Registry() []Spec {
 		{"ttbs-law", "Theorem 3.1(ii): T-TBS mean sample-size law", func(quick bool, seed uint64) (*Result, error) {
 			return TTBSLaw(runsFor(quick, 5000, 500), seed)
 		}},
+		{"ingest", "ingest pipeline: JSON vs NDJSON+engine vs core hot path", IngestPipeline},
 	}
 	sort.Slice(specs, func(i, j int) bool { return specs[i].ID < specs[j].ID })
 	return specs

@@ -22,6 +22,7 @@ type checkpointState struct {
 	Key      string       `json:"key"`
 	Snapshot tbs.Snapshot `json:"snapshot"`
 	Pending  []Item       `json:"pending,omitempty"`
+	Queued   [][]Item     `json:"queued,omitempty"` // closed boundaries not yet applied; replayed on restore
 	Ingested uint64       `json:"ingested"`
 	Batches  uint64       `json:"batches"`
 }
@@ -77,6 +78,10 @@ func (s *Server) checkpointAll() error {
 	var firstErr error
 	written := 0
 	for _, e := range entries {
+		// Apply the stream's queued batches first, so the captured snapshot
+		// never reflects a closed-but-unapplied boundary (the batch items
+		// would be in neither the pending list nor the sampler state).
+		s.flushStream(e)
 		st, wasDirty, err := e.checkpoint()
 		if err != nil {
 			if firstErr == nil {
@@ -160,6 +165,15 @@ func (s *Server) restoreAll() (int, error) {
 			pending:        st.Pending,
 			ingested:       st.Ingested,
 			batches:        st.Batches,
+		}
+		// Replay boundaries that were closed but still queued when the
+		// checkpoint was taken: the snapshot's RNG predates them, so
+		// applying them in order reproduces the exact stochastic process
+		// the pre-crash server was executing.
+		for _, b := range st.Queued {
+			e.sampler.Advance(b)
+			e.batches++
+			e.dirty = true // memory is now ahead of the on-disk state
 		}
 		if err := s.reg.insertRestored(e); err != nil {
 			return restored, err

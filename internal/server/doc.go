@@ -17,8 +17,16 @@
 //     so unrelated streams never contend on one lock. Each entry holds a
 //     tbs.Concurrent sampler (read paths share its RLock) plus the open
 //     batch buffer, guarded by a per-entry mutex.
-//   - handlers: POST items (single or bulk per request), POST advance,
+//   - handlers: POST items (single or bulk JSON per request, or streaming
+//     NDJSON via Content-Type application/x-ndjson with pooled decode
+//     buffers and ?batch=N pipelined boundaries), POST advance,
 //     GET sample / stats, GET /v1/streams, GET /metrics, GET /healthz.
+//   - engine (internal/engine): closed batches are enqueued to key-affine
+//     shard workers with bounded mailboxes and applied off the request
+//     path through the allocation-free Advance/AppendSample core path;
+//     per-stream order is preserved, reads flush the stream's queue
+//     first, and shutdown drains every mailbox before the final
+//     checkpoint.
 //   - ticker: advances every sampler each batch interval, including
 //     streams that received nothing — an empty batch still advances the
 //     decay clock, exactly as in the paper.

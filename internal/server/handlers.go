@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
+	"repro/internal/engine"
 	"repro/tbs"
 )
 
@@ -47,6 +49,37 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// errorBody is the structured error envelope: a stable machine-readable
+// code alongside the human-readable message, plus optional context fields
+// (limits, per-request progress) merged in.
+func errorBody(code, msg string, extra map[string]any) map[string]any {
+	body := map[string]any{"error": msg, "code": code}
+	for k, v := range extra {
+		body[k] = v
+	}
+	return body
+}
+
+// ingestFailure maps an ingest error to its HTTP status, structured code
+// and limit context. Requests that can never fit (oversized body, a batch
+// larger than the open-batch cap) get 413 so clients know to split rather
+// than retry; a transiently full open batch and the stream cap get 429.
+func (s *Server) ingestFailure(err error) (status int, code string, extra map[string]any) {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		return http.StatusRequestEntityTooLarge, "body_too_large", map[string]any{"limitBytes": tooLarge.Limit}
+	case errors.Is(err, errRequestTooLarge):
+		return http.StatusRequestEntityTooLarge, "batch_limit", map[string]any{"limitItems": s.opts.MaxPendingItems}
+	case errors.Is(err, errBatchFull):
+		return http.StatusTooManyRequests, "open_batch_full", map[string]any{"limitItems": s.opts.MaxPendingItems}
+	case errors.Is(err, errTooManyStreams):
+		return http.StatusTooManyRequests, "stream_limit", map[string]any{"limitStreams": s.opts.MaxStreams}
+	default:
+		return http.StatusBadRequest, "bad_request", nil
+	}
+}
+
 // streamKey extracts and validates the {key} path segment.
 func streamKey(w http.ResponseWriter, r *http.Request) (string, bool) {
 	key := r.PathValue("key")
@@ -73,7 +106,7 @@ func decodeIngest(r *http.Request) (ingestRequest, error) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			return ingestRequest{}, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
+			return ingestRequest{}, fmt.Errorf("body exceeds %d bytes: %w", maxBodyBytes, err)
 		}
 		return ingestRequest{}, err
 	}
@@ -92,31 +125,42 @@ func decodeIngest(r *http.Request) (ingestRequest, error) {
 	return ingestRequest{items: []Item{Item(body)}}, nil
 }
 
-// handleItems ingests into the stream's open batch — the whole request is
-// appended in one critical section, so a bulk POST is one batched hot-path
-// operation, not N. With ?advance=true the batch is closed afterwards.
+// handleItems ingests into the stream's open batch. Two wire formats share
+// the route, switched on Content-Type: application/x-ndjson streams one
+// JSON value per line through the pooled streaming decoder (bulk path);
+// anything else is the buffered JSON path — a JSON array is bulk (one
+// element per item), any other JSON value is a single item. The whole
+// request is appended in batched critical sections, so a bulk POST is a
+// few batched hot-path operations, not N. With ?advance=true the batch is
+// closed afterwards.
 func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 	key, ok := streamKey(w, r)
 	if !ok {
 		return
 	}
+	if isNDJSON(r.Header.Get("Content-Type")) {
+		s.handleItemsNDJSON(w, r, key)
+		return
+	}
 	req, err := decodeIngest(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		status, code, extra := s.ingestFailure(err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
 		return
 	}
 	e, err := s.reg.getOrCreate(key)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, errTooManyStreams) {
-			status = http.StatusTooManyRequests
+		status, code, extra := s.ingestFailure(err)
+		if !errors.Is(err, errTooManyStreams) {
+			status, code = http.StatusInternalServerError, "internal"
 		}
-		writeError(w, status, "%v", err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
 		return
 	}
 	pending, ingested, err := e.append(req.items, s.opts.MaxPendingItems)
 	if err != nil {
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		status, code, extra := s.ingestFailure(err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
 		return
 	}
 	s.metrics.ObserveIngest(len(req.items))
@@ -128,8 +172,7 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 		"ingested": ingested,
 	}
 	if q := r.URL.Query().Get("advance"); q == "1" || q == "true" {
-		n, batches, elapsed := e.advance()
-		s.metrics.ObserveAdvance(n, elapsed)
+		_, batches, _ := s.advanceWait(e)
 		resp["pending"] = 0
 		resp["advanced"] = true
 		resp["batches"] = batches
@@ -156,8 +199,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	n, batches, elapsed := e.advance()
-	s.metrics.ObserveAdvance(n, elapsed)
+	n, batches, elapsed := s.advanceWait(e)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"key":           key,
 		"batch":         n,
@@ -165,6 +207,15 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		"expectedSize":  e.sampler.ExpectedSize(),
 		"elapsedMicros": elapsed.Microseconds(),
 	})
+}
+
+// sampleBufPool recycles realization buffers across /sample requests: the
+// sampler appends into a pooled caller-owned buffer (the tbs.AppendSample
+// path), so steady-state sampling allocates no per-request slice. Only the
+// item headers live in the buffer — it is returned to the pool after the
+// response is written, before which the encoder has consumed them.
+var sampleBufPool = sync.Pool{
+	New: func() any { b := make([]Item, 0, 256); return &b },
 }
 
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
@@ -177,7 +228,11 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", key)
 		return
 	}
-	items := e.sampler.Sample()
+	// Read-your-writes: apply any queued batch boundaries first, so a
+	// sample taken right after an acknowledged advance reflects it.
+	s.flushStream(e)
+	bufp := sampleBufPool.Get().(*[]Item)
+	items := e.sampler.AppendSample((*bufp)[:0])
 	// R-TBS realization consumes RNG draws, so the next checkpoint must
 	// persist the advanced RNG; pure-read schemes stay clean.
 	if e.sampleMutating {
@@ -192,6 +247,8 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		"size":   len(items),
 		"items":  items,
 	})
+	*bufp = items[:0]
+	sampleBufPool.Put(bufp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -204,6 +261,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", key)
 		return
 	}
+	// Stats follow the same read-your-writes rule as /sample: queued
+	// boundaries are applied before the counters and clock are read.
+	s.flushStream(e)
 	pending, ingested, batches := e.counters()
 	resp := map[string]any{
 		"key":          key,
@@ -230,5 +290,10 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = s.metrics.WriteTo(w, s.reg.count(), s.reg.perShardCounts())
+	var eng *engine.Stats
+	if s.eng != nil {
+		st := s.eng.Stats()
+		eng = &st
+	}
+	_ = s.metrics.WriteTo(w, s.reg.count(), s.reg.perShardCounts(), eng)
 }

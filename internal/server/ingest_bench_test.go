@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// Ingest-path benchmarks: the buffered JSON-array path versus the
+// streaming NDJSON path with engine-pipelined boundaries, handler-direct
+// (no sockets) so decode and apply cost dominate. Run the comparison with
+//
+//	go test -bench=IngestPath -benchmem ./internal/server/
+//
+// The NDJSON ≥2× items/sec acceptance number is recorded by the tbsbench
+// `ingest` experiment (BENCH_ingest.json, EXPERIMENTS.md).
+
+const benchItemsPerRequest = 2000
+
+func benchBodies() (jsonBody, ndjsonBody []byte) {
+	var j, nd bytes.Buffer
+	j.WriteByte('[')
+	for i := 0; i < benchItemsPerRequest; i++ {
+		item := fmt.Sprintf(`{"sensor":%d,"v":%d.%03d,"tag":"s-%d"}`, i%64, i%97, i%1000, i)
+		if i > 0 {
+			j.WriteByte(',')
+		}
+		j.WriteString(item)
+		nd.WriteString(item)
+		nd.WriteByte('\n')
+	}
+	j.WriteByte(']')
+	return j.Bytes(), nd.Bytes()
+}
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	srv, err := New(Options{Sampler: rtbsConfig(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := srv.Stop(context.Background()); err != nil {
+			b.Errorf("Stop: %v", err)
+		}
+	})
+	return srv
+}
+
+func BenchmarkIngestPathJSON(b *testing.B) {
+	srv := benchServer(b)
+	body, _ := benchBodies()
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/streams/bench/items?advance=true", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(benchItemsPerRequest, "items/op")
+}
+
+func BenchmarkIngestPathNDJSON(b *testing.B) {
+	srv := benchServer(b)
+	_, body := benchBodies()
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST",
+			fmt.Sprintf("/v1/streams/bench/items?batch=%d", benchItemsPerRequest),
+			bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(benchItemsPerRequest, "items/op")
+}

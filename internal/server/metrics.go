@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
 
@@ -114,16 +115,17 @@ func quantileOrZero(xs []float64, q float64) float64 {
 }
 
 // WriteTo renders the counters in Prometheus text format. Registry-shape
-// gauges (stream and shard counts) are passed in by the caller so Metrics
-// stays a pure accumulator. Rendering snapshots state first and performs
-// the response write lock-free, so a slow scraper cannot stall the
-// ingest/advance hot paths.
-func (m *Metrics) WriteTo(w io.Writer, streams int, perShard []int) error {
-	_, err := w.Write(m.render(streams, perShard))
+// gauges (stream and shard counts) and the engine's queue snapshot are
+// passed in by the caller so Metrics stays a pure accumulator; eng may be
+// nil when the engine is disabled. Rendering snapshots state first and
+// performs the response write lock-free, so a slow scraper cannot stall
+// the ingest/advance hot paths.
+func (m *Metrics) WriteTo(w io.Writer, streams int, perShard []int, eng *engine.Stats) error {
+	_, err := w.Write(m.render(streams, perShard, eng))
 	return err
 }
 
-func (m *Metrics) render(streams int, perShard []int) []byte {
+func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats) []byte {
 	var b []byte
 	line := func(format string, args ...any) {
 		b = fmt.Appendf(b, format+"\n", args...)
@@ -155,6 +157,17 @@ func (m *Metrics) render(streams int, perShard []int) []byte {
 	lat("tbsd_checkpoint_duration_seconds", &m.checkpointLat)
 	if last := m.lastCheckpointUnix.Load(); last != 0 {
 		line("tbsd_checkpoint_last_unix_seconds %d", last)
+	}
+	if eng != nil {
+		line("tbsd_engine_workers %d", eng.Workers)
+		line("tbsd_engine_queue_capacity %d", eng.QueueCap)
+		line("tbsd_engine_tasks_submitted_total %d", eng.Submitted)
+		line("tbsd_engine_tasks_completed_total %d", eng.Completed)
+		line("tbsd_engine_queue_pending %d", eng.Pending())
+		line("tbsd_engine_backpressure_total %d", eng.Blocked)
+		for i, d := range eng.Depths {
+			line("tbsd_engine_queue_depth{worker=%q} %d", fmt.Sprint(i), d)
+		}
 	}
 	return b
 }

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the wire-decode stage of the sharded ingest pipeline:
+// POST /v1/streams/{key}/items with Content-Type application/x-ndjson
+// streams one JSON value per line. Unlike the buffered JSON-array path it
+// never materializes the whole body, never reflects through
+// json.Unmarshal, and recycles its reader, line and batch buffers across
+// requests — per-item cost is a newline scan, a validity scan and one
+// arena copy. With ?batch=N the decoder closes an engine batch boundary
+// every N items, so shard workers apply earlier batches while later bytes
+// are still being read off the socket.
+
+// isNDJSON reports whether the Content-Type selects the streaming path.
+func isNDJSON(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.TrimSpace(ct)
+	return strings.EqualFold(ct, "application/x-ndjson") ||
+		strings.EqualFold(ct, "application/ndjson")
+}
+
+const (
+	// ndjsonReaderSize is the pooled bufio buffer; lines at most this long
+	// are decoded without any per-line copy beyond the arena intern.
+	ndjsonReaderSize = 64 << 10
+
+	// ndjsonChunkItems bounds how many decoded items accumulate before
+	// being appended to the stream's open batch, so one huge request
+	// turns into a few batched critical sections rather than one giant
+	// deferred append.
+	ndjsonChunkItems = 4096
+
+	// arenaChunkBytes is the allocation unit for decoded item bytes: one
+	// allocation per chunk of items instead of one per item. Chunks are
+	// owned by the items interned into them (they flow into the open
+	// batch and then the sampler), so they are NOT pooled — and because a
+	// single long-lived reservoir survivor pins its whole chunk, the
+	// chunk is kept small: with 4KB chunks a 1000-item R-TBS reservoir
+	// pins at most ~4MB per stream in the worst case, while ingest still
+	// amortizes to well under one allocation per item.
+	arenaChunkBytes = 4 << 10
+)
+
+// ndjsonScratch is the per-request recyclable state.
+type ndjsonScratch struct {
+	br    *bufio.Reader
+	batch []Item
+	long  []byte // spill buffer for lines longer than the reader buffer
+}
+
+var ndjsonPool = sync.Pool{
+	New: func() any {
+		return &ndjsonScratch{
+			br:    bufio.NewReaderSize(nil, ndjsonReaderSize),
+			batch: make([]Item, 0, ndjsonChunkItems),
+		}
+	},
+}
+
+// itemArena interns decoded lines into large shared chunks. Earlier items
+// keep pointing into retired chunks (the chunks stay reachable through
+// them); only the allocation granularity changes.
+type itemArena struct{ cur []byte }
+
+func (a *itemArena) intern(line []byte) Item {
+	if cap(a.cur)-len(a.cur) < len(line) {
+		size := arenaChunkBytes
+		if len(line) > size {
+			size = len(line)
+		}
+		a.cur = make([]byte, 0, size)
+	}
+	start := len(a.cur)
+	a.cur = append(a.cur, line...)
+	return Item(a.cur[start:len(a.cur):len(a.cur)])
+}
+
+// readLine returns the next line (terminator included in err==nil case
+// stripped by the caller), spilling oversized lines into the scratch's
+// long buffer. The returned slice is valid only until the next call.
+func (sc *ndjsonScratch) readLine() ([]byte, error) {
+	sc.long = sc.long[:0]
+	for {
+		chunk, err := sc.br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			sc.long = append(sc.long, chunk...)
+			continue
+		}
+		if len(sc.long) > 0 {
+			return append(sc.long, chunk...), err
+		}
+		return chunk, err
+	}
+}
+
+// handleItemsNDJSON is the streaming half of handleItems. Items are
+// appended in chunks as they decode, so on a mid-stream error the earlier
+// lines HAVE been ingested; the structured error reports the offending
+// line and the accepted count.
+func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key string) {
+	q := r.URL.Query()
+	boundaryEvery := 0
+	if v := q.Get("batch"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody("bad_request", "batch must be a positive integer", nil))
+			return
+		}
+		boundaryEvery = n
+	}
+	finalAdvance := q.Get("advance") == "1" || q.Get("advance") == "true"
+
+	e, err := s.reg.getOrCreate(key)
+	if err != nil {
+		status, code, extra := s.ingestFailure(err)
+		if !errors.Is(err, errTooManyStreams) {
+			status, code = http.StatusInternalServerError, "internal"
+		}
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		return
+	}
+
+	sc := ndjsonPool.Get().(*ndjsonScratch)
+	defer func() {
+		sc.br.Reset(nil)
+		sc.batch = sc.batch[:0]
+		ndjsonPool.Put(sc)
+	}()
+	sc.br.Reset(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+
+	var (
+		arena      itemArena
+		added      int
+		boundaries uint64
+		lineNo     int
+		sinceAdv   int
+		pending    int
+		ingested   uint64
+	)
+	chunkSize := ndjsonChunkItems
+	if boundaryEvery > 0 && boundaryEvery < chunkSize {
+		chunkSize = boundaryEvery
+	}
+	appendChunk := func() error {
+		if len(sc.batch) == 0 {
+			return nil
+		}
+		var err error
+		pending, ingested, err = e.append(sc.batch, s.opts.MaxPendingItems)
+		if err != nil {
+			return err
+		}
+		added += len(sc.batch)
+		sinceAdv += len(sc.batch)
+		sc.batch = sc.batch[:0]
+		return nil
+	}
+	fail := func(err error, msg string) {
+		s.metrics.ObserveIngest(added)
+		status, code, extra := s.ingestFailure(err)
+		if extra == nil {
+			extra = map[string]any{}
+		}
+		extra["added"] = added
+		extra["line"] = lineNo
+		if msg == "" {
+			msg = err.Error()
+		}
+		writeJSON(w, status, errorBody(code, msg, extra))
+	}
+
+	for {
+		line, rerr := sc.readLine()
+		if rerr != nil && rerr != io.EOF {
+			_ = appendChunk()
+			fail(rerr, "")
+			return
+		}
+		lineNo++
+		line = bytes.TrimSpace(line)
+		if len(line) > 0 {
+			if !json.Valid(line) {
+				_ = appendChunk()
+				fail(errors.New("line is not valid JSON"), "line "+strconv.Itoa(lineNo)+" is not valid JSON")
+				return
+			}
+			sc.batch = append(sc.batch, arena.intern(line))
+			if len(sc.batch) >= chunkSize {
+				if err := appendChunk(); err != nil {
+					fail(err, "")
+					return
+				}
+				if boundaryEvery > 0 && sinceAdv >= boundaryEvery {
+					// Pipelined batch boundary: the shard worker applies it
+					// while we keep decoding the rest of the body.
+					s.advanceAsync(e)
+					boundaries++
+					sinceAdv = 0
+					pending = 0
+				}
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+	}
+	if err := appendChunk(); err != nil {
+		fail(err, "")
+		return
+	}
+	s.metrics.ObserveIngest(added)
+	if added == 0 {
+		// No append touched the counters; report the stream's real state.
+		pending, ingested, _ = e.counters()
+	}
+
+	resp := map[string]any{
+		"key":      key,
+		"added":    added,
+		"pending":  pending,
+		"ingested": ingested,
+	}
+	if finalAdvance {
+		_, batches, _ := s.advanceWait(e)
+		boundaries++
+		resp["pending"] = 0
+		resp["advanced"] = true
+		resp["batches"] = batches
+	}
+	if boundaries > 0 {
+		resp["boundaries"] = boundaries
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -18,8 +18,12 @@ type Item = json.RawMessage
 
 // entry is the per-stream state: the sampler plus the open (not yet
 // advanced) batch and ingest counters. The mutex guards pending and the
-// counters, and is held across Advance so a checkpoint can never observe
-// an advanced sampler paired with the pre-advance open batch.
+// counters, and is held across the sampler update in applyBatch so a
+// checkpoint can never observe an advanced sampler paired with stale
+// counters. advMu serializes close-batch→enqueue pairs so two concurrent
+// batch boundaries (ticker vs explicit /advance) cannot interleave their
+// engine submissions out of close order; it is never held while applying,
+// so it cannot deadlock against the engine worker.
 type entry struct {
 	key     string
 	sampler *tbs.Concurrent[Item]
@@ -27,12 +31,25 @@ type entry struct {
 	// in which case a read dirties the checkpoint state.
 	sampleMutating bool
 
+	advMu sync.Mutex
+
 	mu       sync.Mutex
 	pending  []Item
-	ingested uint64 // items ever accepted
-	batches  uint64 // batch boundaries ever closed
-	dirty    bool   // state changed since the last persisted checkpoint
+	queued   [][]Item // closed but not yet applied (FIFO mirror of the engine mailbox)
+	ingested uint64   // items ever accepted
+	batches  uint64   // batch boundaries ever applied to the sampler
+	dirty    bool     // state changed since the last persisted checkpoint
 }
+
+// errRequestTooLarge marks an ingest request that can never fit the
+// open-batch limit no matter how often the stream advances; handlers map
+// it to 413 (the client must split the request). errBatchFull marks a
+// transiently full open batch; handlers map it to 429 (retry after a
+// batch boundary).
+var (
+	errRequestTooLarge = errors.New("request exceeds the per-stream open-batch limit")
+	errBatchFull       = errors.New("open batch full")
+)
 
 // append adds items to the open batch and returns the new pending and
 // total counts. A positive maxPending bounds the open batch: one tenant
@@ -45,10 +62,10 @@ func (e *entry) append(items []Item, maxPending int) (pending int, ingested uint
 		if len(items) > maxPending {
 			// No amount of advancing makes one oversized request fit.
 			return len(e.pending), e.ingested,
-				fmt.Errorf("request of %d items exceeds the per-stream open-batch limit %d; split the request", len(items), maxPending)
+				fmt.Errorf("%w: %d items, limit %d; split the request", errRequestTooLarge, len(items), maxPending)
 		}
 		return len(e.pending), e.ingested,
-			fmt.Errorf("open batch holds %d items (limit %d); advance the stream or enable -batch-interval", len(e.pending), maxPending)
+			fmt.Errorf("%w: holds %d items (limit %d); advance the stream or enable -batch-interval", errBatchFull, len(e.pending), maxPending)
 	}
 	e.pending = append(e.pending, items...)
 	e.ingested += uint64(len(items))
@@ -56,17 +73,49 @@ func (e *entry) append(items []Item, maxPending int) (pending int, ingested uint
 	return len(e.pending), e.ingested, nil
 }
 
-// advance closes the open batch — possibly empty, which still moves the
-// decay clock — and returns its size, the total boundary count, and how
-// long the sampler update took.
-func (e *entry) advance() (batchLen int, batches uint64, elapsed time.Duration) {
+// closeBatch detaches the open batch — possibly empty, which still counts
+// as a boundary and will move the decay clock when applied. The caller
+// must hand the returned batch to applyBatch (directly or through the
+// engine) exactly once. Until then the batch stays on the queued ledger,
+// so a concurrent checkpoint can never observe a boundary that is in
+// neither the pending buffer nor the sampler — the invariant the old
+// single-critical-section advance gave for free.
+func (e *entry) closeBatch() []Item {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	batch := e.pending
 	e.pending = nil
+	e.queued = append(e.queued, batch)
+	return batch
+}
+
+// advance closes the open batch and applies it inline — the synchronous
+// boundary used by direct registry consumers (tests, tooling); the server
+// itself routes batches through the engine via closeBatch/applyBatch.
+func (e *entry) advance() (batchLen int, batches uint64, elapsed time.Duration) {
+	e.advMu.Lock()
+	batch := e.closeBatch()
+	e.advMu.Unlock()
+	return e.applyBatch(batch)
+}
+
+// applyBatch folds a closed batch into the sampler, advancing the decay
+// clock by one unit, and returns its size, the total boundary count, and
+// how long the sampler update took. It runs on an engine shard worker (or
+// inline when the engine is disabled); per-stream ordering is guaranteed
+// by the engine's key-affine FIFO mailboxes.
+func (e *entry) applyBatch(batch []Item) (batchLen int, batches uint64, elapsed time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	start := time.Now()
 	e.sampler.Advance(batch)
 	elapsed = time.Since(start)
+	// Retire the boundary from the in-flight ledger. Batches apply in
+	// close order (key-affine FIFO mailboxes), so it is always the head.
+	if len(e.queued) > 0 {
+		e.queued[0] = nil
+		e.queued = e.queued[1:]
+	}
 	e.batches++
 	e.dirty = true
 	return len(batch), e.batches, elapsed
@@ -104,10 +153,21 @@ func (e *entry) checkpoint() (st checkpointState, wasDirty bool, err error) {
 		return checkpointState{}, true, err
 	}
 	e.dirty = false
+	var queued [][]Item
+	if len(e.queued) > 0 {
+		// Closed-but-unapplied boundaries (the checkpoint raced a batch
+		// sitting in an engine mailbox): persist them so a crash between
+		// close and apply loses nothing — restore replays them in order.
+		queued = make([][]Item, len(e.queued))
+		for i, b := range e.queued {
+			queued[i] = append([]Item(nil), b...)
+		}
+	}
 	return checkpointState{
 		Key:      e.key,
 		Snapshot: snap,
 		Pending:  append([]Item(nil), e.pending...),
+		Queued:   queued,
 		Ingested: e.ingested,
 		Batches:  e.batches,
 	}, true, nil

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"reflect"
@@ -154,6 +155,66 @@ func TestMaxKeyFitsFilesystemName(t *testing.T) {
 	name := checkpointFileName(key) + ".tmp12345678901"
 	if len(name) > 255 {
 		t.Fatalf("checkpoint temp name for a %d-byte key is %d bytes, over the 255-byte limit", maxKeyBytes, len(name))
+	}
+}
+
+// TestQueuedBatchSurvivesCheckpoint: a checkpoint taken while a closed
+// batch is still queued — the engine-mailbox window between closeBatch
+// and applyBatch — must persist the boundary, and restore must replay it,
+// converging with a run where the apply completed before the checkpoint.
+func TestQueuedBatchSurvivesCheckpoint(t *testing.T) {
+	mkEntry := func() *entry {
+		r, err := newRegistry(rtbsConfig(4), 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := r.getOrCreate("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.append(testItems(1, 30), 0); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	// Interrupted: the boundary is closed but unapplied at checkpoint time.
+	ea := mkEntry()
+	ea.closeBatch()
+	st, wasDirty, err := ea.checkpoint()
+	if err != nil || !wasDirty {
+		t.Fatalf("checkpoint: dirty=%v err=%v", wasDirty, err)
+	}
+	if len(st.Queued) != 1 || len(st.Queued[0]) != 30 || len(st.Pending) != 0 || st.Batches != 0 {
+		t.Fatalf("checkpoint with in-flight batch: queued=%d pending=%d batches=%d",
+			len(st.Queued), len(st.Pending), st.Batches)
+	}
+	dir := t.TempDir()
+	if err := writeCheckpointFile(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{Sampler: rtbsConfig(4), CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop(context.Background())
+	restored := srv.reg.lookup("k")
+	if restored == nil {
+		t.Fatal("stream not restored")
+	}
+	_, _, batches := restored.counters()
+	if batches != 1 {
+		t.Fatalf("restored batches = %d, want 1 (queued boundary replayed)", batches)
+	}
+
+	// Reference: the apply completed normally.
+	eb := mkEntry()
+	eb.advance()
+
+	got := restored.sampler.Sample()
+	want := eb.sampler.Sample()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed restore diverges from applied run\n got: %v\nwant: %v", got, want)
 	}
 }
 

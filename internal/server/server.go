@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/tbs"
 )
 
@@ -19,9 +20,23 @@ type Options struct {
 	// sequences.
 	Sampler tbs.Config
 
-	// Shards is the number of lock stripes in the keyed registry
+	// Shards is the number of lock stripes in the keyed registry and, by
+	// default, the number of engine shard workers applying batches
 	// (default 16).
 	Shards int
+
+	// EngineWorkers overrides the number of engine shard workers; zero
+	// means Shards. Each stream key is pinned to one worker, so batches
+	// for one stream apply in order while distinct streams apply in
+	// parallel.
+	EngineWorkers int
+
+	// QueueDepth bounds each engine worker's mailbox of closed batches
+	// (default 128). A full mailbox blocks further batch boundaries for
+	// the streams on that worker — bounded-memory backpressure instead of
+	// unbounded queuing. Negative disables the engine entirely: batches
+	// apply inline under the caller, the pre-engine behavior.
+	QueueDepth int
 
 	// BatchInterval, when positive, runs the wall-clock ticker: every
 	// interval each stream's open batch is closed and its sampler
@@ -56,6 +71,12 @@ func (o *Options) setDefaults() {
 	if o.Shards == 0 {
 		o.Shards = 16
 	}
+	if o.EngineWorkers == 0 {
+		o.EngineWorkers = o.Shards
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 128
+	}
 	if o.BatchInterval < 0 {
 		o.BatchInterval = 0
 	}
@@ -85,6 +106,7 @@ type Server struct {
 	reg     *registry
 	metrics *Metrics
 	mux     *http.ServeMux
+	eng     *engine.Engine // nil when QueueDepth < 0 (inline apply)
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -107,8 +129,17 @@ func New(opts Options) (*Server, error) {
 		metrics: &Metrics{},
 		stop:    make(chan struct{}),
 	}
+	if opts.QueueDepth > 0 {
+		s.eng, err = engine.New(opts.EngineWorkers, opts.QueueDepth)
+		if err != nil {
+			return nil, err
+		}
+	}
 	restored, err := s.restoreAll()
 	if err != nil {
+		if s.eng != nil {
+			s.eng.Close()
+		}
 		return nil, err
 	}
 	s.metrics.SetRestored(restored)
@@ -145,12 +176,14 @@ func (s *Server) Start() {
 	})
 }
 
-// Stop halts the background loops, waits for them, and takes a final
-// checkpoint so a restart loses nothing. The final checkpoint is taken
-// even when ctx expires before the loops drain — checkpointAll is safe
-// concurrently with a straggling background pass, and losing it would
-// drop everything since the last periodic checkpoint. Stop is idempotent;
-// the HTTP handler keeps serving (shut the http.Server down first).
+// Stop halts the background loops, waits for them, drains the engine's
+// mailboxes (every closed batch is applied — nothing is left queued), and
+// takes a final checkpoint so a restart loses nothing. The final
+// checkpoint is taken even when ctx expires before the loops drain —
+// checkpointAll is safe concurrently with a straggling background pass,
+// and losing it would drop everything since the last periodic checkpoint.
+// Stop is idempotent; the HTTP handler keeps serving (shut the http.Server
+// down first).
 func (s *Server) Stop(ctx context.Context) error {
 	var err error
 	s.stopOnce.Do(func() {
@@ -158,6 +191,13 @@ func (s *Server) Stop(ctx context.Context) error {
 		done := make(chan struct{})
 		go func() {
 			s.wg.Wait()
+			if s.eng != nil {
+				// Drain after the ticker has stopped producing boundaries:
+				// Close blocks until every queued batch has been applied, so
+				// the final checkpoint below observes fully-advanced
+				// samplers. Later submissions fall back to inline apply.
+				s.eng.Close()
+			}
 			close(done)
 		}()
 		select {
@@ -181,12 +221,67 @@ func (s *Server) Stop(ctx context.Context) error {
 	return err
 }
 
+// submitApply hands a closed batch to the engine worker owning the stream
+// (inline when the engine is disabled or closing). The caller must hold
+// e.advMu so close order equals submission order.
+func (s *Server) submitApply(e *entry, batch []Item) {
+	apply := func() {
+		n, _, elapsed := e.applyBatch(batch)
+		s.metrics.ObserveAdvance(n, elapsed)
+	}
+	if s.eng == nil || s.eng.Submit(e.key, apply) != nil {
+		apply()
+	}
+}
+
+// advanceAsync closes the stream's open batch and queues it for
+// application, returning without waiting — the pipelined batch boundary
+// used by the ticker and by NDJSON mid-request boundaries.
+func (s *Server) advanceAsync(e *entry) {
+	e.advMu.Lock()
+	defer e.advMu.Unlock()
+	s.submitApply(e, e.closeBatch())
+}
+
+// advanceWait is advanceAsync plus a wait for that specific batch: it
+// returns only after the batch has been applied, with the applied batch
+// size, total boundary count and sampler-update latency — what the
+// synchronous /advance API reports.
+func (s *Server) advanceWait(e *entry) (n int, batches uint64, elapsed time.Duration) {
+	done := make(chan struct{})
+	e.advMu.Lock()
+	batch := e.closeBatch()
+	apply := func() {
+		n, batches, elapsed = e.applyBatch(batch)
+		s.metrics.ObserveAdvance(n, elapsed)
+		close(done)
+	}
+	if s.eng == nil || s.eng.Submit(e.key, apply) != nil {
+		apply()
+	}
+	e.advMu.Unlock()
+	<-done
+	return n, batches, elapsed
+}
+
+// flushStream blocks until every batch queued for the stream has been
+// applied; a no-op without the engine.
+func (s *Server) flushStream(e *entry) {
+	if s.eng != nil {
+		s.eng.Flush(e.key)
+	}
+}
+
 // AdvanceAll closes every stream's open batch — the ticker's unit of work,
-// also usable directly (tests, admin tooling).
+// also usable directly (tests, admin tooling). Batches fan out across the
+// engine's shard workers and the call returns after all have applied, so
+// one slow stream no longer serializes the whole pass.
 func (s *Server) AdvanceAll() {
 	for _, e := range s.reg.all() {
-		n, _, elapsed := e.advance()
-		s.metrics.ObserveAdvance(n, elapsed)
+		s.advanceAsync(e)
+	}
+	if s.eng != nil {
+		s.eng.FlushAll()
 	}
 }
 

@@ -8,24 +8,42 @@ package xrand
 // This is the Sample(A, m) primitive of the paper's pseudocode: "a uniform
 // random sample, without replacement, containing min(m, |A|) elements".
 func (r *RNG) SampleIndices(n, m int) []int {
+	idx := r.SampleIndicesInto(nil, n, m)
+	if idx == nil {
+		return nil
+	}
+	return idx[:len(idx):len(idx)]
+}
+
+// SampleIndicesInto is SampleIndices with a caller-owned scratch buffer:
+// the returned slice aliases dst's backing array when it has capacity n,
+// so a caller that feeds the result back as the next call's dst allocates
+// only when n outgrows every previous call. The hot sampler paths (R-TBS
+// victim/insert selection) rely on this to stay allocation-free in steady
+// state.
+func (r *RNG) SampleIndicesInto(dst []int, n, m int) []int {
 	if m < 0 {
-		panic("xrand: SampleIndices with m < 0")
+		panic("xrand: SampleIndicesInto with m < 0")
 	}
 	if m > n {
 		m = n
 	}
 	if m == 0 {
-		return nil
+		return dst[:0]
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	if cap(dst) < n {
+		dst = make([]int, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := range dst {
+		dst[i] = i
 	}
 	for i := 0; i < m; i++ {
 		j := i + r.Intn(n-i)
-		idx[i], idx[j] = idx[j], idx[i]
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return idx[:m:m]
+	return dst[:m]
 }
 
 // SampleIndicesSparse returns m distinct indices drawn uniformly without

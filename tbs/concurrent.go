@@ -70,6 +70,31 @@ func (c *Concurrent[T]) Sample() []T {
 	return c.s.Sample()
 }
 
+// AppendSample realizes the current sample into a caller-owned buffer (see
+// tbs.AppendSample) under the appropriate lock: schemes whose realization
+// is a pure read hold only the read lock, so concurrent readers each fill
+// their own buffer without serializing — and, unlike Sample, without a
+// fresh allocation per call once the buffer has grown to the sample size.
+func (c *Concurrent[T]) AppendSample(dst []T) []T {
+	if c.mutSample {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	} else {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+	}
+	if e, ok := c.s.(extended[T]); ok {
+		if out, ok2 := e.appendSampleCap(dst); ok2 {
+			return out
+		}
+	}
+	return append(dst, c.s.Sample()...)
+}
+
+func (c *Concurrent[T]) appendSampleCap(dst []T) ([]T, bool) {
+	return c.AppendSample(dst), true
+}
+
 // ExpectedSize implements Sampler.
 func (c *Concurrent[T]) ExpectedSize() float64 {
 	c.mu.RLock()

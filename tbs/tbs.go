@@ -32,14 +32,16 @@ type Sampler[T any] interface {
 	Snapshot() (Snapshot, error)
 }
 
-// extended is the internal capability surface behind the Weight, AdvanceAt
-// and Now helpers. Both the scheme wrapper and Concurrent implement it.
+// extended is the internal capability surface behind the Weight, AdvanceAt,
+// Now and AppendSample helpers. Both the scheme wrapper and Concurrent
+// implement it.
 type extended[T any] interface {
 	Sampler[T]
 	weightCap() (total, lambda float64, ok bool)
 	advanceAtCap(t float64, batch []T) bool
 	nowCap() (float64, bool)
 	inclusionCap(arrival float64) (float64, bool)
+	appendSampleCap(dst []T) ([]T, bool)
 }
 
 // wrapper adapts one concrete internal sampler to the Sampler interface.
@@ -90,6 +92,13 @@ func (w *wrapper[T]) inclusionCap(arrival float64) (float64, bool) {
 	return w.incl(arrival), true
 }
 
+func (w *wrapper[T]) appendSampleCap(dst []T) ([]T, bool) {
+	if a, ok := w.inner.(core.AppendSampler[T]); ok {
+		return a.AppendSample(dst), true
+	}
+	return dst, false
+}
+
 // Weight returns the scheme's weight bookkeeping — the total decayed weight
 // Wₜ of every item seen and the decay rate λ — when the scheme tracks it
 // (R-TBS, T-TBS, B-TBS, B-Chao); ok is false otherwise.
@@ -129,6 +138,24 @@ func InclusionProbability[T any](s Sampler[T], arrival float64) (p float64, ok b
 		return e.inclusionCap(arrival)
 	}
 	return 0, false
+}
+
+// AppendSample realizes the current sample into a caller-owned buffer: the
+// realization is appended to dst and the extended slice returned, reusing
+// dst's backing array when it has capacity. A caller that feeds the result
+// back in (buf = tbs.AppendSample(s, buf[:0])) samples without allocating
+// in steady state — the read side of the zero-allocation ingest path. It
+// consumes exactly the RNG draws Sample would, so the two are
+// interchangeable in deterministic replay. Samplers from New always
+// support the append path; for foreign Sampler implementations that do
+// not, it falls back to appending a Sample() copy.
+func AppendSample[T any](s Sampler[T], dst []T) []T {
+	if e, isExt := s.(extended[T]); isExt {
+		if out, ok := e.appendSampleCap(dst); ok {
+			return out
+		}
+	}
+	return append(dst, s.Sample()...)
 }
 
 // New constructs a sampler by scheme name (see Schemes for discovery):
