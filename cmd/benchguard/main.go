@@ -1,0 +1,47 @@
+// Command benchguard is the CI bench-regression gate: it compares a fresh
+// tbsbench -json ingest result against the committed BENCH_ingest.json
+// baseline and exits nonzero when any path's items/sec dropped by more
+// than the tolerated fraction.
+//
+// Usage (as CI runs it):
+//
+//	go run ./cmd/tbsbench -exp ingest -quick -json /tmp/ingest.json
+//	go run ./cmd/benchguard -baseline BENCH_ingest.json -current /tmp/ingest.json
+//
+// The default tolerance is generous (30%) because the committed baseline
+// and the CI runner are different machines; the guard exists to catch
+// order-of-magnitude pipeline regressions (an accidental per-item
+// allocation, a lock reintroduced on the hot path), not single-digit
+// noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_ingest.json", "committed tbsbench -json baseline")
+		current  = flag.String("current", "", "freshly measured tbsbench -json result")
+		maxDrop  = flag.Float64("max-drop", 0.30, "tolerated fractional items/sec drop per path")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: need -current <tbsbench -json output>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	lines, err := experiments.CompareIngestBaseline(*baseline, *current, *maxDrop)
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: all paths within %.0f%% of baseline\n", 100**maxDrop)
+}

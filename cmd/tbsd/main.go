@@ -23,8 +23,22 @@
 //	GET  /v1/streams/{key}/sample    realized sample
 //	GET  /v1/streams/{key}/stats     size/weight/clock bookkeeping
 //	GET  /v1/streams                 enumerate stream keys
+//	PUT  /v1/streams/{key}/model     attach a managed model (learner
+//	                                 knn|linreg|nb, policy always|every:K|
+//	                                 drift); labeled items are JSON rows
+//	                                 {"x":[...],"y":N} on the ordinary
+//	                                 ingest paths
+//	POST /v1/streams/{key}/model/predict   predict with the deployed model
+//	GET  /v1/streams/{key}/model/stats     batch error, retrains, staleness
 //	GET  /metrics                    Prometheus text metrics
 //	GET  /healthz                    liveness
+//
+// With a model attached, every batch boundary scores the deployed model
+// on the closed batch and retrains it from the stream's current
+// temporally-biased sample when the policy fires; training runs on
+// -retrain-workers background workers and the new model is swapped in
+// atomically, so ingest and predict never wait on a training run. Model,
+// policy state and counters ride the per-stream checkpoint.
 //
 // Batch boundaries are applied asynchronously by -shards engine workers,
 // each draining a bounded mailbox of -queue closed batches (key-affine, so
@@ -67,6 +81,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "base RNG seed; per-stream seeds are derived from it")
 		shards     = flag.Int("shards", 16, "lock stripes in the keyed registry and engine shard workers")
 		queue      = flag.Int("queue", 128, "bounded mailbox depth per engine worker (0 = apply batches inline, no engine)")
+		retrainW   = flag.Int("retrain-workers", 2, "background workers training managed models (0 = retrain inline at the batch boundary)")
 		batchIv    = flag.Duration("batch-interval", 0, "wall-clock batch boundary period for every stream (0 = explicit /advance only)")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for per-stream checkpoints (restore on boot, save periodically and on shutdown)")
 		ckptIv     = flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period")
@@ -85,10 +100,15 @@ func main() {
 	if queueDepth <= 0 {
 		queueDepth = -1 // Options semantics: negative disables the engine.
 	}
+	retrainWorkers := *retrainW
+	if retrainWorkers <= 0 {
+		retrainWorkers = -1 // Options semantics: negative disables the lane.
+	}
 	srv, err := server.New(server.Options{
 		Sampler:            cfg,
 		Shards:             *shards,
 		QueueDepth:         queueDepth,
+		RetrainWorkers:     retrainWorkers,
 		BatchInterval:      *batchIv,
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: *ckptIv,

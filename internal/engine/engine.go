@@ -12,6 +12,11 @@
 // becomes a bounded queue instead of an unbounded one. Close drains every
 // mailbox before returning, which is what lets tbsd take its final
 // checkpoint after shutdown with no batch left behind.
+//
+// An optional background lane (WithBackground) carries jobs that must not
+// occupy a shard worker — model retrains dispatched at batch boundaries
+// train there and atomically swap the deployed model when done, so the
+// apply path never waits on a training run it did not itself order.
 package engine
 
 import (
@@ -25,6 +30,10 @@ import (
 // ErrClosed is returned by Submit and Flush after Close has begun; callers
 // fall back to applying the task inline.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrNoBackground is returned by Background when the engine was built
+// without a background lane; callers fall back to running the job inline.
+var ErrNoBackground = errors.New("engine: no background lane")
 
 // task is one mailbox element: either work (run != nil) or a flush
 // sentinel (done != nil).
@@ -41,10 +50,21 @@ type Stats struct {
 	Completed uint64 // tasks fully executed
 	Blocked   uint64 // submissions that found their mailbox full
 	Depths    []int  // current queue depth per worker
+
+	// Background lane counters; BackgroundWorkers is 0 when the lane is
+	// disabled.
+	BackgroundWorkers   int
+	BackgroundSubmitted uint64
+	BackgroundCompleted uint64
+	BackgroundDepth     int
 }
 
 // Pending returns the number of accepted-but-unfinished tasks.
 func (s Stats) Pending() uint64 { return s.Submitted - s.Completed }
+
+// BackgroundPending returns the number of accepted-but-unfinished
+// background jobs.
+func (s Stats) BackgroundPending() uint64 { return s.BackgroundSubmitted - s.BackgroundCompleted }
 
 // Engine is the worker pool. Create with New, feed with Submit, await
 // per-key completion with Flush, and shut down with Close.
@@ -58,6 +78,16 @@ type Engine struct {
 	completed atomic.Uint64
 	blocked   atomic.Uint64
 
+	// Background lane: a shared mailbox drained by its own small worker
+	// pool, for jobs (model retrains) that must not occupy a shard worker —
+	// a slow train on the key-affine lane would stall every stream mapped
+	// to that worker. nil when disabled.
+	bgQueue     chan task
+	bgWorkers   int
+	bgDepth     atomic.Int64
+	bgSubmitted atomic.Uint64
+	bgCompleted atomic.Uint64
+
 	// closeMu guards the closed flag against in-flight Submits: Submit
 	// holds the read side across its channel send, so Close (write side)
 	// cannot close a channel mid-send.
@@ -66,9 +96,23 @@ type Engine struct {
 	wg      sync.WaitGroup
 }
 
+// Option configures optional engine features.
+type Option func(*Engine)
+
+// WithBackground enables the background lane with n workers sharing one
+// mailbox of the same depth as the shard mailboxes. n < 1 leaves the lane
+// disabled.
+func WithBackground(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.bgWorkers = n
+		}
+	}
+}
+
 // New returns a started engine with the given number of shard workers,
 // each owning a mailbox of the given depth.
-func New(workers, depth int) (*Engine, error) {
+func New(workers, depth int, opts ...Option) (*Engine, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("engine: worker count must be positive, got %d", workers)
 	}
@@ -81,10 +125,20 @@ func New(workers, depth int) (*Engine, error) {
 		queueCap: depth,
 		seed:     maphash.MakeSeed(),
 	}
+	for _, o := range opts {
+		o(e)
+	}
 	for i := range e.queues {
 		e.queues[i] = make(chan task, depth)
 		e.wg.Add(1)
 		go e.run(i)
+	}
+	if e.bgWorkers > 0 {
+		e.bgQueue = make(chan task, depth)
+		for i := 0; i < e.bgWorkers; i++ {
+			e.wg.Add(1)
+			go e.runBackground()
+		}
 	}
 	return e, nil
 }
@@ -102,8 +156,37 @@ func (e *Engine) run(i int) {
 	}
 }
 
+func (e *Engine) runBackground() {
+	defer e.wg.Done()
+	for t := range e.bgQueue {
+		e.bgDepth.Add(-1)
+		t.run()
+		e.bgCompleted.Add(1)
+	}
+}
+
 // Workers returns the shard worker count.
 func (e *Engine) Workers() int { return len(e.queues) }
+
+// Background enqueues fn on the background lane — unordered with respect
+// to every other task, intended for work whose result is installed via an
+// atomic swap (model retrains). A full mailbox blocks, bounding memory the
+// same way Submit does. Returns ErrNoBackground when the lane is disabled
+// and ErrClosed after Close; callers run fn inline in both cases.
+func (e *Engine) Background(fn func()) error {
+	if e.bgQueue == nil {
+		return ErrNoBackground
+	}
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.bgDepth.Add(1)
+	e.bgSubmitted.Add(1)
+	e.bgQueue <- task{run: fn}
+	return nil
+}
 
 // workerFor maps a key to its owning worker.
 func (e *Engine) workerFor(key string) int {
@@ -191,6 +274,9 @@ func (e *Engine) Close() {
 	for _, q := range e.queues {
 		close(q)
 	}
+	if e.bgQueue != nil {
+		close(e.bgQueue)
+	}
 	e.closeMu.Unlock()
 	e.wg.Wait()
 }
@@ -204,6 +290,11 @@ func (e *Engine) Stats() Stats {
 		Completed: e.completed.Load(),
 		Blocked:   e.blocked.Load(),
 		Depths:    make([]int, len(e.depths)),
+
+		BackgroundWorkers:   e.bgWorkers,
+		BackgroundSubmitted: e.bgSubmitted.Load(),
+		BackgroundCompleted: e.bgCompleted.Load(),
+		BackgroundDepth:     int(e.bgDepth.Load()),
 	}
 	for i := range e.depths {
 		st.Depths[i] = int(e.depths[i].Load())

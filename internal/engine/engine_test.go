@@ -152,6 +152,75 @@ func TestCloseDrains(t *testing.T) {
 	}
 }
 
+// TestBackgroundLane: jobs run on the background pool, are drained by
+// Close, and the lane reports its own counters.
+func TestBackgroundLane(t *testing.T) {
+	e, err := New(2, 4, WithBackground(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := e.Background(func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	if got := ran.Load(); got != n {
+		t.Fatalf("%d background jobs ran before Close returned, want %d", got, n)
+	}
+	st := e.Stats()
+	if st.BackgroundWorkers != 2 || st.BackgroundSubmitted != n || st.BackgroundCompleted != n {
+		t.Fatalf("background stats = %+v", st)
+	}
+	if st.BackgroundPending() != 0 {
+		t.Fatalf("BackgroundPending = %d after Close", st.BackgroundPending())
+	}
+	if err := e.Background(func() {}); err != ErrClosed {
+		t.Fatalf("Background after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestBackgroundDisabled: without WithBackground the lane refuses jobs so
+// callers fall back to inline execution.
+func TestBackgroundDisabled(t *testing.T) {
+	e, err := New(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Background(func() {}); err != ErrNoBackground {
+		t.Fatalf("Background on a lane-less engine: err = %v, want ErrNoBackground", err)
+	}
+	if st := e.Stats(); st.BackgroundWorkers != 0 || st.BackgroundSubmitted != 0 {
+		t.Fatalf("background stats on a lane-less engine: %+v", st)
+	}
+}
+
+// TestBackgroundDoesNotBlockShardLane: a long-running background job must
+// not delay shard-mailbox tasks.
+func TestBackgroundDoesNotBlockShardLane(t *testing.T) {
+	e, err := New(1, 2, WithBackground(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	if err := e.Background(func() { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Bool
+	if err := e.Submit("k", func() { ran.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush("k")
+	if !ran.Load() {
+		t.Fatal("shard task did not run while a background job was in flight")
+	}
+	close(release)
+	e.Close()
+}
+
 // TestConcurrentChurn is a -race workout: submitters, flushers and stats
 // readers racing against Close.
 func TestConcurrentChurn(t *testing.T) {

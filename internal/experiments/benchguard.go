@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the CI bench-regression guard's comparator: it reads two
+// tbsbench -json result files — the committed BENCH_ingest.json baseline
+// and a freshly measured run — and fails when any shared row's items/sec
+// dropped by more than the allowed fraction. It compares rows by their
+// path label so adding a new path never breaks the guard, and it reports
+// every row's ratio (not just failures) so the CI log doubles as a
+// throughput trend record.
+
+// benchRecord mirrors the fields of tbsbench's JSON output the guard
+// needs.
+type benchRecord struct {
+	ID     string     `json:"id"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// pathRate is one measured row: throughput plus, when the record carries
+// it, the row's measured duration (the noise floor applies to it).
+type pathRate struct {
+	rate       float64
+	elapsedMS  float64
+	hasElapsed bool
+}
+
+// minGateElapsedMS is the noise floor: a row whose measured run is
+// shorter than this on either side is reported but not gated — at
+// sub-millisecond durations (the bare core hot path) a single scheduler
+// preemption on a shared CI runner swings the rate past any reasonable
+// tolerance. The core path has its own 0-alloc test as a regression gate.
+const minGateElapsedMS = 50
+
+// ingestRates extracts path → measurement from the "ingest" record of a
+// tbsbench -json file.
+func ingestRates(path string) (map[string]pathRate, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var records []benchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("benchguard: %s: %w", path, err)
+	}
+	for _, rec := range records {
+		if rec.ID != "ingest" {
+			continue
+		}
+		pathCol, rateCol, elapsedCol := -1, -1, -1
+		for i, h := range rec.Header {
+			switch h {
+			case "path":
+				pathCol = i
+			case "items/sec":
+				rateCol = i
+			case "elapsed ms":
+				elapsedCol = i
+			}
+		}
+		if pathCol < 0 || rateCol < 0 {
+			return nil, fmt.Errorf("benchguard: %s: ingest record lacks path/items-per-sec columns (header %v)", path, rec.Header)
+		}
+		rates := make(map[string]pathRate, len(rec.Rows))
+		for _, row := range rec.Rows {
+			if len(row) <= pathCol || len(row) <= rateCol {
+				return nil, fmt.Errorf("benchguard: %s: short row %v", path, row)
+			}
+			v, err := strconv.ParseFloat(strings.ReplaceAll(row[rateCol], ",", ""), 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchguard: %s: rate %q: %w", path, row[rateCol], err)
+			}
+			pr := pathRate{rate: v}
+			if elapsedCol >= 0 && len(row) > elapsedCol {
+				if ms, err := strconv.ParseFloat(row[elapsedCol], 64); err == nil {
+					pr.elapsedMS, pr.hasElapsed = ms, true
+				}
+			}
+			rates[row[pathCol]] = pr
+		}
+		if len(rates) == 0 {
+			return nil, fmt.Errorf("benchguard: %s: ingest record has no rows", path)
+		}
+		return rates, nil
+	}
+	return nil, fmt.Errorf("benchguard: %s: no \"ingest\" record found", path)
+}
+
+// CompareIngestBaseline compares the measured ingest throughput against
+// the committed baseline. maxDrop is the tolerated fractional drop per
+// path (0.30 = fail below 70%% of baseline). It returns one report line
+// per compared path; the error is non-nil when any path regressed beyond
+// the tolerance.
+func CompareIngestBaseline(baselinePath, currentPath string, maxDrop float64) ([]string, error) {
+	if maxDrop <= 0 || maxDrop >= 1 {
+		return nil, fmt.Errorf("benchguard: max drop must be in (0,1), got %v", maxDrop)
+	}
+	base, err := ingestRates(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := ingestRates(currentPath)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	var failures []string
+	for _, path := range sortedKeys(base) {
+		b := base[path]
+		c, ok := cur[path]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("path %q present in baseline but missing from current run", path))
+			continue
+		}
+		ratio := c.rate / b.rate
+		status := "ok"
+		switch {
+		case b.hasElapsed && b.elapsedMS < minGateElapsedMS,
+			c.hasElapsed && c.elapsedMS < minGateElapsedMS:
+			status = fmt.Sprintf("skipped (< %d ms, too noisy to gate)", minGateElapsedMS)
+		case ratio < 1-maxDrop:
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("path %q: %.0f items/sec vs baseline %.0f (%.0f%%, floor %.0f%%)",
+				path, c.rate, b.rate, 100*ratio, 100*(1-maxDrop)))
+		}
+		lines = append(lines, fmt.Sprintf("%-24s baseline %12.0f  current %12.0f  ratio %5.1f%%  %s",
+			path, b.rate, c.rate, 100*ratio, status))
+	}
+	if len(failures) > 0 {
+		return lines, fmt.Errorf("benchguard: %d ingest throughput regression(s) beyond %.0f%%:\n  %s",
+			len(failures), 100*maxDrop, strings.Join(failures, "\n  "))
+	}
+	return lines, nil
+}
+
+func sortedKeys(m map[string]pathRate) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, jsonRate, ndjsonRate string) string {
+	t.Helper()
+	body := `[
+  {
+    "id": "ingest",
+    "header": ["path", "items", "elapsed ms", "items/sec", "allocs/item", "B/item"],
+    "rows": [
+      ["http JSON array", "1000", "400.0", "` + jsonRate + `", "1.0", "100"],
+      ["http NDJSON engine", "1000", "150.0", "` + ndjsonRate + `", "0.0", "50"]
+    ]
+  }
+]`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchGuardPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", "1000000", "3000000")
+	// 25% drop on one path, 10% gain on the other: within a 30% floor.
+	cur := writeBench(t, dir, "cur.json", "750000", "3300000")
+	lines, err := CompareIngestBaseline(base, cur, 0.30)
+	if err != nil {
+		t.Fatalf("comparator failed within tolerance: %v", err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("report lines = %v", lines)
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "REGRESSION") {
+			t.Errorf("spurious regression flag: %s", l)
+		}
+	}
+}
+
+func TestBenchGuardFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", "1000000", "3000000")
+	cur := writeBench(t, dir, "cur.json", "1000000", "1500000") // 50% drop
+	lines, err := CompareIngestBaseline(base, cur, 0.30)
+	if err == nil {
+		t.Fatalf("50%% drop passed the 30%% guard: %v", lines)
+	}
+	if !strings.Contains(err.Error(), "http NDJSON engine") {
+		t.Errorf("error does not name the regressed path: %v", err)
+	}
+}
+
+// TestBenchGuardSkipsSubMillisecondRows: the bare core hot path finishes
+// in well under a millisecond, where a single scheduler preemption on a
+// shared CI runner swings the measured rate arbitrarily — such rows are
+// reported but never gated (the 0-alloc test covers them instead).
+func TestBenchGuardSkipsSubMillisecondRows(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, rate string) string {
+		body := `[{"id":"ingest","header":["path","elapsed ms","items/sec"],
+  "rows":[["core advance+append","0.6","` + rate + `"],["http JSON array","400","1000000"]]}]`
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", "900000000")
+	cur := write("cur.json", "90000000") // 10× core drop, but sub-ms run
+	lines, err := CompareIngestBaseline(base, cur, 0.30)
+	if err != nil {
+		t.Fatalf("sub-millisecond row was gated: %v", err)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "core advance+append") && strings.Contains(l, "skipped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("core row not reported as skipped: %v", lines)
+	}
+}
+
+func TestBenchGuardFailsOnMissingPath(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", "1000000", "3000000")
+	curBody := `[{"id":"ingest","header":["path","items/sec"],"rows":[["http JSON array","1000000"]]}]`
+	cur := filepath.Join(dir, "cur.json")
+	if err := os.WriteFile(cur, []byte(curBody), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareIngestBaseline(base, cur, 0.30); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}
+
+func TestBenchGuardInputValidation(t *testing.T) {
+	dir := t.TempDir()
+	good := writeBench(t, dir, "base.json", "1", "1")
+	if _, err := CompareIngestBaseline(good, good, 0); err == nil {
+		t.Error("maxDrop 0 accepted")
+	}
+	if _, err := CompareIngestBaseline(filepath.Join(dir, "missing.json"), good, 0.3); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`[{"id":"other"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareIngestBaseline(bad, good, 0.3); err == nil {
+		t.Error("file without an ingest record accepted")
+	}
+	// The committed repo baseline must parse — the guard in CI depends on
+	// it.
+	if _, err := ingestRates("../../BENCH_ingest.json"); err != nil {
+		t.Errorf("committed BENCH_ingest.json unreadable: %v", err)
+	}
+}
+
+// TestServeDriftQuick runs the serving-path drift experiment in quick
+// mode and checks its Figure-10 shape: the error spikes at the event for
+// both policies, and the drift policy retrains substantially less often
+// than always while staying scorable.
+func TestServeDriftQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	res, err := ServeDrift(true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Rows[0]) != 3 {
+		t.Fatalf("unexpected result shape: %v", res.Rows)
+	}
+	pre := parse(t, res.Rows[4][1])    // t=5, before the event
+	spike := parse(t, res.Rows[11][1]) // t=12, inside the event
+	if spike < pre+10 {
+		t.Errorf("always-policy error should spike during the event: pre %v, event %v", pre, spike)
+	}
+	var alwaysRetrains, driftRetrains float64
+	for _, n := range res.Notes {
+		var r float64
+		var mean float64
+		if _, err := fmtSscanf(n, "always: %f retrains, mean batch err %f", &r, &mean); err == nil {
+			alwaysRetrains = r
+		}
+		if _, err := fmtSscanf(n, "drift: %f retrains, mean batch err %f", &r, &mean); err == nil {
+			driftRetrains = r
+		}
+	}
+	if alwaysRetrains == 0 || driftRetrains == 0 {
+		t.Fatalf("could not extract retrain counts from notes: %v", res.Notes)
+	}
+	if driftRetrains >= alwaysRetrains/2 {
+		t.Errorf("drift policy should retrain far less: %v vs %v", driftRetrains, alwaysRetrains)
+	}
+}

@@ -89,6 +89,7 @@ func Registry() []Spec {
 			return TTBSLaw(runsFor(quick, 5000, 500), seed)
 		}},
 		{"ingest", "ingest pipeline: JSON vs NDJSON+engine vs core hot path", IngestPipeline},
+		{"serve-drift", "online model management through the tbsd HTTP path: always vs drift retraining", ServeDrift},
 	}
 	sort.Slice(specs, func(i, j int) bool { return specs[i].ID < specs[j].ID })
 	return specs

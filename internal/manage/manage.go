@@ -32,6 +32,27 @@ type Policy interface {
 	ShouldRetrain(t int, err float64) bool
 }
 
+// PolicyState is the serializable observation state of a retraining
+// policy: the trailing error window and the quiet-batch counter. Always
+// and Every are pure functions of the batch index and carry none; OnDrift
+// exports and re-imports its detector state through it, which is what lets
+// a server checkpoint a drift detector mid-stream and restore the exact
+// decision process after a restart.
+type PolicyState struct {
+	Hist  []float64 `json:"hist,omitempty"`
+	Quiet int       `json:"quiet,omitempty"`
+}
+
+// StatefulPolicy is implemented by policies whose decisions depend on
+// accumulated observations. State must capture everything ShouldRetrain
+// consults beyond its arguments, and SetState must restore it, so that
+// State→SetState round-trips continue the identical decision sequence.
+type StatefulPolicy interface {
+	Policy
+	State() PolicyState
+	SetState(PolicyState)
+}
+
 // Always retrains after every batch — maximally adaptive, maximally
 // expensive.
 type Always struct{}
@@ -130,6 +151,19 @@ func (d *OnDrift) ShouldRetrain(_ int, err float64) bool {
 func (d *OnDrift) reset() {
 	d.hist = d.hist[:0]
 	d.quiet = 0
+}
+
+// State implements StatefulPolicy: it returns a copy of the detector's
+// trailing error window and quiet counter.
+func (d *OnDrift) State() PolicyState {
+	return PolicyState{Hist: append([]float64(nil), d.hist...), Quiet: d.quiet}
+}
+
+// SetState implements StatefulPolicy, replacing the detector state with a
+// copy of st.
+func (d *OnDrift) SetState(st PolicyState) {
+	d.hist = append(d.hist[:0], st.Hist...)
+	d.quiet = st.Quiet
 }
 
 func meanStd(xs []float64) (float64, float64) {

@@ -76,6 +76,118 @@ func TestOnDriftMaxStale(t *testing.T) {
 	}
 }
 
+var _ StatefulPolicy = (*OnDrift)(nil)
+
+// TestOnDriftNaNDoesNotPolluteWindow: NaN scores (no model yet, empty
+// batches) must neither enter the trailing window nor reset the quiet
+// counter, so a spike right after a NaN gap is still detected against the
+// pre-gap baseline.
+func TestOnDriftNaNDoesNotPolluteWindow(t *testing.T) {
+	d := &OnDrift{Window: 10, Factor: 2, MinObs: 3}
+	for i, e := range []float64{10, 10.2, 9.8, 10.1} {
+		if d.ShouldRetrain(i+1, e) {
+			t.Fatalf("fired during stable phase at t=%d", i+1)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if d.ShouldRetrain(5+i, math.NaN()) {
+			t.Fatalf("fired on NaN at t=%d", 5+i)
+		}
+	}
+	if len(d.hist) != 4 {
+		t.Errorf("NaN entered the trailing window: len=%d, want 4", len(d.hist))
+	}
+	if !d.ShouldRetrain(10, 50) {
+		t.Error("spike after a NaN gap not detected")
+	}
+}
+
+// TestOnDriftMinObsBoundary: the detector must stay silent until the
+// window holds MinObs observations — the decision at time t sees the
+// window *before* t's error is appended, so the first fireable call is the
+// (MinObs+1)-th non-NaN observation.
+func TestOnDriftMinObsBoundary(t *testing.T) {
+	d := &OnDrift{Window: 10, Factor: 2, MinObs: 3}
+	d.ShouldRetrain(1, 10)
+	d.ShouldRetrain(2, 10.1)
+	// Third call: only 2 observations in the window — a huge spike must
+	// not fire yet.
+	if d.ShouldRetrain(3, 1000) {
+		t.Fatal("fired with fewer than MinObs observations in the window")
+	}
+	// The spike itself entered the window; reset with a fresh detector to
+	// test the exact boundary cleanly.
+	d = &OnDrift{Window: 10, Factor: 2, MinObs: 3}
+	for i, e := range []float64{10, 9.9, 10.1} {
+		if d.ShouldRetrain(i+1, e) {
+			t.Fatalf("fired during warm-up at t=%d", i+1)
+		}
+	}
+	if !d.ShouldRetrain(4, 60) {
+		t.Error("spike on the first post-MinObs call not detected")
+	}
+}
+
+// TestOnDriftMaxStaleAllNaN: the MaxStale safety net must fire even when
+// every score is NaN (e.g. a stream of empty batches) — it is the
+// guarantee that a model can never go stale forever just because scoring
+// is impossible.
+func TestOnDriftMaxStaleAllNaN(t *testing.T) {
+	d := &OnDrift{MaxStale: 5}
+	fires := 0
+	for tt := 1; tt <= 15; tt++ {
+		if d.ShouldRetrain(tt, math.NaN()) {
+			fires++
+			if tt%5 != 0 {
+				t.Errorf("MaxStale fired off-schedule at t=%d", tt)
+			}
+		}
+	}
+	if fires != 3 {
+		t.Errorf("MaxStale=5 fired %d times in 15 all-NaN steps, want 3", fires)
+	}
+}
+
+// TestOnDriftStateRoundTrip: State→SetState must continue the identical
+// decision sequence — the property the server's checkpoint/restore of
+// drift detectors depends on.
+func TestOnDriftStateRoundTrip(t *testing.T) {
+	errs := []float64{10, 10.4, 9.6, math.NaN(), 10.2, 9.9, 30, 10.1, 9.8, 10.0, 45, 10.2}
+	fresh := func() *OnDrift { return &OnDrift{Window: 6, Factor: 2, MinObs: 3, MaxStale: 9} }
+
+	reference := fresh()
+	var want []bool
+	for i, e := range errs {
+		want = append(want, reference.ShouldRetrain(i+1, e))
+	}
+
+	// Replay the first half, checkpoint, restore into a fresh policy, and
+	// replay the rest: decisions must match the uninterrupted run.
+	half := len(errs) / 2
+	first := fresh()
+	for i := 0; i < half; i++ {
+		if got := first.ShouldRetrain(i+1, errs[i]); got != want[i] {
+			t.Fatalf("pre-checkpoint decision %d = %v, want %v", i, got, want[i])
+		}
+	}
+	st := first.State()
+	// Mutating the exported state must not alias the detector.
+	if len(st.Hist) > 0 {
+		st.Hist[0] = -1
+		if first.hist[0] == -1 {
+			t.Fatal("State aliases the detector's window")
+		}
+		st.Hist[0] = first.hist[0]
+	}
+	second := fresh()
+	second.SetState(st)
+	for i := half; i < len(errs); i++ {
+		if got := second.ShouldRetrain(i+1, errs[i]); got != want[i] {
+			t.Fatalf("post-restore decision %d = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
 func TestManagerValidation(t *testing.T) {
 	s, _ := core.NewSlidingWindow[int](5)
 	tr := func([]int) (int, error) { return 0, nil }

@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+func gobRoundTrip[M any](t *testing.T, in M, out M) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+// TestKNNGobRoundTrip: predictions from a decoded model must match the
+// original on every query — the checkpoint-restore property the server
+// relies on.
+func TestKNNGobRoundTrip(t *testing.T) {
+	m, err := NewKNN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float64{{0, 0}, {1, 1}, {5, 5}, {6, 5}, {0.5, 0.2}}
+	ys := []int{0, 0, 1, 1, 0}
+	if err := m.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	var got KNN
+	gobRoundTrip(t, m, &got)
+	if got.TrainSize() != m.TrainSize() {
+		t.Fatalf("train size %d, want %d", got.TrainSize(), m.TrainSize())
+	}
+	for _, q := range [][]float64{{0.1, 0.1}, {5.5, 5.1}, {3, 3}, {-1, 7}} {
+		if a, b := got.Predict(q), m.Predict(q); a != b {
+			t.Errorf("Predict(%v) = %d after round-trip, want %d", q, a, b)
+		}
+	}
+}
+
+func TestLinearRegressionGobRoundTrip(t *testing.T) {
+	xs := [][]float64{{1, 2}, {2, 1}, {3, 4}, {4, 3}, {5, 6}}
+	ys := []float64{5.1, 4.2, 11.0, 10.1, 17.2}
+	m, err := FitOLS(xs, ys, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got LinearRegression
+	gobRoundTrip(t, m, &got)
+	for _, q := range [][]float64{{1, 1}, {2.5, 3.5}, {0, 0}} {
+		if a, b := got.Predict(q), m.Predict(q); math.Abs(a-b) > 1e-12 {
+			t.Errorf("Predict(%v) = %v after round-trip, want %v", q, a, b)
+		}
+	}
+	// hasIcept must survive: a zero query exposes it through Intercept use.
+	if a, b := got.Predict(nil), m.Predict(nil); a != b {
+		t.Errorf("intercept flag lost: %v vs %v", a, b)
+	}
+}
+
+func TestNaiveBayesGobRoundTrip(t *testing.T) {
+	docs := [][]int{{0, 1, 2}, {1, 1, 3}, {4, 5}, {5, 5, 4}, {0, 2}}
+	labels := []int{0, 0, 1, 1, 0}
+	m, err := FitNaiveBayes(docs, labels, 2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got NaiveBayes
+	gobRoundTrip(t, m, &got)
+	if got.NumClasses() != m.NumClasses() {
+		t.Fatalf("classes %d, want %d", got.NumClasses(), m.NumClasses())
+	}
+	for _, q := range [][]int{{0, 1}, {5, 4}, {2, 3, 5}, {}} {
+		if a, b := got.Predict(q), m.Predict(q); a != b {
+			t.Errorf("Predict(%v) = %d after round-trip, want %d", q, a, b)
+		}
+	}
+}
+
+// TestGobDecodeRejectsCorruptShapes: decoded models must be validated, not
+// trusted — a checkpoint forged or torn into an inconsistent shape fails
+// loudly instead of panicking at predict time.
+func TestGobDecodeRejectsCorruptShapes(t *testing.T) {
+	badKNN, err := gobEncode(knnGob{K: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new(KNN).GobDecode(badKNN); err == nil {
+		t.Error("KNN accepted k=0")
+	}
+	mismatch, err := gobEncode(knnGob{K: 1, Xs: [][]float64{{1}}, Ys: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new(KNN).GobDecode(mismatch); err == nil {
+		t.Error("KNN accepted points without labels")
+	}
+	badNB, err := gobEncode(nbGob{NumClasses: 2, Vocab: 3, LogPrior: []float64{0, 0}, LogCond: [][]float64{{0, 0, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new(NaiveBayes).GobDecode(badNB); err == nil {
+		t.Error("NaiveBayes accepted a truncated conditional table")
+	}
+	if err := new(LinearRegression).GobDecode(mustGob(t, linregGob{})); err == nil {
+		t.Error("LinearRegression accepted an empty coefficient vector")
+	}
+}
+
+func mustGob(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := gobEncode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

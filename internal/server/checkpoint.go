@@ -25,6 +25,10 @@ type checkpointState struct {
 	Queued   [][]Item     `json:"queued,omitempty"` // closed boundaries not yet applied; replayed on restore
 	Ingested uint64       `json:"ingested"`
 	Batches  uint64       `json:"batches"`
+	// Model carries the stream's managed-model state (spec, policy state,
+	// counters, gob-encoded deployed model) when one is attached, so a
+	// restart serves the same predictions under the same policy clock.
+	Model *modelCheckpoint `json:"model,omitempty"`
 }
 
 const checkpointSuffix = ".ckpt.json"
@@ -166,12 +170,26 @@ func (s *Server) restoreAll() (int, error) {
 			ingested:       st.Ingested,
 			batches:        st.Batches,
 		}
+		if st.Model != nil {
+			mm, err := restoreManagedModel(st.Model, s.runBackground, s.metrics)
+			if err != nil {
+				return restored, fmt.Errorf("server: checkpoint file %s: %w", de.Name(), err)
+			}
+			e.model.Store(mm)
+		}
 		// Replay boundaries that were closed but still queued when the
 		// checkpoint was taken: the snapshot's RNG predates them, so
 		// applying them in order reproduces the exact stochastic process
-		// the pre-crash server was executing.
+		// the pre-crash server was executing. With a model attached the
+		// replay runs the full model step — the pre-crash server had not
+		// scored these boundaries yet, so scoring them now is exactly what
+		// it would have done next.
 		for _, b := range st.Queued {
-			e.sampler.Advance(b)
+			if mm := e.model.Load(); mm != nil {
+				mm.onBoundary(e.sampler, b)
+			} else {
+				e.sampler.Advance(b)
+			}
 			e.batches++
 			e.dirty = true // memory is now ahead of the on-disk state
 		}

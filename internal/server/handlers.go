@@ -29,6 +29,11 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/streams/{key}/advance", s.handleAdvance)
 	mux.HandleFunc("GET /v1/streams/{key}/sample", s.handleSample)
 	mux.HandleFunc("GET /v1/streams/{key}/stats", s.handleStats)
+	mux.HandleFunc("PUT /v1/streams/{key}/model", s.handleModelAttach)
+	mux.HandleFunc("GET /v1/streams/{key}/model", s.handleModelGet)
+	mux.HandleFunc("DELETE /v1/streams/{key}/model", s.handleModelDetach)
+	mux.HandleFunc("POST /v1/streams/{key}/model/predict", s.handleModelPredict)
+	mux.HandleFunc("GET /v1/streams/{key}/model/stats", s.handleModelStats)
 	mux.HandleFunc("GET /v1/streams", s.handleList)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {

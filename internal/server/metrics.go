@@ -70,7 +70,27 @@ type Metrics struct {
 	checkpointLat      latencyStats
 	lastCheckpointUnix atomic.Int64
 	restoredStreams    atomic.Int64
+
+	modelScores   atomic.Uint64
+	retrains      atomic.Uint64
+	retrainErrors atomic.Uint64
+	predictions   atomic.Uint64
 }
+
+// ObserveModelScore records one batch scored against a deployed model.
+func (m *Metrics) ObserveModelScore() { m.modelScores.Add(1) }
+
+// ObserveRetrain records one completed retrain attempt.
+func (m *Metrics) ObserveRetrain(ok bool) {
+	if ok {
+		m.retrains.Add(1)
+	} else {
+		m.retrainErrors.Add(1)
+	}
+}
+
+// ObservePredictions records n predictions served.
+func (m *Metrics) ObservePredictions(n int) { m.predictions.Add(uint64(n)) }
 
 // ObserveIngest records one ingest request that accepted n items.
 func (m *Metrics) ObserveIngest(n int) {
@@ -151,6 +171,10 @@ func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats) []byte 
 	line("tbsd_advances_total %d", m.advances.Load())
 	line("tbsd_advanced_items_total %d", m.advancedItems.Load())
 	lat("tbsd_advance_latency_seconds", &m.advanceLat)
+	line("tbsd_model_scored_batches_total %d", m.modelScores.Load())
+	line("tbsd_model_retrains_total %d", m.retrains.Load())
+	line("tbsd_model_retrain_errors_total %d", m.retrainErrors.Load())
+	line("tbsd_model_predictions_total %d", m.predictions.Load())
 	line("tbsd_checkpoints_total %d", m.checkpoints.Load())
 	line("tbsd_checkpoint_errors_total %d", m.checkpointErrors.Load())
 	line("tbsd_checkpointed_streams_total %d", m.checkpointedKeys.Load())
@@ -167,6 +191,12 @@ func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats) []byte 
 		line("tbsd_engine_backpressure_total %d", eng.Blocked)
 		for i, d := range eng.Depths {
 			line("tbsd_engine_queue_depth{worker=%q} %d", fmt.Sprint(i), d)
+		}
+		if eng.BackgroundWorkers > 0 {
+			line("tbsd_engine_background_workers %d", eng.BackgroundWorkers)
+			line("tbsd_engine_background_submitted_total %d", eng.BackgroundSubmitted)
+			line("tbsd_engine_background_completed_total %d", eng.BackgroundCompleted)
+			line("tbsd_engine_background_pending %d", eng.BackgroundPending())
 		}
 	}
 	return b

@@ -31,6 +31,12 @@ type entry struct {
 	// in which case a read dirties the checkpoint state.
 	sampleMutating bool
 
+	// model is the stream's managed model, nil until a PUT …/model
+	// attaches one. It is an atomic pointer so the predict path reads it
+	// without the entry lock; attach/detach store it under mu so the
+	// swap is atomic with respect to checkpoint capture.
+	model atomic.Pointer[managedModel]
+
 	advMu sync.Mutex
 
 	mu       sync.Mutex
@@ -108,7 +114,15 @@ func (e *entry) applyBatch(batch []Item) (batchLen int, batches uint64, elapsed 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	start := time.Now()
-	e.sampler.Advance(batch)
+	if mm := e.model.Load(); mm != nil {
+		// The model-management step wraps the sampler advance: score the
+		// deployed model on the batch first (the paper predicts each
+		// incoming batch with the model trained on data up to t−1), then
+		// fold the batch in and let the policy decide about retraining.
+		mm.onBoundary(e.sampler, batch)
+	} else {
+		e.sampler.Advance(batch)
+	}
 	elapsed = time.Since(start)
 	// Retire the boundary from the in-flight ledger. Batches apply in
 	// close order (key-affine FIFO mailboxes), so it is always the head.
@@ -148,6 +162,17 @@ func (e *entry) checkpoint() (st checkpointState, wasDirty bool, err error) {
 	if !e.dirty {
 		return checkpointState{}, false, nil
 	}
+	// Model first: capture waits out any retrain still on the background
+	// lane, and holding e.mu here means no new boundary can fire one — so
+	// the sampler snapshot below and the model state are a consistent
+	// pair, both quiesced at the same batch boundary.
+	var mst *modelCheckpoint
+	if mm := e.model.Load(); mm != nil {
+		var err error
+		if mst, err = mm.capture(); err != nil {
+			return checkpointState{}, true, err
+		}
+	}
 	snap, err := e.sampler.Snapshot()
 	if err != nil {
 		return checkpointState{}, true, err
@@ -170,7 +195,32 @@ func (e *entry) checkpoint() (st checkpointState, wasDirty bool, err error) {
 		Queued:   queued,
 		Ingested: e.ingested,
 		Batches:  e.batches,
+		Model:    mst,
 	}, true, nil
+}
+
+// attachModel installs (or replaces) the stream's managed model. The
+// entry lock makes the swap atomic with respect to batch application and
+// checkpoint capture; a replaced model's in-flight retrain finishes
+// against the old state and is discarded with it.
+func (e *entry) attachModel(mm *managedModel) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.model.Store(mm)
+	e.dirty = true
+}
+
+// detachModel removes the stream's managed model; reports whether one was
+// attached.
+func (e *entry) detachModel() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	had := e.model.Load() != nil
+	e.model.Store(nil)
+	if had {
+		e.dirty = true
+	}
+	return had
 }
 
 // errTooManyStreams is returned by getOrCreate when the stream cap is

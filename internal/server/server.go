@@ -38,6 +38,13 @@ type Options struct {
 	// apply inline under the caller, the pre-engine behavior.
 	QueueDepth int
 
+	// RetrainWorkers sizes the engine's background lane, where model
+	// retrains train before being atomically swapped in (default 2).
+	// Negative disables the lane: retrains then run inline at the batch
+	// boundary that ordered them, as they also do when the engine itself
+	// is disabled.
+	RetrainWorkers int
+
 	// BatchInterval, when positive, runs the wall-clock ticker: every
 	// interval each stream's open batch is closed and its sampler
 	// advanced — one paper batch-time unit per interval. Zero leaves
@@ -76,6 +83,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.QueueDepth == 0 {
 		o.QueueDepth = 128
+	}
+	if o.RetrainWorkers == 0 {
+		o.RetrainWorkers = 2
 	}
 	if o.BatchInterval < 0 {
 		o.BatchInterval = 0
@@ -130,7 +140,11 @@ func New(opts Options) (*Server, error) {
 		stop:    make(chan struct{}),
 	}
 	if opts.QueueDepth > 0 {
-		s.eng, err = engine.New(opts.EngineWorkers, opts.QueueDepth)
+		bg := opts.RetrainWorkers
+		if bg < 0 {
+			bg = 0
+		}
+		s.eng, err = engine.New(opts.EngineWorkers, opts.QueueDepth, engine.WithBackground(bg))
 		if err != nil {
 			return nil, err
 		}
@@ -270,6 +284,16 @@ func (s *Server) flushStream(e *entry) {
 	if s.eng != nil {
 		s.eng.Flush(e.key)
 	}
+}
+
+// runBackground dispatches a retrain job to the engine's background lane.
+// The error return (no engine, no lane, or draining) tells the caller to
+// run the job inline instead, so a retrain decision is never lost.
+func (s *Server) runBackground(fn func()) error {
+	if s.eng == nil {
+		return engine.ErrNoBackground
+	}
+	return s.eng.Background(fn)
 }
 
 // AdvanceAll closes every stream's open batch — the ticker's unit of work,

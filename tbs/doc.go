@@ -39,4 +39,15 @@
 // build many samplers from one stored configuration; tbs.DeriveSeed turns
 // a base seed plus a stream key into well-separated per-key seeds (see
 // internal/server for the keyed registry built on both).
+//
+// The paper's end goal — online model management — is built on exactly
+// this surface: score a deployed model on each incoming batch, Advance
+// the sampler, and when a retraining policy fires, realize the current
+// sample with AppendSample (a caller-owned buffer, so the read side stays
+// allocation-free) and retrain from it. internal/manage packages the loop
+// for embedding; the tbsd daemon (internal/server) serves it over HTTP
+// with per-stream models, asynchronous retraining and checkpointed model
+// state. Note that for R-TBS, realizing a sample consumes RNG draws, so a
+// deterministic replay must realize at the same points — Snapshot/Restore
+// preserve this automatically by checkpointing the RNG.
 package tbs
