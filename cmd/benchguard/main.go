@@ -1,12 +1,15 @@
 // Command benchguard is the CI bench-regression gate: it compares a fresh
-// tbsbench -json ingest result against the committed BENCH_ingest.json
-// baseline and exits nonzero when any path's items/sec dropped by more
-// than the tolerated fraction.
+// tbsbench -json result against a committed baseline (BENCH_ingest.json
+// for the ingest pipeline, BENCH_wal.json for the WAL fsync paths) and
+// exits nonzero when any path's items/sec dropped by more than the
+// tolerated fraction.
 //
 // Usage (as CI runs it):
 //
 //	go run ./cmd/tbsbench -exp ingest -quick -json /tmp/ingest.json
 //	go run ./cmd/benchguard -baseline BENCH_ingest.json -current /tmp/ingest.json
+//	go run ./cmd/tbsbench -exp wal -json /tmp/wal.json
+//	go run ./cmd/benchguard -id wal -baseline BENCH_wal.json -current /tmp/wal.json -max-drop 0.50
 //
 // The default tolerance is generous (30%) because the committed baseline
 // and the CI runner are different machines; the guard exists to catch
@@ -27,6 +30,7 @@ func main() {
 	var (
 		baseline = flag.String("baseline", "BENCH_ingest.json", "committed tbsbench -json baseline")
 		current  = flag.String("current", "", "freshly measured tbsbench -json result")
+		id       = flag.String("id", "ingest", "experiment record to gate (ingest, wal)")
 		maxDrop  = flag.Float64("max-drop", 0.30, "tolerated fractional items/sec drop per path")
 	)
 	flag.Parse()
@@ -35,7 +39,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	lines, err := experiments.CompareIngestBaseline(*baseline, *current, *maxDrop)
+	lines, err := experiments.CompareBenchBaseline(*baseline, *current, *id, *maxDrop)
 	for _, line := range lines {
 		fmt.Println(line)
 	}

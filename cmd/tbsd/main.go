@@ -22,6 +22,10 @@
 //	POST /v1/streams/{key}/advance   explicit batch boundary
 //	GET  /v1/streams/{key}/sample    realized sample
 //	GET  /v1/streams/{key}/stats     size/weight/clock bookkeeping
+//	DELETE /v1/streams/{key}         delete the stream (registry entry,
+//	                                 checkpoint file and WAL history);
+//	                                 later reads 404, later ingest
+//	                                 recreates it fresh
 //	GET  /v1/streams                 enumerate stream keys
 //	PUT  /v1/streams/{key}/model     attach a managed model (learner
 //	                                 knn|linreg|nb, policy always|every:K|
@@ -49,6 +53,13 @@
 // On SIGINT/SIGTERM the daemon drains HTTP, stops the background loops,
 // and writes a final checkpoint so a restart resumes every stream's exact
 // stochastic process.
+//
+// With -wal the daemon also journals every acknowledged operation to a
+// write-ahead log under <checkpoint-dir>/wal before acknowledging it
+// (group-commit fsync by default; see -wal-fsync), and boot replays the
+// log tail on top of the newest checkpoints — so even a kill -9 loses at
+// most the last un-fsynced group, not the traffic since the last
+// periodic checkpoint. Checkpoint passes double as WAL compaction.
 package main
 
 import (
@@ -62,6 +73,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -85,6 +97,9 @@ func main() {
 		batchIv    = flag.Duration("batch-interval", 0, "wall-clock batch boundary period for every stream (0 = explicit /advance only)")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for per-stream checkpoints (restore on boot, save periodically and on shutdown)")
 		ckptIv     = flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period")
+		walOn      = flag.Bool("wal", false, "journal every acknowledged operation to <checkpoint-dir>/wal and replay it on boot; a kill -9 then loses at most the last un-fsynced group instead of a checkpoint interval")
+		walFsync   = flag.String("wal-fsync", "group", "WAL durability policy: group (one fsync per concurrent batch of requests), always (fsync per record), off (OS page cache only)")
+		quarantine = flag.Bool("restore-quarantine", false, "boot past a corrupt checkpoint file by renaming it to *.corrupt instead of failing (default: strict fail)")
 		maxPending = flag.Int("max-pending", 1<<20, "max items in one stream's open batch (negative = unbounded)")
 		maxStreams = flag.Int("max-streams", 1<<16, "max live streams; creation beyond it gets 429 (negative = unbounded)")
 	)
@@ -95,6 +110,14 @@ func main() {
 	if err != nil {
 		logger.Println(err)
 		os.Exit(2)
+	}
+	walDir := ""
+	if *walOn {
+		if *ckptDir == "" {
+			logger.Println("-wal requires -checkpoint-dir (checkpoints are the WAL's compaction step)")
+			os.Exit(2)
+		}
+		walDir = filepath.Join(*ckptDir, "wal")
 	}
 	queueDepth := *queue
 	if queueDepth <= 0 {
@@ -112,6 +135,9 @@ func main() {
 		BatchInterval:      *batchIv,
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: *ckptIv,
+		WALDir:             walDir,
+		WALFsync:           *walFsync,
+		RestoreQuarantine:  *quarantine,
 		MaxPendingItems:    *maxPending,
 		MaxStreams:         *maxStreams,
 		Logf:               logger.Printf,

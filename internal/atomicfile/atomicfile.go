@@ -1,18 +1,24 @@
 // Package atomicfile holds the one write-temp-then-rename helper shared by
-// every checkpoint and results writer in the repo, so the atomicity
-// discipline (and any future fsync or cleanup fix) lives in one place.
+// every checkpoint and results writer in the repo, so the atomicity and
+// durability discipline lives in one place.
 package atomicfile
 
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 )
 
-// WriteFile writes data to path atomically: readers observe either the
-// old content or the new, never a partial write. Each call gets a unique
-// temporary file (next to path — rename must not cross filesystems), so
-// concurrent writers of the same path cannot corrupt each other; the last
-// rename wins.
+// WriteFile writes data to path atomically and durably: readers observe
+// either the old content or the new, never a partial write, and once
+// WriteFile returns the new content survives a power cut — the temp file
+// is fsynced before the rename and the directory entry after it. That
+// durability is load-bearing for the WAL: compaction deletes log
+// segments as soon as a checkpoint covering them has been written, which
+// is only sound if the checkpoint really is on stable storage. Each call
+// gets a unique temporary file (next to path — rename must not cross
+// filesystems), so concurrent writers of the same path cannot corrupt
+// each other; the last rename wins.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
@@ -34,6 +40,12 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	if _, err := f.Write(data); err != nil {
 		return cleanup(err)
 	}
+	// The content must be durable before the rename publishes it: a
+	// rename of an unsynced file can survive a crash as an empty or
+	// partial file on several filesystems.
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
@@ -42,5 +54,20 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return syncDir(dir)
+}
+
+// syncDir makes the rename itself durable by fsyncing the directory
+// entry. Windows cannot open directories for syncing; there the rename's
+// durability is left to the OS (the repo's servers target Linux).
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }

@@ -40,9 +40,9 @@ type pathRate struct {
 // tolerance. The core path has its own 0-alloc test as a regression gate.
 const minGateElapsedMS = 50
 
-// ingestRates extracts path → measurement from the "ingest" record of a
-// tbsbench -json file.
-func ingestRates(path string) (map[string]pathRate, error) {
+// benchRates extracts path → measurement from the record with the given
+// experiment id in a tbsbench -json file.
+func benchRates(path, id string) (map[string]pathRate, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -52,7 +52,7 @@ func ingestRates(path string) (map[string]pathRate, error) {
 		return nil, fmt.Errorf("benchguard: %s: %w", path, err)
 	}
 	for _, rec := range records {
-		if rec.ID != "ingest" {
+		if rec.ID != id {
 			continue
 		}
 		pathCol, rateCol, elapsedCol := -1, -1, -1
@@ -67,7 +67,7 @@ func ingestRates(path string) (map[string]pathRate, error) {
 			}
 		}
 		if pathCol < 0 || rateCol < 0 {
-			return nil, fmt.Errorf("benchguard: %s: ingest record lacks path/items-per-sec columns (header %v)", path, rec.Header)
+			return nil, fmt.Errorf("benchguard: %s: %s record lacks path/items-per-sec columns (header %v)", path, id, rec.Header)
 		}
 		rates := make(map[string]pathRate, len(rec.Rows))
 		for _, row := range rec.Rows {
@@ -87,11 +87,11 @@ func ingestRates(path string) (map[string]pathRate, error) {
 			rates[row[pathCol]] = pr
 		}
 		if len(rates) == 0 {
-			return nil, fmt.Errorf("benchguard: %s: ingest record has no rows", path)
+			return nil, fmt.Errorf("benchguard: %s: %s record has no rows", path, id)
 		}
 		return rates, nil
 	}
-	return nil, fmt.Errorf("benchguard: %s: no \"ingest\" record found", path)
+	return nil, fmt.Errorf("benchguard: %s: no %q record found", path, id)
 }
 
 // CompareIngestBaseline compares the measured ingest throughput against
@@ -100,14 +100,21 @@ func ingestRates(path string) (map[string]pathRate, error) {
 // per compared path; the error is non-nil when any path regressed beyond
 // the tolerance.
 func CompareIngestBaseline(baselinePath, currentPath string, maxDrop float64) ([]string, error) {
+	return CompareBenchBaseline(baselinePath, currentPath, "ingest", maxDrop)
+}
+
+// CompareBenchBaseline is the generic comparator behind the CI guard: it
+// gates the record with the given experiment id (ingest pipeline, WAL
+// append) from two tbsbench -json files.
+func CompareBenchBaseline(baselinePath, currentPath, id string, maxDrop float64) ([]string, error) {
 	if maxDrop <= 0 || maxDrop >= 1 {
 		return nil, fmt.Errorf("benchguard: max drop must be in (0,1), got %v", maxDrop)
 	}
-	base, err := ingestRates(baselinePath)
+	base, err := benchRates(baselinePath, id)
 	if err != nil {
 		return nil, err
 	}
-	cur, err := ingestRates(currentPath)
+	cur, err := benchRates(currentPath, id)
 	if err != nil {
 		return nil, err
 	}
@@ -135,8 +142,8 @@ func CompareIngestBaseline(baselinePath, currentPath string, maxDrop float64) ([
 			path, b.rate, c.rate, 100*ratio, status))
 	}
 	if len(failures) > 0 {
-		return lines, fmt.Errorf("benchguard: %d ingest throughput regression(s) beyond %.0f%%:\n  %s",
-			len(failures), 100*maxDrop, strings.Join(failures, "\n  "))
+		return lines, fmt.Errorf("benchguard: %d %s throughput regression(s) beyond %.0f%%:\n  %s",
+			len(failures), id, 100*maxDrop, strings.Join(failures, "\n  "))
 	}
 	return lines, nil
 }

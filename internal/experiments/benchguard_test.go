@@ -119,10 +119,13 @@ func TestBenchGuardInputValidation(t *testing.T) {
 	if _, err := CompareIngestBaseline(bad, good, 0.3); err == nil {
 		t.Error("file without an ingest record accepted")
 	}
-	// The committed repo baseline must parse — the guard in CI depends on
-	// it.
-	if _, err := ingestRates("../../BENCH_ingest.json"); err != nil {
+	// The committed repo baselines must parse — the guards in CI depend
+	// on them.
+	if _, err := benchRates("../../BENCH_ingest.json", "ingest"); err != nil {
 		t.Errorf("committed BENCH_ingest.json unreadable: %v", err)
+	}
+	if _, err := benchRates("../../BENCH_wal.json", "wal"); err != nil {
+		t.Errorf("committed BENCH_wal.json unreadable: %v", err)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -33,7 +35,7 @@ func IngestPipeline(quick bool, seed uint64) (*Result, error) {
 	}
 
 	jsonRate, err := runIngestPath(res, "http JSON array", seed, requests, itemsPerRequest,
-		"/v1/streams/bench/items?advance=true", "", jsonBody)
+		"/v1/streams/bench/items?advance=true", "", jsonBody, false)
 	if err != nil {
 		return nil, err
 	}
@@ -43,12 +45,24 @@ func IngestPipeline(quick bool, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The same streaming path with the write-ahead log journaling every
+	// chunk and boundary (group-commit fsync) — the durability tax the
+	// EXPERIMENTS.md WAL table reports. Not gated against the baseline
+	// (fsync latency is the CI runner's disk, not our code); the `wal`
+	// experiment gates the fsync paths separately.
+	walRate, err := runIngestPath(res, "http NDJSON engine+wal", seed, requests, itemsPerRequest,
+		fmt.Sprintf("/v1/streams/bench/items?batch=%d", itemsPerRequest),
+		"application/x-ndjson", ndjsonBody, true)
+	if err != nil {
+		return nil, err
+	}
 	if err := runIngestCore(res, seed, requests, itemsPerRequest); err != nil {
 		return nil, err
 	}
 
 	res.Notes = append(res.Notes,
-		fmt.Sprintf("NDJSON/JSON speedup: %.2fx items/sec", ndjsonRate/jsonRate))
+		fmt.Sprintf("NDJSON/JSON speedup: %.2fx items/sec", ndjsonRate/jsonRate),
+		fmt.Sprintf("WAL-on/WAL-off NDJSON throughput: %.0f%%", 100*walRate/ndjsonRate))
 	return res, nil
 }
 
@@ -71,12 +85,25 @@ func ingestBodies(items int) (jsonBody, ndjsonBody []byte) {
 func ptr[T any](v T) *T { return &v }
 
 // runIngestPath drives one wire format through a fresh server and appends
-// its row.
-func runIngestPath(res *Result, name string, seed uint64, requests, itemsPerRequest int, path, contentType string, body []byte) (itemsPerSec float64, err error) {
+// its row. With withWAL set the server journals to a throwaway
+// group-commit WAL, measuring the durability tax on the same workload.
+func runIngestPath(res *Result, name string, seed uint64, requests, itemsPerRequest int, path, contentType string, body []byte, withWAL ...bool) (itemsPerSec float64, err error) {
 	lambda, n := 0.07, 1000
-	srv, err := server.New(server.Options{
+	opts := server.Options{
 		Sampler: tbs.Config{Scheme: "rtbs", Lambda: &lambda, MaxSize: &n, Seed: ptr(seed)},
-	})
+	}
+	if len(withWAL) > 0 && withWAL[0] {
+		dir, err := os.MkdirTemp("", "ingestwal")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		opts.CheckpointDir = dir
+		opts.CheckpointInterval = time.Hour
+		opts.WALDir = filepath.Join(dir, "wal")
+		opts.WALFsync = "group"
+	}
+	srv, err := server.New(opts)
 	if err != nil {
 		return 0, err
 	}

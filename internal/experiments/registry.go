@@ -90,6 +90,7 @@ func Registry() []Spec {
 		}},
 		{"ingest", "ingest pipeline: JSON vs NDJSON+engine vs core hot path", IngestPipeline},
 		{"serve-drift", "online model management through the tbsd HTTP path: always vs drift retraining", ServeDrift},
+		{"wal", "WAL append throughput: fsync policies and group commit", WALAppend},
 	}
 	sort.Slice(specs, func(i, j int) bool { return specs[i].ID < specs[j].ID })
 	return specs

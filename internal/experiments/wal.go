@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// WALAppend is the durability-path benchmark behind the CI fsync gate:
+// it measures the write-ahead log's append throughput under each fsync
+// policy, plus the group-commit path under concurrency — the
+// configuration tbsd actually runs, where one fsync is meant to cover a
+// whole batch of concurrent acknowledgements. The committed baseline is
+// BENCH_wal.json; cmd/benchguard -id wal fails CI when a path regresses
+// (a per-record allocation sneaking into the encode path, an fsync per
+// record sneaking into group mode).
+func WALAppend(quick bool, seed uint64) (*Result, error) {
+	res := &Result{
+		ID:     "wal",
+		Title:  "WAL append throughput: fsync policies and group commit",
+		Header: []string{"path", "records", "items", "elapsed ms", "records/sec", "items/sec", "fsyncs"},
+	}
+	items := walBenchItems(100, seed)
+
+	// Pure encode+write path: no fsync anywhere, so this row isolates the
+	// per-record CPU cost (framing, CRC, the one write syscall) that must
+	// stay flat for the zero-alloc ingest contract to mean anything.
+	if err := runWALPath(res, "wal append fsync=off", wal.SyncOff, 1, runsFor(quick, 20000, 2000), items); err != nil {
+		return nil, err
+	}
+	// Sequential group mode: every Sync elects itself leader (no
+	// concurrency to coalesce with), so this is the worst-case fsync
+	// latency per acknowledged request.
+	if err := runWALPath(res, "wal append fsync=group seq", wal.SyncGroup, 1, runsFor(quick, 1500, 150), items); err != nil {
+		return nil, err
+	}
+	// Concurrent group commit: 8 appenders share the log; one fsync
+	// covers everyone whose record it caught — records/fsync is the
+	// headline number.
+	if err := runWALPath(res, "wal group-commit x8", wal.SyncGroup, 8, runsFor(quick, 4000, 400), items); err != nil {
+		return nil, err
+	}
+	if err := runWALPath(res, "wal append fsync=always", wal.SyncAlways, 1, runsFor(quick, 1000, 100), items); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// walBenchItems builds one ingest chunk of n ~40-byte JSON items.
+func walBenchItems(n int, seed uint64) []json.RawMessage {
+	items := make([]json.RawMessage, n)
+	for i := range items {
+		items[i] = json.RawMessage(fmt.Sprintf(`{"sensor":%d,"v":%d.%03d,"s":%d}`, i%64, i%97, i%1000, seed))
+	}
+	return items
+}
+
+// runWALPath appends `records` item-append records (each followed by the
+// ack-side Sync, as a request handler would) across `writers` goroutines
+// on a fresh log, and appends the row.
+func runWALPath(res *Result, name, fsync string, writers, records int, items []json.RawMessage) error {
+	dir, err := os.MkdirTemp("", "walbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(wal.Options{Dir: dir, Fsync: fsync})
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+
+	perWriter := records / writers
+	errc := make(chan error, writers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("bench-%d", w)
+			for i := 0; i < perWriter; i++ {
+				lsn, err := wal.AppendItems(l, key, items)
+				if err == nil {
+					err = l.Sync(lsn)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < writers; w++ {
+		if err := <-errc; err != nil {
+			return fmt.Errorf("wal bench %s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	st := l.Stats()
+	total := perWriter * writers
+	totalItems := total * len(items)
+	res.Rows = append(res.Rows, []string{
+		name, fmt.Sprint(total), fmt.Sprint(totalItems), f1(elapsed.Seconds() * 1000),
+		f0(float64(total) / elapsed.Seconds()),
+		f0(float64(totalItems) / elapsed.Seconds()),
+		fmt.Sprint(st.Fsyncs),
+	})
+	if fsync == wal.SyncGroup && writers > 1 && st.Fsyncs > 0 {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("group commit x%d: %.1f records per fsync", writers, float64(total)/float64(st.Fsyncs)))
+	}
+	return nil
+}

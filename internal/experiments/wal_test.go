@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestWALAppendQuick runs the WAL bench in quick mode and checks its
+// structural claims: the off row never fsyncs, the sequential group row
+// fsyncs once per record, and the concurrent group-commit row coalesces
+// (strictly fewer fsyncs than records).
+func TestWALAppendQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	res, err := WALAppend(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	get := func(row []string, col string) int {
+		t.Helper()
+		for i, h := range res.Header {
+			if h == col {
+				n, err := strconv.Atoi(row[i])
+				if err != nil {
+					t.Fatalf("row %v column %s: %v", row, col, err)
+				}
+				return n
+			}
+		}
+		t.Fatalf("no column %s in %v", col, res.Header)
+		return 0
+	}
+	for _, row := range res.Rows {
+		records, fsyncs := get(row, "records"), get(row, "fsyncs")
+		switch row[0] {
+		case "wal append fsync=off":
+			if fsyncs != 0 {
+				t.Errorf("off row fsynced %d times", fsyncs)
+			}
+		case "wal append fsync=group seq", "wal append fsync=always":
+			if fsyncs < records {
+				t.Errorf("%s: %d fsyncs for %d records, want >= one per record", row[0], fsyncs, records)
+			}
+		case "wal group-commit x8":
+			if fsyncs == 0 || fsyncs >= records {
+				t.Errorf("group commit did not coalesce: %d fsyncs for %d records", fsyncs, records)
+			}
+		default:
+			t.Errorf("unexpected row %q", row[0])
+		}
+	}
+}

@@ -29,6 +29,11 @@ type checkpointState struct {
 	// counters, gob-encoded deployed model) when one is attached, so a
 	// restart serves the same predictions under the same policy clock.
 	Model *modelCheckpoint `json:"model,omitempty"`
+	// WalLSN is the LSN of the last WAL record reflected in this
+	// snapshot; recovery replays only the records after it, and WAL
+	// compaction may drop segments wholly below the minimum WalLSN
+	// durably checkpointed across streams.
+	WalLSN uint64 `json:"walLSN,omitempty"`
 }
 
 const checkpointSuffix = ".ckpt.json"
@@ -105,16 +110,52 @@ func (s *Server) checkpointAll() error {
 			}
 			continue
 		}
+		e.setDurableLSN(st.WalLSN)
 		written++
 	}
 	s.metrics.ObserveCheckpoint(written, time.Since(start), firstErr)
+	// A completed pass is the WAL's compaction step: everything below the
+	// minimum durably-checkpointed LSN is now redundant with snapshots.
+	s.compactWAL()
 	return firstErr
 }
 
-// restoreAll loads every checkpoint file in the directory into the
-// registry. Foreign files are ignored; a corrupt checkpoint is an error
-// (silently dropping a tenant's stream would be worse than failing boot).
+// restoreAll drives boot-time recovery: load every snapshot checkpoint,
+// then replay the WAL tail on top, converging to the exact pre-crash
+// state (samplers, open batches, policy clocks, deployed model bytes).
 func (s *Server) restoreAll() (int, error) {
+	restored, err := s.restoreSnapshots()
+	if err != nil {
+		return restored, err
+	}
+	if s.wal != nil {
+		replayed, err := s.replayWAL()
+		s.metrics.SetWALReplayed(replayed)
+		if err != nil {
+			return restored, err
+		}
+		if replayed > 0 {
+			s.opts.Logf("wal: replayed %d record(s) on top of %d snapshot(s)", replayed, restored)
+		}
+		// Replayed boundaries may have dispatched retrains to the
+		// background lane; wait them out so journaling can be enabled
+		// without racing a trainer, and so the post-boot state is the
+		// deterministic post-boundary one.
+		for _, e := range s.reg.all() {
+			if mm := e.model.Load(); mm != nil {
+				mm.waitIdle()
+			}
+		}
+	}
+	return restored, nil
+}
+
+// restoreSnapshots loads every checkpoint file in the directory into the
+// registry. Foreign files are ignored; a corrupt checkpoint is an error
+// (silently dropping a tenant's stream would be worse than failing boot)
+// unless RestoreQuarantine is set, in which case the bad file is renamed
+// to *.corrupt, counted, and boot continues with the remaining tenants.
+func (s *Server) restoreSnapshots() (int, error) {
 	dir := s.opts.CheckpointDir
 	if dir == "" {
 		return 0, nil
@@ -133,7 +174,13 @@ func (s *Server) restoreAll() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	restored := 0
+	// The WAL on disk ends here; a checkpoint claiming a higher LSN
+	// predates a wiped or foreign log and must not filter real records.
+	var bootLSN uint64
+	if s.wal != nil {
+		bootLSN = s.wal.LastLSN()
+	}
+	restored, quarantined := 0, 0
 	for _, de := range des {
 		if de.IsDir() {
 			continue
@@ -142,61 +189,93 @@ func (s *Server) restoreAll() (int, error) {
 		if !ok {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
-		if err != nil {
-			return restored, err
+		err := s.restoreOne(dir, de.Name(), key, info.Name, bootLSN)
+		if err == nil {
+			restored++
+			continue
 		}
-		var st checkpointState
-		if err := json.Unmarshal(data, &st); err != nil {
-			return restored, fmt.Errorf("server: checkpoint file %s: %w", de.Name(), err)
-		}
-		if st.Key != key {
-			return restored, fmt.Errorf("server: checkpoint file %s names key %q", de.Name(), st.Key)
-		}
-		if st.Snapshot.Scheme != info.Name {
-			return restored, fmt.Errorf("server: checkpoint file %s holds scheme %q, but the server is configured for %q",
-				de.Name(), st.Snapshot.Scheme, info.Name)
-		}
-		sampler, err := tbs.Restore[Item](st.Snapshot)
-		if err != nil {
-			return restored, fmt.Errorf("server: checkpoint file %s: %w", de.Name(), err)
-		}
-		cs := tbs.NewConcurrent(sampler)
-		e := &entry{
-			key:            key,
-			sampler:        cs,
-			sampleMutating: tbs.SampleMutates[Item](cs),
-			pending:        st.Pending,
-			ingested:       st.Ingested,
-			batches:        st.Batches,
-		}
-		if st.Model != nil {
-			mm, err := restoreManagedModel(st.Model, s.runBackground, s.metrics)
-			if err != nil {
-				return restored, fmt.Errorf("server: checkpoint file %s: %w", de.Name(), err)
+		if s.opts.RestoreQuarantine && !errors.Is(err, errRestoreStrict) {
+			bad := filepath.Join(dir, de.Name())
+			if rerr := os.Rename(bad, bad+".corrupt"); rerr != nil {
+				return restored, fmt.Errorf("server: quarantine %s: %v (original error: %w)", de.Name(), rerr, err)
 			}
-			e.model.Store(mm)
+			quarantined++
+			s.opts.Logf("restore: quarantined %s -> %s.corrupt: %v", de.Name(), de.Name(), err)
+			continue
 		}
-		// Replay boundaries that were closed but still queued when the
-		// checkpoint was taken: the snapshot's RNG predates them, so
-		// applying them in order reproduces the exact stochastic process
-		// the pre-crash server was executing. With a model attached the
-		// replay runs the full model step — the pre-crash server had not
-		// scored these boundaries yet, so scoring them now is exactly what
-		// it would have done next.
-		for _, b := range st.Queued {
-			if mm := e.model.Load(); mm != nil {
-				mm.onBoundary(e.sampler, b)
-			} else {
-				e.sampler.Advance(b)
-			}
-			e.batches++
-			e.dirty = true // memory is now ahead of the on-disk state
-		}
-		if err := s.reg.insertRestored(e); err != nil {
-			return restored, err
-		}
-		restored++
+		return restored, err
 	}
+	s.metrics.SetQuarantined(quarantined)
 	return restored, nil
+}
+
+// errRestoreStrict marks restore failures that -restore-quarantine must
+// NOT paper over: a scheme mismatch is a server misconfiguration (every
+// tenant would be quarantined), and an I/O error says nothing about the
+// file's content.
+var errRestoreStrict = errors.New("restore: strict failure")
+
+// restoreOne loads a single checkpoint file into the registry.
+func (s *Server) restoreOne(dir, name, key, scheme string, bootLSN uint64) error {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("%w: %v", errRestoreStrict, err)
+	}
+	var st checkpointState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("server: checkpoint file %s: %w", name, err)
+	}
+	if st.Key != key {
+		return fmt.Errorf("server: checkpoint file %s names key %q", name, st.Key)
+	}
+	if st.Snapshot.Scheme != scheme {
+		return fmt.Errorf("%w: checkpoint file %s holds scheme %q, but the server is configured for %q",
+			errRestoreStrict, name, st.Snapshot.Scheme, scheme)
+	}
+	sampler, err := tbs.Restore[Item](st.Snapshot)
+	if err != nil {
+		return fmt.Errorf("server: checkpoint file %s: %w", name, err)
+	}
+	if st.WalLSN > bootLSN {
+		st.WalLSN = bootLSN
+	}
+	cs := tbs.NewConcurrent(sampler)
+	e := &entry{
+		key:            key,
+		sampler:        cs,
+		sampleMutating: tbs.SampleMutates[Item](cs),
+		pending:        st.Pending,
+		ingested:       st.Ingested,
+		batches:        st.Batches,
+		walLSN:         st.WalLSN,
+		durableLSN:     st.WalLSN,
+	}
+	if st.Model != nil {
+		mm, err := restoreManagedModel(st.Model, s.runBackground, s.metrics)
+		if err != nil {
+			return fmt.Errorf("server: checkpoint file %s: %w", name, err)
+		}
+		mm.onSwap = e.journalSwapRecord
+		e.model.Store(mm)
+	}
+	// Replay boundaries that were closed but still queued when the
+	// checkpoint was taken: the snapshot's RNG predates them, so
+	// applying them in order reproduces the exact stochastic process
+	// the pre-crash server was executing. With a model attached the
+	// replay runs the full model step — the pre-crash server had not
+	// scored these boundaries yet, so scoring them now is exactly what
+	// it would have done next.
+	for _, b := range st.Queued {
+		if mm := e.model.Load(); mm != nil {
+			mm.onBoundary(e.sampler, b)
+		} else {
+			e.sampler.Advance(b)
+		}
+		e.batches++
+		e.dirty = true // memory is now ahead of the on-disk state
+	}
+	if err := s.reg.insertRestored(e); err != nil {
+		return fmt.Errorf("%w: %v", errRestoreStrict, err)
+	}
+	return nil
 }

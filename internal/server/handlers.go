@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/wal"
 	"repro/tbs"
 )
 
@@ -29,6 +30,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/streams/{key}/advance", s.handleAdvance)
 	mux.HandleFunc("GET /v1/streams/{key}/sample", s.handleSample)
 	mux.HandleFunc("GET /v1/streams/{key}/stats", s.handleStats)
+	mux.HandleFunc("DELETE /v1/streams/{key}", s.handleStreamDelete)
 	mux.HandleFunc("PUT /v1/streams/{key}/model", s.handleModelAttach)
 	mux.HandleFunc("GET /v1/streams/{key}/model", s.handleModelGet)
 	mux.HandleFunc("DELETE /v1/streams/{key}/model", s.handleModelDetach)
@@ -80,6 +82,12 @@ func (s *Server) ingestFailure(err error) (status int, code string, extra map[st
 		return http.StatusTooManyRequests, "open_batch_full", map[string]any{"limitItems": s.opts.MaxPendingItems}
 	case errors.Is(err, errTooManyStreams):
 		return http.StatusTooManyRequests, "stream_limit", map[string]any{"limitStreams": s.opts.MaxStreams}
+	case errors.Is(err, errStreamDeleted):
+		// The entry lost a race with DELETE /v1/streams/{key}; a retry
+		// recreates the stream from scratch.
+		return http.StatusNotFound, "stream_deleted", nil
+	case errors.Is(err, errJournalFailed):
+		return http.StatusInternalServerError, "wal_unavailable", nil
 	default:
 		return http.StatusBadRequest, "bad_request", nil
 	}
@@ -162,7 +170,7 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorBody(code, err.Error(), extra))
 		return
 	}
-	pending, ingested, err := e.append(req.items, s.opts.MaxPendingItems)
+	pending, ingested, lsn, err := e.append(req.items, s.opts.MaxPendingItems)
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
 		writeJSON(w, status, errorBody(code, err.Error(), extra))
@@ -177,10 +185,19 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 		"ingested": ingested,
 	}
 	if q := r.URL.Query().Get("advance"); q == "1" || q == "true" {
-		_, batches, _ := s.advanceWait(e)
+		_, batches, _, blsn := s.advanceWait(e)
+		if blsn > lsn {
+			lsn = blsn
+		}
 		resp["pending"] = 0
 		resp["advanced"] = true
 		resp["batches"] = batches
+	}
+	// The 200 below acknowledges the items (and boundary): group-commit
+	// fsync first, so a crash after the acknowledgement cannot lose them.
+	if err := s.syncWAL(lsn); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody("wal_unavailable", err.Error(), nil))
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -204,7 +221,11 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	n, batches, elapsed := s.advanceWait(e)
+	n, batches, elapsed, lsn := s.advanceWait(e)
+	if err := s.syncWAL(lsn); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody("wal_unavailable", err.Error(), nil))
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"key":           key,
 		"batch":         n,
@@ -237,11 +258,32 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	// sample taken right after an acknowledged advance reflects it.
 	s.flushStream(e)
 	bufp := sampleBufPool.Get().(*[]Item)
-	items := e.sampler.AppendSample((*bufp)[:0])
-	// R-TBS realization consumes RNG draws, so the next checkpoint must
-	// persist the advanced RNG; pure-read schemes stay clean.
-	if e.sampleMutating {
-		e.markDirty()
+	var items []Item
+	if s.wal != nil && e.sampleMutating {
+		// R-TBS realization consumes RNG draws: journal the read and draw
+		// under one entry-lock hold, so replay consumes the identical
+		// draws at the identical point in the stream's process, and sync
+		// before responding — the response is what makes the draw
+		// observable.
+		var lsn uint64
+		var err error
+		items, lsn, err = e.journalSampleRead((*bufp)[:0])
+		if err == nil {
+			err = s.syncWAL(lsn)
+		}
+		if err != nil {
+			sampleBufPool.Put(bufp)
+			status, code, extra := s.ingestFailure(err)
+			writeJSON(w, status, errorBody(code, err.Error(), extra))
+			return
+		}
+	} else {
+		items = e.sampler.AppendSample((*bufp)[:0])
+		// R-TBS realization consumes RNG draws, so the next checkpoint
+		// must persist the advanced RNG; pure-read schemes stay clean.
+		if e.sampleMutating {
+			e.markDirty()
+		}
 	}
 	if items == nil {
 		items = []Item{}
@@ -293,6 +335,31 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(keys), "streams": keys})
 }
 
+// handleStreamDelete removes a stream end to end — registry entry,
+// checkpoint file, WAL history (via a journaled tombstone) — so neither
+// a restart nor a replay resurrects the tenant. Subsequent reads 404; a
+// subsequent ingest creates a fresh stream, exactly as for a
+// never-seen key.
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	key, ok := streamKey(w, r)
+	if !ok {
+		return
+	}
+	existed, err := s.deleteStream(key)
+	if !existed {
+		writeError(w, http.StatusNotFound, "unknown stream %q", key)
+		return
+	}
+	if err != nil {
+		// The stream is gone from the registry, but part of the on-disk
+		// cleanup failed; surface it rather than fake a clean delete.
+		writeJSON(w, http.StatusInternalServerError, errorBody("delete_incomplete", err.Error(), nil))
+		return
+	}
+	s.metrics.ObserveStreamDelete()
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "deleted": true})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	var eng *engine.Stats
@@ -300,5 +367,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		st := s.eng.Stats()
 		eng = &st
 	}
-	_ = s.metrics.WriteTo(w, s.reg.count(), s.reg.perShardCounts(), eng)
+	var walSt *wal.Stats
+	if s.wal != nil {
+		st := s.wal.Stats()
+		walSt = &st
+	}
+	_ = s.metrics.WriteTo(w, s.reg.count(), s.reg.perShardCounts(), eng, walSt)
 }

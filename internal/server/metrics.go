@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/wal"
 )
 
 // latencyRingSize bounds the window the latency quantiles are computed
@@ -75,7 +76,27 @@ type Metrics struct {
 	retrains      atomic.Uint64
 	retrainErrors atomic.Uint64
 	predictions   atomic.Uint64
+
+	tickerLagged   atomic.Uint64
+	deletedStreams atomic.Uint64
+	quarantined    atomic.Int64
+	walReplayed    atomic.Int64
 }
+
+// ObserveTickerLag records n wall-clock ticks the batch-time ticker had
+// to coalesce because an AdvanceAll pass outlasted the interval.
+func (m *Metrics) ObserveTickerLag(n int) { m.tickerLagged.Add(uint64(n)) }
+
+// ObserveStreamDelete records one DELETE /v1/streams/{key}.
+func (m *Metrics) ObserveStreamDelete() { m.deletedStreams.Add(1) }
+
+// SetQuarantined records how many corrupt checkpoint files boot-time
+// restore quarantined.
+func (m *Metrics) SetQuarantined(n int) { m.quarantined.Store(int64(n)) }
+
+// SetWALReplayed records how many WAL records boot-time recovery
+// replayed on top of the snapshots.
+func (m *Metrics) SetWALReplayed(n int) { m.walReplayed.Store(int64(n)) }
 
 // ObserveModelScore records one batch scored against a deployed model.
 func (m *Metrics) ObserveModelScore() { m.modelScores.Add(1) }
@@ -140,12 +161,12 @@ func quantileOrZero(xs []float64, q float64) float64 {
 // nil when the engine is disabled. Rendering snapshots state first and
 // performs the response write lock-free, so a slow scraper cannot stall
 // the ingest/advance hot paths.
-func (m *Metrics) WriteTo(w io.Writer, streams int, perShard []int, eng *engine.Stats) error {
-	_, err := w.Write(m.render(streams, perShard, eng))
+func (m *Metrics) WriteTo(w io.Writer, streams int, perShard []int, eng *engine.Stats, walSt *wal.Stats) error {
+	_, err := w.Write(m.render(streams, perShard, eng, walSt))
 	return err
 }
 
-func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats) []byte {
+func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats, walSt *wal.Stats) []byte {
 	var b []byte
 	line := func(format string, args ...any) {
 		b = fmt.Appendf(b, format+"\n", args...)
@@ -161,6 +182,9 @@ func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats) []byte 
 	}
 
 	line("tbsd_streams %d", streams)
+	line("tbsd_deleted_streams_total %d", m.deletedStreams.Load())
+	line("tbsd_ticker_lagged_total %d", m.tickerLagged.Load())
+	line("tbsd_restore_quarantined_total %d", m.quarantined.Load())
 	line("tbsd_shards %d", len(perShard))
 	for i, n := range perShard {
 		line("tbsd_shard_streams{shard=%q} %d", fmt.Sprint(i), n)
@@ -199,5 +223,30 @@ func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats) []byte 
 			line("tbsd_engine_background_pending %d", eng.BackgroundPending())
 		}
 	}
+	line("tbsd_wal_enabled %d", boolGauge(walSt != nil))
+	if walSt != nil {
+		line("tbsd_wal_appended_records_total %d", walSt.Records)
+		line("tbsd_wal_appended_bytes_total %d", walSt.Bytes)
+		line("tbsd_wal_append_errors_total %d", walSt.AppendErrors)
+		line("tbsd_wal_fsyncs_total %d", walSt.Fsyncs)
+		line("tbsd_wal_fsync_seconds_count %d", walSt.FsyncCount)
+		line("tbsd_wal_fsync_seconds{stat=%q} %g", "mean", walSt.FsyncMean)
+		line("tbsd_wal_fsync_seconds{stat=%q} %g", "std", walSt.FsyncStd)
+		line("tbsd_wal_fsync_seconds{stat=%q} %g", "p50", walSt.FsyncP50)
+		line("tbsd_wal_fsync_seconds{stat=%q} %g", "p95", walSt.FsyncP95)
+		line("tbsd_wal_fsync_seconds{stat=%q} %g", "p99", walSt.FsyncP99)
+		line("tbsd_wal_segments %d", walSt.Segments)
+		line("tbsd_wal_truncated_segments_total %d", walSt.TruncatedSegments)
+		line("tbsd_wal_last_lsn %d", walSt.LastLSN)
+		line("tbsd_wal_synced_lsn %d", walSt.SyncedLSN)
+		line("tbsd_wal_replayed_records %d", m.walReplayed.Load())
+	}
 	return b
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -348,6 +348,11 @@ type managedModel struct {
 	runBg   func(func()) error
 	metrics *Metrics
 
+	// onSwap, when set, journals each completed retrain deployment to the
+	// WAL (entry.journalSwapRecord). Assigned before the model is
+	// published to its entry, never after.
+	onSwap func(retrains uint64)
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	inFlight bool // a retrain is training on the background lane
@@ -493,6 +498,12 @@ func (mm *managedModel) trainAndSwap(snap []Item) {
 		mm.staleness = 0
 		mm.lastTrainErr = ""
 		mm.metrics.ObserveRetrain(true)
+		if mm.onSwap != nil {
+			// Journal the deployment. Replay recomputes retrains from the
+			// boundary sequence, so this record is bookkeeping — but it
+			// makes every acknowledged model swap visible in the log.
+			mm.onSwap(mm.retrains)
+		}
 	}
 	mm.inFlight = false
 	mm.cond.Broadcast()

@@ -61,7 +61,16 @@ func (s *Server) handleModelAttach(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody("bad_model_spec", err.Error(), nil))
 		return
 	}
-	e.attachModel(mm)
+	mm.onSwap = e.journalSwapRecord
+	lsn, err := e.attachModel(mm)
+	if err == nil {
+		err = s.syncWAL(lsn)
+	}
+	if err != nil {
+		status, code, extra := s.ingestFailure(err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"key": key, "attached": true, "spec": spec})
 }
 
@@ -107,7 +116,16 @@ func (s *Server) handleModelDetach(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", key)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"key": key, "detached": e.detachModel()})
+	had, lsn, err := e.detachModel()
+	if err == nil {
+		err = s.syncWAL(lsn)
+	}
+	if err != nil {
+		status, code, extra := s.ingestFailure(err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "detached": had})
 }
 
 // handleModelStats reports the model's observable state. It applies

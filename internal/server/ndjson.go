@@ -150,6 +150,7 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 		sinceAdv   int
 		pending    int
 		ingested   uint64
+		maxLSN     uint64 // newest journal record this request must sync before acking
 	)
 	chunkSize := ndjsonChunkItems
 	if boundaryEvery > 0 && boundaryEvery < chunkSize {
@@ -160,9 +161,13 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 			return nil
 		}
 		var err error
-		pending, ingested, err = e.append(sc.batch, s.opts.MaxPendingItems)
+		var lsn uint64
+		pending, ingested, lsn, err = e.append(sc.batch, s.opts.MaxPendingItems)
 		if err != nil {
 			return err
+		}
+		if lsn > maxLSN {
+			maxLSN = lsn
 		}
 		added += len(sc.batch)
 		sinceAdv += len(sc.batch)
@@ -171,6 +176,11 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 	}
 	fail := func(err error, msg string) {
 		s.metrics.ObserveIngest(added)
+		// The error body reports `added` accepted items — an
+		// acknowledgement like any other, so their journal records are
+		// made durable too (best-effort: the primary error wins the
+		// response either way).
+		_ = s.syncWAL(maxLSN)
 		status, code, extra := s.ingestFailure(err)
 		if extra == nil {
 			extra = map[string]any{}
@@ -206,8 +216,11 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 				}
 				if boundaryEvery > 0 && sinceAdv >= boundaryEvery {
 					// Pipelined batch boundary: the shard worker applies it
-					// while we keep decoding the rest of the body.
-					s.advanceAsync(e)
+					// while we keep decoding the rest of the body. Its
+					// journal record rides the final group-commit sync.
+					if lsn := s.advanceAsync(e); lsn > maxLSN {
+						maxLSN = lsn
+					}
 					boundaries++
 					sinceAdv = 0
 					pending = 0
@@ -235,7 +248,10 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 		"ingested": ingested,
 	}
 	if finalAdvance {
-		_, batches, _ := s.advanceWait(e)
+		_, batches, _, lsn := s.advanceWait(e)
+		if lsn > maxLSN {
+			maxLSN = lsn
+		}
 		boundaries++
 		resp["pending"] = 0
 		resp["advanced"] = true
@@ -243,6 +259,13 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 	}
 	if boundaries > 0 {
 		resp["boundaries"] = boundaries
+	}
+	// One durability wait acknowledges the whole request: every chunk and
+	// boundary journaled above is covered by a sync to the newest LSN
+	// (group commit amortizes the fsyncs across concurrent requests).
+	if err := s.syncWAL(maxLSN); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody("wal_unavailable", err.Error(), nil))
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

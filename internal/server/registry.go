@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/wal"
 	"repro/tbs"
 )
 
@@ -31,6 +33,14 @@ type entry struct {
 	// in which case a read dirties the checkpoint state.
 	sampleMutating bool
 
+	// wal is the server's write-ahead log, nil when journaling is off or
+	// during boot replay (records being replayed must not be re-journaled).
+	// It is written before the entry becomes reachable by concurrent
+	// requests — at construction for entries created while serving, and by
+	// enableWAL (after replay has quiesced, before the server accepts
+	// traffic) for entries restored at boot — so reads need no lock.
+	wal *wal.Log
+
 	// model is the stream's managed model, nil until a PUT …/model
 	// attaches one. It is an atomic pointer so the predict path reads it
 	// without the entry lock; attach/detach store it under mu so the
@@ -45,6 +55,14 @@ type entry struct {
 	ingested uint64   // items ever accepted
 	batches  uint64   // batch boundaries ever applied to the sampler
 	dirty    bool     // state changed since the last persisted checkpoint
+	deleted  bool     // stream removed; rejects journaling and checkpointing
+
+	// walLSN is the LSN of the last record journaled for this stream;
+	// durableLSN the LSN its newest on-disk checkpoint covers. The gap
+	// between them is exactly the replay this stream needs after a crash,
+	// and min(durableLSN) across streams is the WAL compaction point.
+	walLSN     uint64
+	durableLSN uint64
 }
 
 // errRequestTooLarge marks an ingest request that can never fit the
@@ -55,52 +73,121 @@ type entry struct {
 var (
 	errRequestTooLarge = errors.New("request exceeds the per-stream open-batch limit")
 	errBatchFull       = errors.New("open batch full")
+	// errStreamDeleted marks an operation against an entry that lost a
+	// race with DELETE /v1/streams/{key}; handlers map it to 404 so the
+	// client observes the deletion (a retry recreates the stream fresh).
+	errStreamDeleted = errors.New("stream deleted")
+	// errJournalFailed marks a request rejected because its WAL record
+	// could not be written — the server never acknowledges what it could
+	// not log; handlers map it to 500.
+	errJournalFailed = errors.New("write-ahead log append failed")
 )
 
 // append adds items to the open batch and returns the new pending and
-// total counts. A positive maxPending bounds the open batch: one tenant
-// that ingests forever without a batch boundary must not grow server
-// memory (and checkpoint size) without limit.
-func (e *entry) append(items []Item, maxPending int) (pending int, ingested uint64, err error) {
+// total counts plus, when journaling is on, the LSN of the item-append
+// record (the caller must wal-sync it before acknowledging). A positive
+// maxPending bounds the open batch: one tenant that ingests forever
+// without a batch boundary must not grow server memory (and checkpoint
+// size) without limit.
+//
+// The journal write happens under e.mu, after validation and before the
+// mutation: WAL order therefore equals the stream's apply order, a
+// rejected request journals nothing, and a journaling failure rejects the
+// request — the server never acknowledges what it could not log.
+func (e *entry) append(items []Item, maxPending int) (pending int, ingested uint64, lsn uint64, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.deleted {
+		return 0, 0, 0, errStreamDeleted
+	}
 	if maxPending > 0 && len(e.pending)+len(items) > maxPending {
 		if len(items) > maxPending {
 			// No amount of advancing makes one oversized request fit.
-			return len(e.pending), e.ingested,
+			return len(e.pending), e.ingested, 0,
 				fmt.Errorf("%w: %d items, limit %d; split the request", errRequestTooLarge, len(items), maxPending)
 		}
-		return len(e.pending), e.ingested,
+		return len(e.pending), e.ingested, 0,
 			fmt.Errorf("%w: holds %d items (limit %d); advance the stream or enable -batch-interval", errBatchFull, len(e.pending), maxPending)
+	}
+	if e.wal != nil {
+		lsn, err = wal.AppendItems(e.wal, e.key, items)
+		if err != nil {
+			return len(e.pending), e.ingested, 0, fmt.Errorf("%w: %v", errJournalFailed, err)
+		}
+		e.walLSN = lsn
 	}
 	e.pending = append(e.pending, items...)
 	e.ingested += uint64(len(items))
 	e.dirty = true
-	return len(e.pending), e.ingested, nil
+	return len(e.pending), e.ingested, lsn, nil
+}
+
+// replayAppend is append for WAL recovery: no limit (the original request
+// was accepted under whatever limit then applied) and no re-journaling.
+func (e *entry) replayAppend(items [][]byte, lsn uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, it := range items {
+		e.pending = append(e.pending, Item(it))
+	}
+	e.ingested += uint64(len(items))
+	e.walLSN = lsn
+	e.dirty = true
+}
+
+// setWalLSN records the LSN of a replayed record that was applied through
+// a path that does not thread LSNs (batch boundaries, sample reads).
+func (e *entry) setWalLSN(lsn uint64) {
+	e.mu.Lock()
+	e.walLSN = lsn
+	e.mu.Unlock()
+}
+
+// setDurableLSN records that the stream's newest on-disk checkpoint
+// covers every record up to lsn.
+func (e *entry) setDurableLSN(lsn uint64) {
+	e.mu.Lock()
+	if lsn > e.durableLSN {
+		e.durableLSN = lsn
+	}
+	e.mu.Unlock()
 }
 
 // closeBatch detaches the open batch — possibly empty, which still counts
-// as a boundary and will move the decay clock when applied. The caller
-// must hand the returned batch to applyBatch (directly or through the
-// engine) exactly once. Until then the batch stays on the queued ledger,
-// so a concurrent checkpoint can never observe a boundary that is in
-// neither the pending buffer nor the sampler — the invariant the old
+// as a boundary and will move the decay clock when applied — journaling
+// the boundary record under the same lock hold, so the WAL sees items and
+// boundaries in exactly the order the sampler will. The caller must hand
+// the returned batch to applyBatch (directly or through the engine)
+// exactly once. Until then the batch stays on the queued ledger, so a
+// concurrent checkpoint can never observe a boundary that is in neither
+// the pending buffer nor the sampler — the invariant the old
 // single-critical-section advance gave for free.
-func (e *entry) closeBatch() []Item {
+//
+// jerr reports a journaling failure: the boundary still happens in memory
+// (refusing to advance would wedge the ticker), but the WAL has poisoned
+// itself, so replay converges to the state just before this boundary and
+// the checkpointer remains the durability backstop.
+func (e *entry) closeBatch() (batch []Item, lsn uint64, jerr error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	batch := e.pending
+	if e.wal != nil && !e.deleted {
+		if lsn, jerr = e.wal.AppendRecord(wal.TypeBatchBoundary, e.key, nil); jerr == nil {
+			e.walLSN = lsn
+		}
+	}
+	batch = e.pending
 	e.pending = nil
 	e.queued = append(e.queued, batch)
-	return batch
+	return batch, lsn, jerr
 }
 
 // advance closes the open batch and applies it inline — the synchronous
-// boundary used by direct registry consumers (tests, tooling); the server
-// itself routes batches through the engine via closeBatch/applyBatch.
+// boundary used by direct registry consumers (tests, tooling) and by WAL
+// replay; the server itself routes batches through the engine via
+// closeBatch/applyBatch.
 func (e *entry) advance() (batchLen int, batches uint64, elapsed time.Duration) {
 	e.advMu.Lock()
-	batch := e.closeBatch()
+	batch, _, _ := e.closeBatch()
 	e.advMu.Unlock()
 	return e.applyBatch(batch)
 }
@@ -159,7 +246,7 @@ func (e *entry) markDirty() {
 func (e *entry) checkpoint() (st checkpointState, wasDirty bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.dirty {
+	if !e.dirty || e.deleted {
 		return checkpointState{}, false, nil
 	}
 	// Model first: capture waits out any retrain still on the background
@@ -196,31 +283,92 @@ func (e *entry) checkpoint() (st checkpointState, wasDirty bool, err error) {
 		Ingested: e.ingested,
 		Batches:  e.batches,
 		Model:    mst,
+		WalLSN:   e.walLSN,
 	}, true, nil
 }
 
-// attachModel installs (or replaces) the stream's managed model. The
-// entry lock makes the swap atomic with respect to batch application and
-// checkpoint capture; a replaced model's in-flight retrain finishes
-// against the old state and is discarded with it.
-func (e *entry) attachModel(mm *managedModel) {
+// attachModel installs (or replaces) the stream's managed model,
+// journaling the normalized spec so a crash between the acknowledgement
+// and the next checkpoint replays the attach. The entry lock makes the
+// swap atomic with respect to batch application and checkpoint capture; a
+// replaced model's in-flight retrain finishes against the old state and
+// is discarded with it.
+func (e *entry) attachModel(mm *managedModel) (lsn uint64, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.deleted {
+		return 0, errStreamDeleted
+	}
+	if e.wal != nil {
+		spec, err := json.Marshal(mm.spec)
+		if err != nil {
+			return 0, err
+		}
+		if lsn, err = e.wal.AppendRecord(wal.TypeModelAttach, e.key, spec); err != nil {
+			return 0, fmt.Errorf("%w: model attach: %v", errJournalFailed, err)
+		}
+		e.walLSN = lsn
+	}
 	e.model.Store(mm)
 	e.dirty = true
+	return lsn, nil
 }
 
 // detachModel removes the stream's managed model; reports whether one was
-// attached.
-func (e *entry) detachModel() bool {
+// attached, journaling the detach when one was.
+func (e *entry) detachModel() (had bool, lsn uint64, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	had := e.model.Load() != nil
+	if e.deleted {
+		return false, 0, errStreamDeleted
+	}
+	had = e.model.Load() != nil
+	if had && e.wal != nil {
+		if lsn, err = e.wal.AppendRecord(wal.TypeModelDetach, e.key, nil); err != nil {
+			return had, 0, fmt.Errorf("%w: model detach: %v", errJournalFailed, err)
+		}
+		e.walLSN = lsn
+	}
 	e.model.Store(nil)
 	if had {
 		e.dirty = true
 	}
-	return had
+	return had, lsn, nil
+}
+
+// journalSwapRecord logs a completed retrain deployment. Replay never
+// applies these (retrains are recomputed deterministically from the
+// boundary sequence); they exist so operators and the recovery metrics
+// can account for every model swap the pre-crash server acknowledged
+// through its stats. Called from the background training lane, so it must
+// not take e.mu (a checkpoint holding e.mu waits for that lane to idle).
+func (e *entry) journalSwapRecord(retrains uint64) {
+	if e.wal == nil {
+		return
+	}
+	var ord [8]byte
+	binary.BigEndian.PutUint64(ord[:], retrains)
+	// An error here has already poisoned the log; nothing to do inline.
+	_, _ = e.wal.AppendRecord(wal.TypeRetrainSwap, e.key, ord[:])
+}
+
+// journalSampleRead journals one RNG-consuming sample realization and
+// realizes it under the same lock hold, so the WAL sees the draw exactly
+// where the sampler's stochastic process consumed it. Only called for
+// schemes whose Sample mutates (R-TBS) with journaling on.
+func (e *entry) journalSampleRead(buf []Item) (items []Item, lsn uint64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return nil, 0, errStreamDeleted
+	}
+	if lsn, err = e.wal.AppendRecord(wal.TypeSampleRead, e.key, nil); err != nil {
+		return nil, 0, fmt.Errorf("%w: sample read: %v", errJournalFailed, err)
+	}
+	e.walLSN = lsn
+	items = e.sampler.AppendSample(buf)
+	e.dirty = true
+	return items, lsn, nil
 }
 
 // errTooManyStreams is returned by getOrCreate when the stream cap is
@@ -233,15 +381,20 @@ var errTooManyStreams = errors.New("server: stream limit reached")
 // derived from the base seed, making the whole registry deterministic
 // while keeping every key on its own RNG trajectory. A positive
 // maxStreams bounds the number of live streams: every key costs memory, a
-// checkpoint file, and a slice of every checkpoint pass forever (there is
-// no stream deletion yet), so hostile or typo'd keys must not grow the
-// server without limit.
+// checkpoint file, and a slice of every checkpoint pass until it is
+// DELETEd, so hostile or typo'd keys must not grow the server without
+// limit.
 type registry struct {
 	cfg        tbs.Config
 	baseSeed   uint64
 	maxStreams int
 	total      atomic.Int64
 	shards     []*shard
+
+	// wal, once set by enableWAL, is handed to every entry created from
+	// then on. It is written exactly once, after boot replay and before
+	// the server serves traffic.
+	wal *wal.Log
 }
 
 type shard struct {
@@ -291,6 +444,17 @@ func (r *registry) lookup(key string) *entry {
 // (no allocation proportional to stream volume) and keeps double-creation
 // races impossible.
 func (r *registry) getOrCreate(key string) (*entry, error) {
+	return r.getOrCreateAt(key, false)
+}
+
+// createForReplay is getOrCreate exempt from the stream cap — WAL
+// recovery must never strand acknowledged records behind a lowered
+// -max-streams, mirroring the boot-restore exemption.
+func (r *registry) createForReplay(key string) (*entry, error) {
+	return r.getOrCreateAt(key, true)
+}
+
+func (r *registry) getOrCreateAt(key string, capExempt bool) (*entry, error) {
 	sh := r.shardFor(key)
 	sh.mu.RLock()
 	e := sh.entries[key]
@@ -306,7 +470,7 @@ func (r *registry) getOrCreate(key string) (*entry, error) {
 	// Reserve the slot atomically before building: concurrent first-touch
 	// creations on different shards would otherwise all pass a plain
 	// load-then-check and overshoot the cap by up to nShards-1.
-	if n := r.total.Add(1); r.maxStreams > 0 && n > int64(r.maxStreams) {
+	if n := r.total.Add(1); !capExempt && r.maxStreams > 0 && n > int64(r.maxStreams) {
 		r.total.Add(-1)
 		return nil, fmt.Errorf("%w (%d)", errTooManyStreams, r.maxStreams)
 	}
@@ -316,9 +480,41 @@ func (r *registry) getOrCreate(key string) (*entry, error) {
 		return nil, err
 	}
 	cs := tbs.NewConcurrent(s)
-	e = &entry{key: key, sampler: cs, sampleMutating: tbs.SampleMutates[Item](cs)}
+	e = &entry{key: key, sampler: cs, sampleMutating: tbs.SampleMutates[Item](cs), wal: r.wal}
 	sh.entries[key] = e
 	return e, nil
+}
+
+// remove deletes the stream's entry and returns it (nil when absent). The
+// caller owns the follow-up: marking the entry deleted, journaling, and
+// removing the checkpoint file.
+func (r *registry) remove(key string) *entry {
+	sh := r.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[key]
+	if e != nil {
+		delete(sh.entries, key)
+		r.total.Add(-1)
+	}
+	return e
+}
+
+// enableWAL hands the log to the registry (for future entries) and to
+// every entry already restored. Must run before the server accepts
+// traffic — entry.wal is read without a lock on the strength of that.
+func (r *registry) enableWAL(l *wal.Log) {
+	if l == nil {
+		return
+	}
+	r.wal = l
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			e.wal = l
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // insertRestored installs a checkpointed entry at boot. It refuses to

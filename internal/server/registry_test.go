@@ -172,7 +172,7 @@ func TestQueuedBatchSurvivesCheckpoint(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := e.append(testItems(1, 30), 0); err != nil {
+		if _, _, _, err := e.append(testItems(1, 30), 0); err != nil {
 			t.Fatal(err)
 		}
 		return e

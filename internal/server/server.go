@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/wal"
 	"repro/tbs"
 )
 
@@ -58,6 +59,30 @@ type Options struct {
 	// CheckpointInterval is the background checkpoint period
 	// (default 30s; ignored without CheckpointDir).
 	CheckpointInterval time.Duration
+
+	// WALDir, when set, enables the write-ahead log: every acknowledged
+	// ingest chunk, batch boundary, model attach/detach and RNG-consuming
+	// sample read is journaled and fsynced (per WALFsync) before the
+	// acknowledgement, and boot replays the log tail on top of the newest
+	// snapshots — a kill -9 then loses at most the last un-fsynced group
+	// instead of up to a full CheckpointInterval of acknowledged traffic.
+	// Checkpoint passes double as WAL compaction.
+	WALDir string
+
+	// WALFsync selects the durability policy: "group" (default — one
+	// fsync covers every record written since the last, batching
+	// concurrent requests), "always" (fsync per record), or "off" (OS
+	// page cache only; survives kill -9, not power loss).
+	WALFsync string
+
+	// WALSegmentBytes rotates WAL segments at this size (default 64MB).
+	WALSegmentBytes int64
+
+	// RestoreQuarantine, when set, boots past a corrupt checkpoint file
+	// by renaming it to *.corrupt and counting it, instead of failing the
+	// whole boot (the default — losing one tenant silently is worse than
+	// a loud crash loop, so opting in is deliberate).
+	RestoreQuarantine bool
 
 	// MaxPendingItems bounds one stream's open batch; ingest beyond it is
 	// rejected until a batch boundary drains the buffer (default 1<<20
@@ -117,12 +142,13 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	eng     *engine.Engine // nil when QueueDepth < 0 (inline apply)
+	wal     *wal.Log       // nil when WALDir is unset
 
 	startOnce sync.Once
 	stopOnce  sync.Once
 	stop      chan struct{}
 	wg        sync.WaitGroup
-	ckptMu    sync.Mutex // serializes whole checkpoint passes
+	ckptMu    sync.Mutex // serializes whole checkpoint passes (and stream deletes)
 }
 
 // New validates the configuration and, when a checkpoint directory is
@@ -149,13 +175,35 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
-	restored, err := s.restoreAll()
-	if err != nil {
+	fail := func(err error) (*Server, error) {
 		if s.eng != nil {
 			s.eng.Close()
 		}
+		if s.wal != nil {
+			s.wal.Close()
+		}
 		return nil, err
 	}
+	if opts.WALDir != "" {
+		// Open before restore: recovery needs the log's end position to
+		// clamp stale checkpoint LSNs, and replay runs off this handle.
+		s.wal, err = wal.Open(wal.Options{
+			Dir:          opts.WALDir,
+			Fsync:        opts.WALFsync,
+			SegmentBytes: opts.WALSegmentBytes,
+		})
+		if err != nil {
+			return fail(err)
+		}
+	}
+	restored, err := s.restoreAll()
+	if err != nil {
+		return fail(err)
+	}
+	// Journaling switches on only after replay has fully applied (and
+	// quiesced) the existing log — replayed operations must not be
+	// re-journaled.
+	s.reg.enableWAL(s.wal)
 	s.metrics.SetRestored(restored)
 	if restored > 0 {
 		// Snapshots carry their own parameters, so restored streams keep
@@ -228,6 +276,13 @@ func (s *Server) Stop(ctx context.Context) error {
 		select {
 		case cerr := <-ckc:
 			err = errors.Join(err, cerr)
+			// The final checkpoint covered everything, so the WAL can be
+			// sealed (checkpointAll already compacted it). On timeout the
+			// log is left open for the detached pass — a killed process
+			// leaves a valid log either way.
+			if s.wal != nil {
+				err = errors.Join(err, s.wal.Close())
+			}
 		case <-ctx.Done():
 			err = errors.Join(err, fmt.Errorf("server: final checkpoint timed out: %w", ctx.Err()))
 		}
@@ -250,21 +305,27 @@ func (s *Server) submitApply(e *entry, batch []Item) {
 
 // advanceAsync closes the stream's open batch and queues it for
 // application, returning without waiting — the pipelined batch boundary
-// used by the ticker and by NDJSON mid-request boundaries.
-func (s *Server) advanceAsync(e *entry) {
+// used by the ticker and by NDJSON mid-request boundaries. The returned
+// LSN is the boundary's journal record (0 when journaling is off); the
+// caller acknowledging the boundary must wal-sync it first.
+func (s *Server) advanceAsync(e *entry) uint64 {
 	e.advMu.Lock()
 	defer e.advMu.Unlock()
-	s.submitApply(e, e.closeBatch())
+	batch, lsn, jerr := e.closeBatch()
+	s.noteJournalErr(jerr)
+	s.submitApply(e, batch)
+	return lsn
 }
 
 // advanceWait is advanceAsync plus a wait for that specific batch: it
 // returns only after the batch has been applied, with the applied batch
-// size, total boundary count and sampler-update latency — what the
-// synchronous /advance API reports.
-func (s *Server) advanceWait(e *entry) (n int, batches uint64, elapsed time.Duration) {
+// size, total boundary count, sampler-update latency and the boundary's
+// journal LSN — what the synchronous /advance API reports.
+func (s *Server) advanceWait(e *entry) (n int, batches uint64, elapsed time.Duration, lsn uint64) {
 	done := make(chan struct{})
 	e.advMu.Lock()
-	batch := e.closeBatch()
+	batch, lsn, jerr := e.closeBatch()
+	s.noteJournalErr(jerr)
 	apply := func() {
 		n, batches, elapsed = e.applyBatch(batch)
 		s.metrics.ObserveAdvance(n, elapsed)
@@ -275,7 +336,7 @@ func (s *Server) advanceWait(e *entry) (n int, batches uint64, elapsed time.Dura
 	}
 	e.advMu.Unlock()
 	<-done
-	return n, batches, elapsed
+	return n, batches, elapsed, lsn
 }
 
 // flushStream blocks until every batch queued for the stream has been
@@ -311,19 +372,44 @@ func (s *Server) AdvanceAll() {
 
 // runTicker maps the paper's batch-arrival model onto real time: every
 // BatchInterval is one batch-time unit for every stream, whether or not
-// items arrived.
+// items arrived. time.Ticker silently coalesces ticks when AdvanceAll
+// outlasts the interval, which would let the batch-time clock drift
+// behind the wall clock with no signal — so the gap between consecutive
+// fire times is measured, and skipped ticks are counted
+// (tbsd_ticker_lagged_total) and logged.
 func (s *Server) runTicker() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.opts.BatchInterval)
 	defer t.Stop()
+	var last time.Time
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-t.C:
+		case now := <-t.C:
+			if skipped := tickerSkips(last, now, s.opts.BatchInterval); skipped > 0 {
+				s.metrics.ObserveTickerLag(skipped)
+				s.opts.Logf("ticker: batch-time clock lagged %v behind the %v interval; %d tick(s) coalesced",
+					now.Sub(last)-s.opts.BatchInterval, s.opts.BatchInterval, skipped)
+			}
+			last = now
 			s.AdvanceAll()
 		}
 	}
+}
+
+// tickerSkips returns how many ticks the runtime coalesced between two
+// consecutive fire times: 0 when the gap is within half an interval of
+// nominal, the number of whole missed intervals beyond that.
+func tickerSkips(prev, now time.Time, interval time.Duration) int {
+	if prev.IsZero() || interval <= 0 {
+		return 0
+	}
+	gap := now.Sub(prev)
+	if gap <= interval+interval/2 {
+		return 0
+	}
+	return int((gap - interval/2) / interval)
 }
 
 func (s *Server) runCheckpointer() {

@@ -1,0 +1,661 @@
+// Package wal is the per-server write-ahead log closing tbsd's
+// crash-window data-loss hole: every acknowledged state transition
+// (ingest chunk, batch boundary, model attach/detach, RNG-consuming
+// sample read) is appended to an append-only, length-prefixed,
+// CRC32-framed segment log and made durable before the acknowledgement,
+// so a kill -9 loses at most the last un-fsynced group instead of up to a
+// full checkpoint interval.
+//
+// Layout: the log is a directory of segment files named by the LSN of
+// their first record (0000000000000001.wal, …). Records carry explicit,
+// strictly sequential LSNs; a torn tail in the newest segment (the
+// expected artifact of a crash mid-write) is detected by the framing and
+// truncated on open, while corruption anywhere else fails loudly.
+//
+// Durability is policy-driven: "always" fsyncs every append, "off" never
+// fsyncs (the OS page cache still survives a process kill, only power
+// loss leaks), and "group" — the default — batches concurrent appenders
+// behind one fsync: an appender writes its record under the append lock,
+// then waits on the group-commit path where a single leader syncs the
+// file and releases every waiter whose record the sync covered. The
+// snapshot checkpointer is the log's compaction step: once a stream's
+// state through LSN n is durably checkpointed, segments wholly below the
+// minimum such n across streams are deleted.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Fsync policies.
+const (
+	SyncGroup  = "group"  // one fsync covers every record written since the last
+	SyncAlways = "always" // fsync under the append lock, per record
+	SyncOff    = "off"    // never fsync; durability = OS page cache
+)
+
+// ErrPoisoned is returned by Append/Sync after a write or sync error has
+// poisoned the log. Journaling stops at the first error so the log stays
+// a consistent prefix of the operation sequence — replay then converges
+// to the exact state at the poison point, and the snapshot checkpointer
+// remains the backstop for everything after it.
+var ErrPoisoned = errors.New("wal: log poisoned by an earlier write error")
+
+const (
+	segmentSuffix               = ".wal"
+	defaultSegmentBytes         = 64 << 20
+	fsyncLatencyRingSize        = 512
+	firstLSN             uint64 = 1
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the segment directory; created if missing.
+	Dir string
+	// Fsync is the durability policy: SyncGroup (default), SyncAlways or
+	// SyncOff.
+	Fsync string
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 64MB).
+	SegmentBytes int64
+}
+
+func (o *Options) setDefaults() error {
+	if o.Dir == "" {
+		return errors.New("wal: Dir is required")
+	}
+	if o.Fsync == "" {
+		o.Fsync = SyncGroup
+	}
+	switch o.Fsync {
+	case SyncGroup, SyncAlways, SyncOff:
+	default:
+		return fmt.Errorf("wal: unknown fsync policy %q (want group, always or off)", o.Fsync)
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	return nil
+}
+
+// segment is one on-disk segment file.
+type segment struct {
+	path  string
+	first uint64 // LSN of the first record (records are sequential)
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	Records           uint64 // records appended this process
+	Bytes             uint64 // frame bytes appended this process
+	Fsyncs            uint64
+	AppendErrors      uint64
+	Segments          int
+	TruncatedSegments uint64 // segments removed by compaction
+	LastLSN           uint64
+	SyncedLSN         uint64
+
+	FsyncCount int
+	FsyncMean  float64
+	FsyncStd   float64
+	FsyncP50   float64
+	FsyncP95   float64
+	FsyncP99   float64
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	opts Options
+
+	// mu serializes LSN assignment, frame writes and rotation, so the
+	// on-disk record order is exactly the order appenders acquired the
+	// lock in — which the server aligns with its per-stream apply order.
+	mu       sync.Mutex
+	f        *os.File
+	segments []segment
+	segSize  int64
+	nextLSN  uint64
+	written  uint64 // highest LSN handed to the OS
+	poisoned error
+
+	// Group-commit state: syncMu guards syncedLSN and the single-leader
+	// flag; waiters park on cond until a leader's fsync covers their LSN.
+	syncMu  sync.Mutex
+	cond    *sync.Cond
+	synced  uint64
+	syncing bool
+
+	// Counters (guarded by mu except the fsync ring, under syncMu).
+	records      uint64
+	bytes        uint64
+	fsyncs       uint64
+	appendErrors uint64
+	truncated    uint64
+	fsyncW       metrics.Welford
+	fsyncRing    [fsyncLatencyRingSize]float64
+	fsyncNext    int
+	fsyncFilled  bool
+}
+
+// Open scans dir, truncates any torn tail off the newest segment, and
+// positions the log for appending. Call Replay before the first Append to
+// drive recovery.
+func Open(opts Options) (*Log, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{opts: opts, segments: segs, nextLSN: firstLSN}
+	l.cond = sync.NewCond(&l.syncMu)
+	if len(segs) == 0 {
+		if err := l.openSegment(firstLSN); err != nil {
+			return nil, err
+		}
+		l.synced = 0
+		return l, nil
+	}
+	last := segs[len(segs)-1]
+	validEnd, lastLSN, err := scanSegment(last.path, last.first, true)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, err
+	} else if fi.Size() > validEnd {
+		// Torn tail from a crash mid-write: drop the partial frame so the
+		// next append starts on a clean boundary.
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.f = f
+	l.segSize = validEnd
+	l.nextLSN = lastLSN + 1
+	l.written = lastLSN
+	// Everything already on disk predates this process; treat it as
+	// synced (a crash cannot lose it to our buffers).
+	l.synced = lastLSN
+	return l, nil
+}
+
+func segmentName(first uint64) string {
+	return fmt.Sprintf("%016x%s", first, segmentSuffix)
+}
+
+func listSegments(dir string) ([]segment, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 16, 64)
+		if err != nil {
+			continue // foreign file
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// openSegment creates a fresh active segment whose first record will be
+// lsn.
+func (l *Log) openSegment(lsn uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segmentName(lsn)),
+		os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.segSize = 0
+	l.segments = append(l.segments, segment{path: f.Name(), first: lsn})
+	return nil
+}
+
+// scanSegment walks a segment's frames, returning the byte offset after
+// the last valid record and that record's LSN (first-1 when the segment
+// is empty). With tolerateTail true a framing/CRC error is treated as the
+// end of the log (the expected crash artifact); otherwise it is returned.
+func scanSegment(path string, first uint64, tolerateTail bool) (validEnd int64, lastLSN uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	lastLSN = first - 1
+	expect := first
+	for {
+		payload, frameLen, rerr := readFrame(br)
+		if rerr == io.EOF {
+			return validEnd, lastLSN, nil
+		}
+		if rerr != nil {
+			if tolerateTail {
+				return validEnd, lastLSN, nil
+			}
+			return validEnd, lastLSN, fmt.Errorf("wal: %s at offset %d: %w", path, validEnd, rerr)
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil || rec.LSN != expect {
+			if tolerateTail {
+				return validEnd, lastLSN, nil
+			}
+			if derr == nil {
+				derr = fmt.Errorf("wal: %s: LSN %d where %d expected", path, rec.LSN, expect)
+			}
+			return validEnd, lastLSN, derr
+		}
+		validEnd += frameLen
+		lastLSN = rec.LSN
+		expect++
+	}
+}
+
+// readFrame reads one [len][crc][payload] frame. io.EOF means a clean end
+// of segment; every other error means a torn or corrupt frame.
+func readFrame(br *bufio.Reader) (payload []byte, frameLen int64, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("torn frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxPayloadBytes {
+		return nil, 0, fmt.Errorf("implausible frame length %d", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, 0, fmt.Errorf("torn frame payload: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(hdr[4:]); got != want {
+		return nil, 0, fmt.Errorf("frame CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	return payload, frameHeaderSize + int64(n), nil
+}
+
+// Replay streams every record on disk, in LSN order, through fn. It is
+// meant to run once, after Open and before the first Append; fn errors
+// abort the replay. A torn tail in the newest segment ends the replay
+// cleanly; corruption in any older segment (or mid-segment) is an error —
+// silently skipping acknowledged records would be worse than failing
+// boot.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+	for i, seg := range segs {
+		lastSeg := i == len(segs)-1
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return err
+		}
+		br := bufio.NewReaderSize(f, 1<<20)
+		expect := seg.first
+		for {
+			payload, _, rerr := readFrame(br)
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				f.Close()
+				if lastSeg {
+					return nil // torn tail, already truncated by Open
+				}
+				return fmt.Errorf("wal: %s: %w", seg.path, rerr)
+			}
+			rec, derr := decodeRecord(payload)
+			if derr != nil || rec.LSN != expect {
+				f.Close()
+				if lastSeg {
+					return nil
+				}
+				if derr == nil {
+					derr = fmt.Errorf("LSN %d where %d expected", rec.LSN, expect)
+				}
+				return fmt.Errorf("wal: %s: %w", seg.path, derr)
+			}
+			if err := fn(rec); err != nil {
+				f.Close()
+				return err
+			}
+			expect++
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// AppendItems journals one item-append record. The generic item type
+// (anything backed by []byte, e.g. json.RawMessage) lets the server pass
+// its batch slices without a per-call conversion allocation.
+func AppendItems[T ~[]byte](l *Log, key string, items []T) (uint64, error) {
+	bufp := encBufPool.Get().(*[]byte)
+	buf := appendFrameHeader((*bufp)[:0])
+	// The LSN is assigned under the append lock, but the varint must be
+	// encoded before the frame is finished — so encode the whole payload
+	// with a placeholder-free layout by locking first.
+	l.mu.Lock()
+	if err := l.poisoned; err != nil {
+		l.mu.Unlock()
+		encBufPool.Put(bufp)
+		return 0, err
+	}
+	lsn := l.nextLSN
+	buf = appendPayloadHeader(buf, lsn, TypeItemAppend, key)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = binary.AppendUvarint(buf, uint64(len(it)))
+		buf = append(buf, it...)
+	}
+	buf = finishFrame(buf, 0)
+	err := l.appendLocked(buf)
+	l.mu.Unlock()
+	*bufp = buf[:0]
+	encBufPool.Put(bufp)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// AppendRecord journals one record of any non-item type with an opaque
+// body.
+func (l *Log) AppendRecord(t Type, key string, data []byte) (uint64, error) {
+	bufp := encBufPool.Get().(*[]byte)
+	buf := appendFrameHeader((*bufp)[:0])
+	l.mu.Lock()
+	if err := l.poisoned; err != nil {
+		l.mu.Unlock()
+		encBufPool.Put(bufp)
+		return 0, err
+	}
+	lsn := l.nextLSN
+	buf = appendPayloadHeader(buf, lsn, t, key)
+	buf = append(buf, data...)
+	buf = finishFrame(buf, 0)
+	err := l.appendLocked(buf)
+	l.mu.Unlock()
+	*bufp = buf[:0]
+	encBufPool.Put(bufp)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// appendLocked writes one finished frame, handling rotation, the
+// always-fsync policy and poisoning. Caller holds l.mu.
+func (l *Log) appendLocked(frame []byte) error {
+	if l.segSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.poison(err)
+			return err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		// A short write leaves a torn frame at the tail; poisoning stops
+		// all journaling here so the valid prefix stays the recovery
+		// point.
+		l.poison(err)
+		return err
+	}
+	l.segSize += int64(len(frame))
+	l.written = l.nextLSN
+	l.nextLSN++
+	l.records++
+	l.bytes += uint64(len(frame))
+	if l.opts.Fsync == SyncAlways {
+		start := time.Now()
+		if err := l.f.Sync(); err != nil {
+			l.poison(err)
+			return err
+		}
+		l.observeFsync(time.Since(start), l.written)
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (fsyncing it unless the policy is
+// off — a sealed segment must never lose acknowledged records to a later
+// power cut) and opens the next one.
+func (l *Log) rotateLocked() error {
+	if l.opts.Fsync != SyncOff {
+		start := time.Now()
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.observeFsync(time.Since(start), l.written)
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return l.openSegment(l.nextLSN)
+}
+
+// poison records the first fatal error; all later appends fail fast with
+// ErrPoisoned so the on-disk log stays a consistent prefix.
+func (l *Log) poison(err error) {
+	l.appendErrors++
+	if l.poisoned == nil {
+		l.poisoned = fmt.Errorf("%w (first error: %v)", ErrPoisoned, err)
+	}
+}
+
+// observeFsync folds one fsync latency into the stats and advances the
+// durable watermark.
+func (l *Log) observeFsync(d time.Duration, upto uint64) {
+	l.syncMu.Lock()
+	l.fsyncs++
+	s := d.Seconds()
+	l.fsyncW.Add(s)
+	l.fsyncRing[l.fsyncNext] = s
+	l.fsyncNext++
+	if l.fsyncNext == len(l.fsyncRing) {
+		l.fsyncNext = 0
+		l.fsyncFilled = true
+	}
+	if upto > l.synced {
+		l.synced = upto
+	}
+	l.cond.Broadcast()
+	l.syncMu.Unlock()
+}
+
+// Sync blocks until the record at lsn is durable under the configured
+// policy. Under "group" the first waiter becomes the fsync leader for
+// everything written so far; concurrent waiters whose records that sync
+// covers return without issuing their own — the group commit that keeps
+// fsync count per acknowledged request well below one under load.
+func (l *Log) Sync(lsn uint64) error {
+	if l.opts.Fsync == SyncOff {
+		// Never durable beyond the page cache, by configuration.
+		return nil
+	}
+	// Under "always" the append already fsynced, so the loop below returns
+	// without electing a leader; only "group" waiters ever sync here.
+	l.syncMu.Lock()
+	for l.synced < lsn {
+		if !l.syncing {
+			l.syncing = true
+			l.syncMu.Unlock()
+
+			l.mu.Lock()
+			err := l.poisoned
+			target := l.written
+			f := l.f
+			l.mu.Unlock()
+			if err != nil {
+				l.syncMu.Lock()
+				l.syncing = false
+				l.cond.Broadcast()
+				l.syncMu.Unlock()
+				return err
+			}
+			start := time.Now()
+			serr := f.Sync()
+			if errors.Is(serr, os.ErrClosed) {
+				// The handle was captured outside the append lock, and a
+				// rotation (or Close) sealed that segment in between.
+				// Rotation fsyncs the old file before closing it and
+				// advances the durable watermark, so nothing is lost —
+				// loop and re-check instead of poisoning on the stale
+				// handle (a genuinely closed log surfaces ErrPoisoned at
+				// the next leader election).
+				l.syncMu.Lock()
+				l.syncing = false
+				l.cond.Broadcast()
+				continue
+			}
+			if serr != nil {
+				l.mu.Lock()
+				l.poison(serr)
+				l.mu.Unlock()
+				l.syncMu.Lock()
+				l.syncing = false
+				l.cond.Broadcast()
+				l.syncMu.Unlock()
+				return serr
+			}
+			l.observeFsync(time.Since(start), target)
+			l.syncMu.Lock()
+			l.syncing = false
+			l.cond.Broadcast()
+			continue
+		}
+		// A leader is in flight: wait it out, then re-check coverage. If
+		// the leader failed (poisoned the log), the next trip around the
+		// loop elects this waiter leader and it returns the error itself —
+		// never touch l.mu here, it is taken while holding syncMu's
+		// counterpart on the append path.
+		l.cond.Wait()
+	}
+	l.syncMu.Unlock()
+	return nil
+}
+
+// LastLSN returns the highest LSN appended (0 before the first append).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.written
+}
+
+// TruncateBefore removes segments every record of which has LSN < lsn —
+// the compaction step driven by a completed checkpoint pass. The active
+// segment is never removed. Returns the number of segments deleted.
+func (l *Log) TruncateBefore(lsn uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	for len(l.segments) > 1 {
+		// A segment's records end where the next segment begins.
+		if l.segments[1].first > lsn {
+			break
+		}
+		if err := os.Remove(l.segments[0].path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return removed, err
+		}
+		l.segments = l.segments[1:]
+		removed++
+		l.truncated++
+	}
+	return removed, nil
+}
+
+// Close seals the log: a final fsync (per policy) and file close. Appends
+// after Close fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.opts.Fsync != SyncOff && l.poisoned == nil {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	l.poison(errors.New("log closed"))
+	return err
+}
+
+// Stats snapshots the log's counters, including fsync latency quantiles
+// over the recent window.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	st := Stats{
+		Records:           l.records,
+		Bytes:             l.bytes,
+		AppendErrors:      l.appendErrors,
+		Segments:          len(l.segments),
+		TruncatedSegments: l.truncated,
+		LastLSN:           l.written,
+	}
+	l.mu.Unlock()
+	l.syncMu.Lock()
+	st.Fsyncs = l.fsyncs
+	st.SyncedLSN = l.synced
+	st.FsyncCount = l.fsyncW.N()
+	st.FsyncMean = l.fsyncW.Mean()
+	st.FsyncStd = l.fsyncW.Std()
+	window := l.fsyncRing[:l.fsyncNext]
+	if l.fsyncFilled {
+		window = l.fsyncRing[:]
+	}
+	win := append([]float64(nil), window...)
+	l.syncMu.Unlock()
+	q := func(p float64) float64 {
+		if len(win) == 0 {
+			return 0
+		}
+		v, err := metrics.Quantile(win, p)
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+	st.FsyncP50, st.FsyncP95, st.FsyncP99 = q(0.50), q(0.95), q(0.99)
+	return st
+}
