@@ -34,8 +34,17 @@
 //	                                 ingest paths
 //	POST /v1/streams/{key}/model/predict   predict with the deployed model
 //	GET  /v1/streams/{key}/model/stats     batch error, retrains, staleness
+//	POST /v1/streams/{key}/handoff   migrate the stream to another node
+//	                                 (?target=http://host:port); the source
+//	                                 freezes the stream, ships its state and
+//	                                 WAL tail, tombstones it locally, and
+//	                                 later requests answer 421 with the new
+//	                                 home
+//	POST /v1/streams/{key}/adopt     target side of a handoff (internal)
 //	GET  /metrics                    Prometheus text metrics
 //	GET  /healthz                    liveness
+//	GET  /readyz                     readiness (503 until boot restore
+//	                                 completes, 503 again while draining)
 //
 // With a model attached, every batch boundary scores the deployed model
 // on the closed batch and retrains it from the stream's current
@@ -84,6 +93,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port)")
+		advertise  = flag.String("advertise", "", "URL peers use to reach this node, e.g. http://10.0.0.5:8377 (default: derived from -addr); identifies this node in handoff envelopes and logs")
 		configPath = flag.String("config", "", "JSON file holding the sampler config (overrides the scheme flags)")
 		scheme     = flag.String("scheme", "rtbs", "sampling scheme for every stream (see tbstream -schemes)")
 		lambda     = flag.Float64("lambda", 0.07, "decay rate per batch interval")
@@ -127,8 +137,13 @@ func main() {
 	if retrainWorkers <= 0 {
 		retrainWorkers = -1 // Options semantics: negative disables the lane.
 	}
+	adv := *advertise
+	if adv == "" {
+		adv = "http://" + *addr
+	}
 	srv, err := server.New(server.Options{
 		Sampler:            cfg,
+		Advertise:          adv,
 		Shards:             *shards,
 		QueueDepth:         queueDepth,
 		RetrainWorkers:     retrainWorkers,

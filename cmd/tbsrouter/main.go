@@ -1,0 +1,126 @@
+// Command tbsrouter fronts a cluster of tbsd nodes: it terminates client
+// HTTP, maps each stream key to its owning node on a consistent-hash
+// ring (static membership from -cluster-config), and forwards the
+// request — JSON and streaming NDJSON bodies alike — with pooled copy
+// buffers. Per-node health probes (with retry, timeout and exponential
+// backoff) feed a degraded-routing mode: requests for a down node's keys
+// answer a structured 503 naming the owner instead of hanging on a dead
+// TCP connection.
+//
+// Usage:
+//
+//	tbsrouter -addr :8477 -cluster-config cluster.json
+//
+// where cluster.json is
+//
+//	{"nodes": [{"name": "a", "addr": "127.0.0.1:8378"},
+//	           {"name": "b", "addr": "127.0.0.1:8379"},
+//	           {"name": "c", "addr": "127.0.0.1:8380"}]}
+//
+// API (everything a single tbsd serves, plus cluster operations):
+//
+//	/v1/streams/{key}...        forwarded verbatim to the key's owner
+//	GET  /v1/streams            fan-out merge of every healthy node
+//	GET  /cluster/nodes         ring membership + live health
+//	POST /cluster/handoff       migrate a stream: ?key=K&to=NODE drives
+//	                            the owner's /handoff → target's /adopt
+//	                            and updates the routing override
+//	GET  /metrics               router + per-node counters
+//	GET  /healthz               router liveness
+//	GET  /readyz                ready once every node has been probed and
+//	                            at least one is healthy
+//
+// See internal/cluster for the ring, prober and router internals and
+// README.md for a three-node walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8477", "listen address (use :0 for an ephemeral port)")
+		configPath    = flag.String("cluster-config", "", "JSON file with the static cluster membership (required)")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "health probe period per node")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "health probe HTTP timeout")
+		failThreshold = flag.Int("fail-threshold", 2, "consecutive probe failures before a node is routed around")
+		maxBackoff    = flag.Duration("max-probe-backoff", 0, "probe backoff cap while a node is down (0 = 8x probe-interval)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "tbsrouter: ", log.LstdFlags)
+
+	if *configPath == "" {
+		logger.Println("-cluster-config is required")
+		os.Exit(2)
+	}
+	cfg, err := cluster.LoadConfig(*configPath)
+	if err != nil {
+		logger.Println(err)
+		os.Exit(2)
+	}
+	ring, err := cfg.Ring()
+	if err != nil {
+		logger.Println(err)
+		os.Exit(2)
+	}
+	router, err := cluster.NewRouter(cluster.RouterOptions{
+		Ring:            ring,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		FailThreshold:   *failThreshold,
+		MaxProbeBackoff: *maxBackoff,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		logger.Println(err)
+		os.Exit(2)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Println(err)
+		os.Exit(2)
+	}
+	logger.Printf("listening on %s (%d nodes, %d virtual nodes each)",
+		lis.Addr(), len(ring.Nodes()), ring.VirtualNodes())
+
+	httpSrv := &http.Server{Handler: router.Handler()}
+	router.Start()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(lis) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	exitCode := 0
+	select {
+	case s := <-sig:
+		logger.Printf("received %s, shutting down", s)
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+			exitCode = 1
+		}
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	router.Stop()
+	logger.Println("shutdown complete")
+	os.Exit(exitCode)
+}

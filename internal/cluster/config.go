@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Config is the static cluster membership the router (and tooling) loads
+// from -cluster-config JSON:
+//
+//	{
+//	  "nodes": [
+//	    {"name": "a", "addr": "127.0.0.1:8377"},
+//	    {"name": "b", "addr": "127.0.0.1:8378"},
+//	    {"name": "c", "addr": "127.0.0.1:8379"}
+//	  ],
+//	  "vnodes": 128
+//	}
+//
+// Placement depends only on node names and the vnode count, so editing an
+// address (a node moved hosts) never migrates a stream; adding or
+// removing a node moves ≈K/N of the keys, the consistent-hashing
+// guarantee the ring's property test pins down.
+type Config struct {
+	Nodes []Node `json:"nodes"`
+	// VNodes is the virtual-node count per member (default
+	// DefaultVirtualNodes). All processes sharing a cluster must agree on
+	// it — it is part of the placement function.
+	VNodes int `json:"vnodes,omitempty"`
+}
+
+// Validate checks the membership for structural errors.
+func (c Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: config has no nodes")
+	}
+	seenName := make(map[string]bool, len(c.Nodes))
+	seenAddr := make(map[string]bool, len(c.Nodes))
+	for i, n := range c.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("cluster: node %d has an empty name", i)
+		}
+		if n.Addr == "" {
+			return fmt.Errorf("cluster: node %q has an empty addr", n.Name)
+		}
+		if seenName[n.Name] {
+			return fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		if seenAddr[n.Addr] {
+			return fmt.Errorf("cluster: duplicate node addr %q", n.Addr)
+		}
+		seenName[n.Name] = true
+		seenAddr[n.Addr] = true
+	}
+	if c.VNodes < 0 {
+		return fmt.Errorf("cluster: vnodes must be non-negative, got %d", c.VNodes)
+	}
+	return nil
+}
+
+// Ring builds the placement ring the config describes.
+func (c Config) Ring() (*Ring, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return NewRing(c.Nodes, c.VNodes)
+}
+
+// LoadConfig reads and validates a -cluster-config JSON file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("cluster: config %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, fmt.Errorf("cluster: config %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,32 @@
+// Package cluster turns a set of independent tbsd nodes into one
+// horizontally-scaled sampling service. The paper's Section 5 already
+// distributes one sampler's batch across in-process workers
+// (internal/dist); this package distributes the *tenants*: stream keys
+// are placed on nodes by a consistent-hash ring, a thin router terminates
+// client HTTP and forwards each request to the key's owner, and per-node
+// health probing keeps the router answering (with structured 503s naming
+// the owner) instead of hanging when a node dies.
+//
+// The pieces:
+//
+//	Ring    consistent hashing with virtual nodes: stable key→node
+//	        placement, deterministic across processes, minimal movement
+//	        on membership change (≈K/N keys when one of N nodes joins
+//	        or leaves)
+//	Config  static membership from -cluster-config JSON
+//	Prober  per-node /readyz probing with timeout, retry and backoff;
+//	        a node is down after FailThreshold consecutive failures and
+//	        up again on the first success
+//	Router  the HTTP front door: maps {key} to its owner and forwards
+//	        JSON and streaming NDJSON bodies with pooled copy buffers,
+//	        fans GET /v1/streams out across nodes, and drives stream
+//	        migration (POST /cluster/handoff) with a per-key ownership
+//	        override recorded for migrated streams
+//
+// Migration itself is a tbsd-to-tbsd operation (internal/server):
+// POST /v1/streams/{key}/handoff freezes and drains the stream at the
+// source, ships its checkpoint envelope plus WAL tail to the target's
+// /adopt endpoint, journals a deletion tombstone at the source so a
+// restart cannot resurrect the moved stream, and leaves a 421 ownership
+// guard behind for misrouted clients.
+package cluster

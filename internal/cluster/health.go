@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ProberOptions tunes the per-node health loop.
+type ProberOptions struct {
+	// Interval between probes of a healthy node (default 500ms).
+	Interval time.Duration
+	// Timeout bounds one probe request (default 1s).
+	Timeout time.Duration
+	// FailThreshold is how many consecutive failures flip a node to down
+	// (default 2 — one timeout must not black-hole a node's keys).
+	FailThreshold int
+	// MaxBackoff caps the probe interval while a node is down; failed
+	// probes back off exponentially from Interval up to it (default
+	// 8×Interval), so a long-dead node costs little while recovery is
+	// still noticed within MaxBackoff.
+	MaxBackoff time.Duration
+	// Path is probed on each node (default /readyz — a tbsd node that is
+	// still restoring, or draining for shutdown, answers 503 there and
+	// takes no new traffic).
+	Path string
+	// Client issues the probes; nil builds one with sane dial timeouts.
+	Client *http.Client
+	// Logf receives up/down transitions; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *ProberOptions) setDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = 500 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 8 * o.Interval
+	}
+	if o.Path == "" {
+		o.Path = "/readyz"
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// NodeStatus is one member's point-in-time health as the prober sees it.
+type NodeStatus struct {
+	Node             Node   `json:"node"`
+	Healthy          bool   `json:"healthy"`
+	Probed           bool   `json:"probed"` // at least one probe completed
+	Probes           uint64 `json:"probes"`
+	Failures         uint64 `json:"failures"`
+	ConsecutiveFails int    `json:"consecutiveFails"`
+	LastError        string `json:"lastError,omitempty"`
+}
+
+// nodeState is the mutable half of one node's status.
+type nodeState struct {
+	node Node
+
+	mu         sync.Mutex
+	healthy    bool
+	probed     bool
+	probes     uint64
+	failures   uint64
+	consecFail int
+	lastError  string
+}
+
+// Prober runs one health loop per node. Nodes start optimistic (healthy
+// until the first probe says otherwise) so a router boot race never
+// rejects traffic a node would have served.
+type Prober struct {
+	opts   ProberOptions
+	states []*nodeState
+	byName map[string]*nodeState
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewProber builds a prober over the given members (typically
+// ring.Nodes()).
+func NewProber(nodes []Node, opts ProberOptions) *Prober {
+	opts.setDefaults()
+	p := &Prober{opts: opts, stop: make(chan struct{}), byName: make(map[string]*nodeState, len(nodes))}
+	for _, n := range nodes {
+		st := &nodeState{node: n, healthy: true}
+		p.states = append(p.states, st)
+		p.byName[n.Name] = st
+	}
+	return p
+}
+
+// Start launches the per-node loops. Idempotent.
+func (p *Prober) Start() {
+	p.startOnce.Do(func() {
+		for _, st := range p.states {
+			p.wg.Add(1)
+			go p.run(st)
+		}
+	})
+}
+
+// Stop halts the loops and waits for them. Idempotent.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// Healthy reports whether the named node is currently routable. Unknown
+// names are unhealthy.
+func (p *Prober) Healthy(name string) bool {
+	st := p.byName[name]
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.healthy
+}
+
+// ReportFailure folds a forwarding failure (connection refused, dial
+// timeout) into the node's health, so the router stops routing to a dead
+// node after FailThreshold failed requests instead of waiting out the
+// probe interval.
+func (p *Prober) ReportFailure(name string, err error) {
+	st := p.byName[name]
+	if st == nil {
+		return
+	}
+	p.observe(st, fmt.Errorf("forward: %w", err))
+}
+
+// Status snapshots every node's health, sorted as the nodes were given.
+func (p *Prober) Status() []NodeStatus {
+	out := make([]NodeStatus, len(p.states))
+	for i, st := range p.states {
+		st.mu.Lock()
+		out[i] = NodeStatus{
+			Node:             st.node,
+			Healthy:          st.healthy,
+			Probed:           st.probed,
+			Probes:           st.probes,
+			Failures:         st.failures,
+			ConsecutiveFails: st.consecFail,
+			LastError:        st.lastError,
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// run is one node's probe loop: Interval while healthy, exponential
+// backoff up to MaxBackoff while down, immediate recovery on the first
+// success.
+func (p *Prober) run(st *nodeState) {
+	defer p.wg.Done()
+	delay := p.opts.Interval
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-time.After(delay):
+		}
+		err := p.probe(st.node)
+		if err == nil {
+			p.observe(st, nil)
+			delay = p.opts.Interval
+			continue
+		}
+		p.observe(st, err)
+		st.mu.Lock()
+		down := !st.healthy
+		st.mu.Unlock()
+		if down {
+			// Dead node: back off so probing costs little, but keep
+			// looking — recovery is noticed within MaxBackoff.
+			delay *= 2
+			if delay > p.opts.MaxBackoff {
+				delay = p.opts.MaxBackoff
+			}
+		} else {
+			delay = p.opts.Interval
+		}
+	}
+}
+
+// probe issues one health request; nil means the node answered 200.
+func (p *Prober) probe(n Node) error {
+	ctx, cancel := context.WithTimeout(context.Background(), p.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+n.Addr+p.opts.Path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", p.opts.Path, resp.StatusCode)
+	}
+	return nil
+}
+
+// observe folds one probe (or forwarding) outcome into the node's state,
+// flipping health at the configured threshold and logging transitions.
+func (p *Prober) observe(st *nodeState, err error) {
+	st.mu.Lock()
+	st.probed = true
+	st.probes++
+	var flipped, nowHealthy bool
+	if err == nil {
+		st.consecFail = 0
+		st.lastError = ""
+		if !st.healthy {
+			st.healthy = true
+			flipped, nowHealthy = true, true
+		}
+	} else {
+		st.failures++
+		st.consecFail++
+		st.lastError = err.Error()
+		if st.healthy && st.consecFail >= p.opts.FailThreshold {
+			st.healthy = false
+			flipped, nowHealthy = true, false
+		}
+	}
+	st.mu.Unlock()
+	if flipped {
+		if nowHealthy {
+			p.opts.Logf("node %s (%s) is healthy again", st.node.Name, st.node.Addr)
+		} else {
+			p.opts.Logf("node %s (%s) marked down: %v", st.node.Name, st.node.Addr, err)
+		}
+	}
+}

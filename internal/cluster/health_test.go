@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeNode is an httptest backend whose /readyz answer can be flipped.
+type fakeNode struct {
+	ts *httptest.Server
+	ok atomic.Bool
+}
+
+func newFakeNode(t *testing.T, handler http.Handler) *fakeNode {
+	t.Helper()
+	f := &fakeNode{}
+	f.ok.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if f.ok.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	if handler != nil {
+		mux.Handle("/", handler)
+	}
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// addr returns the host:port form a Node carries.
+func (f *fakeNode) addr() string { return strings.TrimPrefix(f.ts.URL, "http://") }
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestProberDownAndRecovery: a node flips down only after FailThreshold
+// consecutive failures, and back up on the first success.
+func TestProberDownAndRecovery(t *testing.T) {
+	f := newFakeNode(t, nil)
+	node := Node{Name: "n1", Addr: f.addr()}
+	p := NewProber([]Node{node}, ProberOptions{
+		Interval:      5 * time.Millisecond,
+		Timeout:       time.Second,
+		FailThreshold: 2,
+	})
+	p.Start()
+	defer p.Stop()
+
+	if !p.Healthy("n1") {
+		t.Fatal("nodes must start optimistic (healthy before the first probe)")
+	}
+	waitFor(t, "first probe", func() bool { return p.Status()[0].Probed })
+
+	f.ok.Store(false)
+	waitFor(t, "node down", func() bool { return !p.Healthy("n1") })
+	st := p.Status()[0]
+	if st.ConsecutiveFails < 2 {
+		t.Errorf("flipped down after %d consecutive fails, threshold is 2", st.ConsecutiveFails)
+	}
+	if st.LastError == "" {
+		t.Error("down node should carry a lastError")
+	}
+
+	f.ok.Store(true)
+	waitFor(t, "node recovered", func() bool { return p.Healthy("n1") })
+}
+
+// TestProberSingleFailureTolerated: one failed probe (below the
+// threshold) must not black-hole the node.
+func TestProberSingleFailureTolerated(t *testing.T) {
+	p := NewProber([]Node{{Name: "n1", Addr: "127.0.0.1:1"}}, ProberOptions{FailThreshold: 2})
+	p.observe(p.byName["n1"], errors.New("one blip"))
+	if !p.Healthy("n1") {
+		t.Error("a single failure below FailThreshold must not mark the node down")
+	}
+	p.observe(p.byName["n1"], errors.New("second blip"))
+	if p.Healthy("n1") {
+		t.Error("hitting FailThreshold must mark the node down")
+	}
+}
+
+// TestProberReportFailure: forwarding failures fold into health exactly
+// like failed probes, so a dead node is routed around after
+// FailThreshold failed requests without waiting out a probe interval.
+func TestProberReportFailure(t *testing.T) {
+	p := NewProber([]Node{{Name: "n1", Addr: "127.0.0.1:1"}}, ProberOptions{FailThreshold: 2})
+	p.ReportFailure("n1", errors.New("connection refused"))
+	p.ReportFailure("n1", errors.New("connection refused"))
+	if p.Healthy("n1") {
+		t.Error("two reported forward failures must mark the node down")
+	}
+	p.ReportFailure("ghost", errors.New("ignored")) // unknown names are a no-op
+	if p.Healthy("ghost") {
+		t.Error("unknown nodes are never healthy")
+	}
+}
+
+func TestProberStopIdempotent(t *testing.T) {
+	f := newFakeNode(t, nil)
+	p := NewProber([]Node{{Name: "n1", Addr: f.addr()}}, ProberOptions{Interval: time.Millisecond})
+	p.Start()
+	p.Start()
+	p.Stop()
+	p.Stop()
+}

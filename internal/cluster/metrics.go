@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// latencyRingSize bounds the window the forward-latency quantiles are
+// computed over; the Welford mean covers the full history (the same
+// layout internal/server uses for its advance/checkpoint latencies).
+const latencyRingSize = 512
+
+type latencyStats struct {
+	mu     sync.Mutex
+	w      metrics.Welford
+	ring   [latencyRingSize]float64
+	next   int
+	filled bool
+}
+
+func (l *latencyStats) observe(d time.Duration) {
+	s := d.Seconds()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Add(s)
+	l.ring[l.next] = s
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.filled = true
+	}
+}
+
+func (l *latencyStats) snapshot() (w metrics.Welford, window []float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filled {
+		window = append(window, l.ring[:]...)
+	} else {
+		window = append(window, l.ring[:l.next]...)
+	}
+	return l.w, window
+}
+
+func quantileOrZero(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	v, err := metrics.Quantile(xs, q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// nodeCounters is one backend's per-node traffic tally.
+type nodeCounters struct {
+	forwarded atomic.Uint64
+	errors    atomic.Uint64
+}
+
+// RouterMetrics aggregates the router's observability counters. All
+// counters are atomics so the forward hot path never takes a lock; only
+// the latency ring has a (private) mutex.
+type RouterMetrics struct {
+	requests      atomic.Uint64 // client requests accepted
+	forwarded     atomic.Uint64 // successfully proxied to a node
+	forwardErrors atomic.Uint64 // transport failures talking to a node
+	unavailable   atomic.Uint64 // rejected up front: owner marked down
+	fanouts       atomic.Uint64 // cluster-wide fan-out requests (list)
+	handoffs      atomic.Uint64 // migrations driven to completion
+	handoffErrors atomic.Uint64
+	responseBytes atomic.Uint64
+	forwardLat    latencyStats
+
+	mu     sync.Mutex
+	byNode map[string]*nodeCounters
+}
+
+// NewRouterMetrics builds the counter set for the given members.
+func NewRouterMetrics(nodes []Node) *RouterMetrics {
+	m := &RouterMetrics{byNode: make(map[string]*nodeCounters, len(nodes))}
+	for _, n := range nodes {
+		m.byNode[n.Name] = &nodeCounters{}
+	}
+	return m
+}
+
+// node returns the per-node tally, lazily creating one for names outside
+// the initial membership (defensive; override targets are ring members).
+func (m *RouterMetrics) node(name string) *nodeCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.byNode[name]
+	if c == nil {
+		c = &nodeCounters{}
+		m.byNode[name] = c
+	}
+	return c
+}
+
+// ObserveRequest records one client request reaching the router.
+func (m *RouterMetrics) ObserveRequest() { m.requests.Add(1) }
+
+// ObserveForward records one completed proxy round trip.
+func (m *RouterMetrics) ObserveForward(node string, respBytes int64, d time.Duration) {
+	m.forwarded.Add(1)
+	m.responseBytes.Add(uint64(respBytes))
+	m.forwardLat.observe(d)
+	m.node(node).forwarded.Add(1)
+}
+
+// ObserveForwardError records a transport failure against a node.
+func (m *RouterMetrics) ObserveForwardError(node string) {
+	m.forwardErrors.Add(1)
+	m.node(node).errors.Add(1)
+}
+
+// ObserveUnavailable records one request rejected because its owner is
+// marked down (the degraded-routing 503).
+func (m *RouterMetrics) ObserveUnavailable() { m.unavailable.Add(1) }
+
+// ObserveFanout records one cluster-wide fan-out request.
+func (m *RouterMetrics) ObserveFanout() { m.fanouts.Add(1) }
+
+// ObserveHandoff records one migration attempt driven by the router.
+func (m *RouterMetrics) ObserveHandoff(ok bool) {
+	if ok {
+		m.handoffs.Add(1)
+	} else {
+		m.handoffErrors.Add(1)
+	}
+}
+
+// WriteTo renders the counters in Prometheus text format. Node health is
+// passed in by the caller (the prober owns it) so RouterMetrics stays a
+// pure accumulator.
+func (m *RouterMetrics) WriteTo(w io.Writer, status []NodeStatus) error {
+	var b []byte
+	line := func(format string, args ...any) {
+		b = fmt.Appendf(b, format+"\n", args...)
+	}
+
+	line("tbsrouter_requests_total %d", m.requests.Load())
+	line("tbsrouter_forwarded_total %d", m.forwarded.Load())
+	line("tbsrouter_forward_errors_total %d", m.forwardErrors.Load())
+	line("tbsrouter_unavailable_total %d", m.unavailable.Load())
+	line("tbsrouter_fanouts_total %d", m.fanouts.Load())
+	line("tbsrouter_handoffs_total %d", m.handoffs.Load())
+	line("tbsrouter_handoff_errors_total %d", m.handoffErrors.Load())
+	line("tbsrouter_response_bytes_total %d", m.responseBytes.Load())
+
+	wf, win := m.forwardLat.snapshot()
+	line("tbsrouter_forward_latency_seconds_count %d", wf.N())
+	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "mean", wf.Mean())
+	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "std", wf.Std())
+	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "p50", quantileOrZero(win, 0.50))
+	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "p95", quantileOrZero(win, 0.95))
+	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "p99", quantileOrZero(win, 0.99))
+
+	line("tbsrouter_nodes %d", len(status))
+	for _, st := range status {
+		up := 0
+		if st.Healthy {
+			up = 1
+		}
+		line("tbsrouter_node_up{node=%q} %d", st.Node.Name, up)
+		line("tbsrouter_node_probes_total{node=%q} %d", st.Node.Name, st.Probes)
+		line("tbsrouter_node_probe_failures_total{node=%q} %d", st.Node.Name, st.Failures)
+		c := m.node(st.Node.Name)
+		line("tbsrouter_node_forwarded_total{node=%q} %d", st.Node.Name, c.forwarded.Load())
+		line("tbsrouter_node_forward_errors_total{node=%q} %d", st.Node.Name, c.errors.Load())
+	}
+
+	_, err := w.Write(b)
+	return err
+}

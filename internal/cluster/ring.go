@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one tbsd cluster member: a stable name (the identity hashing is
+// keyed on) and the HTTP address the router forwards to. Placement
+// depends only on names, so a node can change address (restart, new port)
+// without moving a single stream.
+type Node struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// DefaultVirtualNodes is the ring's default vnode count per node. 128
+// points per node keeps the expected per-node load within a few percent
+// of uniform at any realistic cluster size while the whole ring stays a
+// few KB.
+const DefaultVirtualNodes = 128
+
+// point is one position on the ring: the hash of "name#replica" mapping
+// to the node that owns the arc ending at it.
+type point struct {
+	hash uint64
+	node int32
+}
+
+// Ring is a consistent-hash ring with virtual nodes. It is immutable
+// after construction — membership changes build a new Ring (WithNode /
+// WithoutNode) — so readers need no lock. Placement is a pure function of
+// the member names and the vnode count: two processes building a ring
+// from the same config agree on every key's owner.
+type Ring struct {
+	nodes  []Node // sorted by name
+	vnodes int
+	points []point // sorted by (hash, owner name)
+}
+
+// NewRing builds a ring over the given members. Names must be non-empty
+// and unique; the input order does not matter.
+func NewRing(nodes []Node, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for i, n := range sorted {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: node %d has an empty name", i)
+		}
+		if i > 0 && sorted[i-1].Name == n.Name {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+	}
+	r := &Ring{nodes: sorted, vnodes: vnodes, points: make([]point, 0, len(sorted)*vnodes)}
+	for ni, n := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: vnodeHash(n.Name, v), node: int32(ni)})
+		}
+	}
+	// Tie-break equal hashes by owner name so the ring is independent of
+	// the order vnodes were generated in (and therefore of input order).
+	sort.Slice(r.points, func(i, j int) bool {
+		pi, pj := r.points[i], r.points[j]
+		if pi.hash != pj.hash {
+			return pi.hash < pj.hash
+		}
+		return r.nodes[pi.node].Name < r.nodes[pj.node].Name
+	})
+	return r, nil
+}
+
+// Owner returns the node that owns key: the first ring point at or after
+// the key's hash, wrapping at the top.
+func (r *Ring) Owner(key string) Node {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.nodes[r.points[i].node]
+}
+
+// Lookup returns the member with the given name.
+func (r *Ring) Lookup(name string) (Node, bool) {
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].Name >= name })
+	if i < len(r.nodes) && r.nodes[i].Name == name {
+		return r.nodes[i], true
+	}
+	return Node{}, false
+}
+
+// Nodes returns the members, sorted by name.
+func (r *Ring) Nodes() []Node {
+	return append([]Node(nil), r.nodes...)
+}
+
+// VirtualNodes returns the vnode count per member.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// WithNode returns a new ring with one more member.
+func (r *Ring) WithNode(n Node) (*Ring, error) {
+	return NewRing(append(r.Nodes(), n), r.vnodes)
+}
+
+// WithoutNode returns a new ring with the named member removed.
+func (r *Ring) WithoutNode(name string) (*Ring, error) {
+	var rest []Node
+	for _, n := range r.nodes {
+		if n.Name != name {
+			rest = append(rest, n)
+		}
+	}
+	if len(rest) == len(r.nodes) {
+		return nil, fmt.Errorf("cluster: no node named %q in the ring", name)
+	}
+	return NewRing(rest, r.vnodes)
+}
+
+// FNV-1a 64-bit, inlined over string bytes so hashing a key allocates
+// nothing on the routing hot path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// mix64 is the murmur3 finalizer. Raw FNV-1a has weak avalanche for
+// short inputs that differ only in trailing bytes — a node's vnode
+// replicas (and keys with a shared prefix and a trailing counter) land
+// within a few multiples of the FNV prime of each other, a vanishing
+// fraction of the 64-bit ring, collapsing all of a node's vnodes into
+// one arc. The finalizer spreads those nearby values uniformly.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// keyHash positions a stream key on the ring.
+func keyHash(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}
+
+// vnodeHash positions one virtual node. The replica ordinal is mixed in
+// byte-wise after a separator that cannot appear ambiguously ("\x00"),
+// so "node1"#11 and "node11"#1 never collide structurally.
+func vnodeHash(name string, replica int) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime64
+	}
+	h ^= 0 // separator byte \x00
+	h *= fnvPrime64
+	for {
+		h ^= uint64(replica & 0xff)
+		h *= fnvPrime64
+		replica >>= 8
+		if replica == 0 {
+			break
+		}
+	}
+	return mix64(h)
+}

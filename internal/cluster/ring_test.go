@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testNodes(n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{Name: fmt.Sprintf("node-%02d", i), Addr: fmt.Sprintf("10.0.0.%d:8377", i+1)}
+	}
+	return nodes
+}
+
+func mustRing(t *testing.T, nodes []Node, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, vnodes)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	return r
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("stream-%05d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement: owners depend only on the node set, not
+// on input order — two rings built from shuffled copies of the same
+// membership place every key identically. This is what lets a router and
+// a node (or two routers) agree without coordination.
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := testNodes(7)
+	r1 := mustRing(t, nodes, 0)
+
+	shuffled := append([]Node(nil), nodes...)
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	r2 := mustRing(t, shuffled, 0)
+
+	for _, k := range testKeys(2000) {
+		if a, b := r1.Owner(k).Name, r2.Owner(k).Name; a != b {
+			t.Fatalf("key %q: order-dependent placement (%s vs %s)", k, a, b)
+		}
+	}
+}
+
+// TestRingGoldenOwners pins placement across processes and releases: the
+// hash is an internal FNV-1a, so these owners must never change without a
+// deliberate (and flagged) placement-breaking release.
+func TestRingGoldenOwners(t *testing.T) {
+	r := mustRing(t, []Node{
+		{Name: "a", Addr: "127.0.0.1:8378"},
+		{Name: "b", Addr: "127.0.0.1:8379"},
+		{Name: "c", Addr: "127.0.0.1:8380"},
+	}, 128)
+	golden := map[string]string{
+		"":                   "c",
+		"alpha":              "b",
+		"beta":               "c",
+		"gamma":              "b",
+		"stream-042":         "b",
+		"iot/sensor/17/temp": "b",
+	}
+	for key, want := range golden {
+		if got := r.Owner(key).Name; got != want {
+			t.Errorf("Owner(%q) = %q, want %q", key, got, want)
+		}
+	}
+}
+
+// movement counts keys whose owner differs between two rings.
+func movement(keys []string, a, b *Ring) int {
+	moved := 0
+	for _, k := range keys {
+		if a.Owner(k).Name != b.Owner(k).Name {
+			moved++
+		}
+	}
+	return moved
+}
+
+// TestRingMovementOnJoin: adding one node to an N-node ring must move
+// roughly K/(N+1) of K keys — the consistent-hashing contract. The bound
+// is 1.6x the ideal to leave room for vnode placement variance without
+// letting a mod-N-style rehash (which moves ~N/(N+1) of everything) pass.
+func TestRingMovementOnJoin(t *testing.T) {
+	keys := testKeys(20000)
+	for _, n := range []int{3, 5, 9} {
+		nodes := testNodes(n)
+		before := mustRing(t, nodes, 0)
+		after, err := before.WithNode(Node{Name: "joiner", Addr: "10.0.1.1:8377"})
+		if err != nil {
+			t.Fatalf("WithNode: %v", err)
+		}
+		moved := movement(keys, before, after)
+		ideal := float64(len(keys)) / float64(n+1)
+		if got := float64(moved); got > 1.6*ideal {
+			t.Errorf("join on %d nodes moved %d keys, want <= %.0f (1.6x ideal %.0f)", n, moved, 1.6*ideal, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("join on %d nodes moved no keys; the joiner owns nothing", n)
+		}
+		// Every moved key must have moved TO the joiner — consistent
+		// hashing never shuffles keys between surviving nodes.
+		for _, k := range keys {
+			ob, oa := before.Owner(k).Name, after.Owner(k).Name
+			if ob != oa && oa != "joiner" {
+				t.Fatalf("key %q moved %s -> %s, not to the joiner", k, ob, oa)
+			}
+		}
+	}
+}
+
+// TestRingMovementOnLeave mirrors the join bound: removing one node moves
+// only that node's keys, and they scatter across the survivors.
+func TestRingMovementOnLeave(t *testing.T) {
+	keys := testKeys(20000)
+	nodes := testNodes(5)
+	before := mustRing(t, nodes, 0)
+	victim := nodes[2].Name
+	after, err := before.WithoutNode(victim)
+	if err != nil {
+		t.Fatalf("WithoutNode: %v", err)
+	}
+	for _, k := range keys {
+		ob, oa := before.Owner(k).Name, after.Owner(k).Name
+		if ob == victim {
+			if oa == victim {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+		} else if ob != oa {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", k, ob, oa)
+		}
+	}
+	moved := movement(keys, before, after)
+	ideal := float64(len(keys)) / float64(len(nodes))
+	if got := float64(moved); got > 1.6*ideal {
+		t.Errorf("leave moved %d keys, want <= %.0f", moved, 1.6*ideal)
+	}
+}
+
+// TestRingBalance: with the default vnode count, no node's share should
+// be wildly off the mean — a loose 2x bound that catches degenerate
+// placement (all vnodes colliding) without flaking on hash variance.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(50000)
+	nodes := testNodes(5)
+	r := mustRing(t, nodes, 0)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k).Name]++
+	}
+	mean := float64(len(keys)) / float64(len(nodes))
+	for _, n := range nodes {
+		c := counts[n.Name]
+		if float64(c) > 2*mean || float64(c) < mean/2 {
+			t.Errorf("node %s owns %d keys, mean %.0f — placement is badly skewed", n.Name, c, mean)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("NewRing(nil) should fail")
+	}
+	if _, err := NewRing([]Node{{Name: "a", Addr: "x"}, {Name: "a", Addr: "y"}}, 0); err == nil {
+		t.Error("duplicate names should fail")
+	}
+	if _, err := NewRing([]Node{{Name: "", Addr: "x"}}, 0); err == nil {
+		t.Error("empty name should fail")
+	}
+	r := mustRing(t, testNodes(3), 0)
+	if r.VirtualNodes() != DefaultVirtualNodes {
+		t.Errorf("VirtualNodes = %d, want default %d", r.VirtualNodes(), DefaultVirtualNodes)
+	}
+	if _, ok := r.Lookup("node-01"); !ok {
+		t.Error("Lookup(node-01) should find the node")
+	}
+	if _, ok := r.Lookup("ghost"); ok {
+		t.Error("Lookup(ghost) should miss")
+	}
+	if _, err := r.WithoutNode("ghost"); err == nil {
+		t.Error("WithoutNode(ghost) should fail")
+	}
+	if _, err := r.WithNode(Node{Name: "node-01", Addr: "dup"}); err == nil {
+		t.Error("WithNode(existing name) should fail")
+	}
+}
+
+func TestConfigLoadAndRing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+	if err := os.WriteFile(path, []byte(`{
+		"nodes": [
+			{"name": "a", "addr": "127.0.0.1:8378"},
+			{"name": "b", "addr": "127.0.0.1:8379"}
+		],
+		"vnodes": 64
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatalf("LoadConfig: %v", err)
+	}
+	ring, err := cfg.Ring()
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	if got := ring.VirtualNodes(); got != 64 {
+		t.Errorf("vnodes = %d, want 64", got)
+	}
+	if got := len(ring.Nodes()); got != 2 {
+		t.Errorf("nodes = %d, want 2", got)
+	}
+
+	for _, bad := range []string{
+		`{}`,
+		`{"nodes": [{"name": "", "addr": "x"}]}`,
+		`{"nodes": [{"name": "a", "addr": ""}]}`,
+		`{"nodes": [{"name": "a", "addr": "x"}, {"name": "a", "addr": "y"}]}`,
+		`{"nodes": [{"name": "a", "addr": "x"}, {"name": "b", "addr": "x"}]}`,
+		`{"nodes": [{"name": "a", "addr": "x"}], "vnodes": -1}`,
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadConfig(path); err == nil {
+			t.Errorf("LoadConfig(%s) should fail", bad)
+		}
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadConfig(missing) should fail")
+	}
+}

@@ -1,0 +1,438 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// RouterOptions configures the cluster front door.
+type RouterOptions struct {
+	// Ring is the placement function (required).
+	Ring *Ring
+	// ProbeInterval / ProbeTimeout / FailThreshold / MaxProbeBackoff tune
+	// the health prober; zero values take the prober's defaults.
+	ProbeInterval   time.Duration
+	ProbeTimeout    time.Duration
+	FailThreshold   int
+	MaxProbeBackoff time.Duration
+	// DialTimeout bounds connecting to a node (default 2s). There is no
+	// whole-request timeout: NDJSON ingest bodies stream for as long as
+	// the client keeps sending. ResponseHeaderTimeout (default 30s) is
+	// what prevents a wedged node from hanging the router — the node must
+	// start answering within it.
+	DialTimeout           time.Duration
+	ResponseHeaderTimeout time.Duration
+	// Logf receives router lifecycle and node-transition logs; nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// copyBufPool recycles the 32KB buffers response bodies are pumped
+// through, so steady-state forwarding does not allocate per-request copy
+// buffers. (Request bodies are not copied at all — the transport streams
+// r.Body straight to the node, which is what keeps the NDJSON ingest
+// path zero-copy through the router.)
+var copyBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 32<<10); return &b },
+}
+
+// Router terminates client HTTP and forwards each stream request to the
+// node the ring places its key on. It is deliberately thin: no caching,
+// no retry of non-idempotent requests — a transport failure is surfaced
+// as a structured 502 naming the owner, and the prober's health gate
+// turns a dead node into fast structured 503s instead of hangs.
+type Router struct {
+	opts    RouterOptions
+	ring    *Ring
+	prober  *Prober
+	client  *http.Client
+	metrics *RouterMetrics
+	mux     *http.ServeMux
+	logf    func(string, ...any)
+
+	// moved overrides ring placement for streams migrated by
+	// POST /cluster/handoff: key → node name. In-memory only; a router
+	// restart falls back to ring placement and the source node's 421
+	// ownership guard redirects the first misrouted request.
+	moved sync.Map
+}
+
+// NewRouter builds the router; call Start to begin probing and use
+// Handler (or ServeHTTP) to serve.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if opts.Ring == nil {
+		return nil, fmt.Errorf("cluster: router needs a ring")
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 2 * time.Second
+	}
+	if opts.ResponseHeaderTimeout <= 0 {
+		opts.ResponseHeaderTimeout = 30 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	transport := &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   opts.DialTimeout,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          256,
+		MaxIdleConnsPerHost:   64,
+		IdleConnTimeout:       90 * time.Second,
+		ResponseHeaderTimeout: opts.ResponseHeaderTimeout,
+	}
+	client := &http.Client{Transport: transport}
+	r := &Router{
+		opts: opts,
+		ring: opts.Ring,
+		prober: NewProber(opts.Ring.Nodes(), ProberOptions{
+			Interval:      opts.ProbeInterval,
+			Timeout:       opts.ProbeTimeout,
+			FailThreshold: opts.FailThreshold,
+			MaxBackoff:    opts.MaxProbeBackoff,
+			Client:        client,
+			Logf:          logf,
+		}),
+		client:  client,
+		metrics: NewRouterMetrics(opts.Ring.Nodes()),
+		logf:    logf,
+	}
+	r.mux = r.buildMux()
+	return r, nil
+}
+
+// Start launches health probing. Idempotent.
+func (rt *Router) Start() { rt.prober.Start() }
+
+// Stop halts probing and drops idle backend connections. Idempotent.
+func (rt *Router) Stop() {
+	rt.prober.Stop()
+	rt.client.CloseIdleConnections()
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// ServeHTTP makes the router itself a handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Prober exposes node health (for tests and tooling).
+func (rt *Router) Prober() *Prober { return rt.prober }
+
+func (rt *Router) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	// Every per-stream route — items, advance, sample, stats, model/* —
+	// forwards to the key's owner; the router does not enumerate tbsd's
+	// API, so new node endpoints route without a router change.
+	mux.HandleFunc("/v1/streams/{key}", rt.handleStream)
+	mux.HandleFunc("/v1/streams/{key}/{rest...}", rt.handleStream)
+	mux.HandleFunc("GET /v1/streams", rt.handleList)
+	mux.HandleFunc("GET /cluster/nodes", rt.handleNodes)
+	mux.HandleFunc("POST /cluster/handoff", rt.handleHandoff)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", rt.handleReady)
+	return mux
+}
+
+// ownerOf resolves a key's owner: a recorded migration override first,
+// then ring placement.
+func (rt *Router) ownerOf(key string) Node {
+	if v, ok := rt.moved.Load(key); ok {
+		if n, ok := rt.ring.Lookup(v.(string)); ok {
+			return n
+		}
+	}
+	return rt.ring.Owner(key)
+}
+
+// handleStream forwards one per-stream request to the key's owner.
+func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.ObserveRequest()
+	key := r.PathValue("key")
+	if key == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody("bad_request", "empty stream key", nil))
+		return
+	}
+	owner := rt.ownerOf(key)
+	if !rt.prober.Healthy(owner.Name) {
+		// Degraded routing: answer immediately with the owner's identity
+		// instead of burning a dial timeout per request against a node
+		// the prober already knows is down.
+		rt.metrics.ObserveUnavailable()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody(
+			"node_down",
+			fmt.Sprintf("node %s (%s) owning stream %q is down", owner.Name, owner.Addr, key),
+			map[string]any{"node": owner.Name, "addr": owner.Addr, "key": key},
+		))
+		return
+	}
+	rt.forward(w, r, owner)
+}
+
+// forward proxies one request to a node, streaming both bodies. The
+// inbound body is handed to the transport untouched (chunked NDJSON
+// ingest flows through without buffering); the response is pumped back
+// through a pooled copy buffer.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, owner Node) {
+	start := time.Now()
+	// RequestURI (not Path) keeps the client's original encoding and
+	// query string intact for the node.
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, "http://"+owner.Addr+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody("bad_request", err.Error(), nil))
+		return
+	}
+	// The inbound request is never reused after this, so sharing its
+	// header map with the outbound request is safe and saves a copy.
+	out.Header = r.Header
+	out.ContentLength = r.ContentLength
+
+	resp, err := rt.client.Do(out)
+	if err != nil {
+		rt.metrics.ObserveForwardError(owner.Name)
+		rt.prober.ReportFailure(owner.Name, err)
+		writeJSON(w, http.StatusBadGateway, errorBody(
+			"node_unreachable",
+			fmt.Sprintf("forwarding to node %s (%s): %v", owner.Name, owner.Addr, err),
+			map[string]any{"node": owner.Name, "addr": owner.Addr},
+		))
+		return
+	}
+	defer resp.Body.Close()
+
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	bufp := copyBufPool.Get().(*[]byte)
+	n, _ := io.CopyBuffer(w, resp.Body, *bufp)
+	copyBufPool.Put(bufp)
+	rt.metrics.ObserveForward(owner.Name, n, time.Since(start))
+}
+
+// handleList fans GET /v1/streams out to every healthy node and merges
+// the answers; down nodes are reported, not silently dropped, so a
+// partial listing is always visibly partial.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.ObserveRequest()
+	rt.metrics.ObserveFanout()
+	type nodeList struct {
+		node    Node
+		streams []string
+		err     error
+	}
+	nodes := rt.ring.Nodes()
+	results := make([]nodeList, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		if !rt.prober.Healthy(n.Name) {
+			results[i] = nodeList{node: n, err: fmt.Errorf("node down")}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			streams, err := rt.fetchStreams(r, n)
+			results[i] = nodeList{node: n, streams: streams, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+
+	var all []string
+	perNode := make(map[string]any, len(nodes))
+	var failed []string
+	for _, res := range results {
+		if res.err != nil {
+			rt.metrics.ObserveForwardError(res.node.Name)
+			failed = append(failed, res.node.Name)
+			perNode[res.node.Name] = map[string]any{"error": res.err.Error()}
+			continue
+		}
+		all = append(all, res.streams...)
+		perNode[res.node.Name] = map[string]any{"count": len(res.streams), "streams": res.streams}
+	}
+	if all == nil {
+		all = []string{}
+	}
+	resp := map[string]any{
+		"count":   len(all),
+		"streams": all,
+		"nodes":   perNode,
+		"partial": len(failed) > 0,
+	}
+	if len(failed) > 0 {
+		resp["failedNodes"] = failed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fetchStreams pulls one node's stream list.
+func (rt *Router) fetchStreams(r *http.Request, n Node) ([]string, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, "http://"+n.Addr+"/v1/streams", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.prober.ReportFailure(n.Name, err)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Streams []string `json:"streams"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Streams, nil
+}
+
+// handleNodes reports membership, placement and health in one view.
+func (rt *Router) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vnodes": rt.ring.VirtualNodes(),
+		"nodes":  rt.prober.Status(),
+	})
+}
+
+// handleReady answers 200 once every node has been probed at least once
+// and at least one is healthy — "the router knows the cluster's shape
+// and can do useful work", not "everything is up".
+func (rt *Router) handleReady(w http.ResponseWriter, _ *http.Request) {
+	status := rt.prober.Status()
+	allProbed := true
+	healthy := 0
+	for _, st := range status {
+		if !st.Probed {
+			allProbed = false
+		}
+		if st.Healthy {
+			healthy++
+		}
+	}
+	ready := allProbed && healthy > 0
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ready":   ready,
+		"probed":  allProbed,
+		"healthy": healthy,
+		"nodes":   len(status),
+	})
+}
+
+// handleHandoff drives a stream migration: POST /cluster/handoff?key=K&to=NODE
+// resolves the key's current owner, asks it to hand the stream to the
+// target node, and on success records the placement override so the
+// router keeps routing the key to its new home.
+func (rt *Router) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.ObserveRequest()
+	key := r.URL.Query().Get("key")
+	toName := r.URL.Query().Get("to")
+	if key == "" || toName == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody("bad_request", "handoff needs ?key= and ?to=", nil))
+		return
+	}
+	target, ok := rt.ring.Lookup(toName)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorBody("unknown_node",
+			fmt.Sprintf("no node named %q in the cluster", toName), nil))
+		return
+	}
+	source := rt.ownerOf(key)
+	if source.Name == target.Name {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"key": key, "node": target.Name, "moved": false,
+			"note": "stream already placed on the target node",
+		})
+		return
+	}
+	if !rt.prober.Healthy(source.Name) || !rt.prober.Healthy(target.Name) {
+		rt.metrics.ObserveHandoff(false)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody("node_down",
+			"both source and target must be healthy for a handoff",
+			map[string]any{"source": source.Name, "target": target.Name}))
+		return
+	}
+
+	u := "http://" + source.Addr + "/v1/streams/" + url.PathEscape(key) + "/handoff?target=" +
+		url.QueryEscape("http://"+target.Addr)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u, nil)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody("internal", err.Error(), nil))
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.metrics.ObserveHandoff(false)
+		rt.prober.ReportFailure(source.Name, err)
+		writeJSON(w, http.StatusBadGateway, errorBody("node_unreachable",
+			fmt.Sprintf("handoff request to source %s: %v", source.Name, err),
+			map[string]any{"node": source.Name, "addr": source.Addr}))
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		rt.metrics.ObserveHandoff(false)
+		// Relay the source's structured error verbatim — it names the
+		// actual failure (frozen stream, unreachable target, …).
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(body)
+		return
+	}
+	rt.moved.Store(key, target.Name)
+	rt.metrics.ObserveHandoff(true)
+	rt.logf("stream %q handed off: %s -> %s", key, source.Name, target.Name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":    key,
+		"from":   source.Name,
+		"to":     target.Name,
+		"moved":  true,
+		"source": json.RawMessage(body),
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = rt.metrics.WriteTo(w, rt.prober.Status())
+}
+
+// writeJSON / errorBody mirror internal/server's response helpers so
+// router errors and node errors share one envelope shape
+// ({"error","code",...}); the router adds owner-identity fields.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func errorBody(code, msg string, extra map[string]any) map[string]any {
+	body := map[string]any{"error": msg, "code": code}
+	for k, v := range extra {
+		body[k] = v
+	}
+	return body
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/tbs"
+)
+
+// ClusterIngest measures what the consistent-hash router costs on the
+// ingest hot path: the same NDJSON workload is pushed once straight at a
+// single tbsd node and once through a tbsrouter fronting three nodes,
+// both over real TCP loopback so the comparison includes the hop the
+// router adds. The routed row is the scale-out configuration's
+// steady-state throughput; the ratio note is the per-request routing tax
+// (hash + health check + proxied copy with pooled buffers).
+func ClusterIngest(quick bool, seed uint64) (*Result, error) {
+	itemsPerRequest := 1000
+	rounds := runsFor(quick, 150, 15)
+
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-%02d", i)
+	}
+	body := clusterNDJSONBody(itemsPerRequest)
+
+	res := &Result{
+		ID:     "cluster",
+		Title:  "clustered ingest: direct node vs router-forwarded NDJSON over TCP",
+		Header: []string{"path", "nodes", "items", "elapsed ms", "items/sec"},
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Direct path: one node, all keys resident, client → node over TCP.
+	directRate, err := func() (float64, error) {
+		node, ts, err := newClusterNode(seed)
+		if err != nil {
+			return 0, err
+		}
+		defer ts.Close()
+		defer stopClusterNode(node)
+		return clusterDrive(res, "direct NDJSON", 1, client, ts.URL, keys, rounds, body, itemsPerRequest)
+	}()
+	if err != nil {
+		return nil, err
+	}
+
+	// Routed path: three nodes behind a consistent-hash router, the same
+	// workload addressed to the router, which forwards each key to its
+	// ring owner.
+	routedRate, err := func() (float64, error) {
+		names := []string{"n0", "n1", "n2"}
+		members := make([]cluster.Node, 0, len(names))
+		nodes := make([]*server.Server, 0, len(names))
+		defer func() {
+			for _, n := range nodes {
+				stopClusterNode(n)
+			}
+		}()
+		for i, name := range names {
+			node, ts, err := newClusterNode(seed + uint64(i))
+			if err != nil {
+				return 0, err
+			}
+			defer ts.Close()
+			nodes = append(nodes, node)
+			members = append(members, cluster.Node{Name: name, Addr: ts.URL[len("http://"):]})
+		}
+		ring, err := cluster.NewRing(members, 64)
+		if err != nil {
+			return 0, err
+		}
+		router, err := cluster.NewRouter(cluster.RouterOptions{
+			Ring:          ring,
+			ProbeInterval: 50 * time.Millisecond,
+			FailThreshold: 3,
+		})
+		if err != nil {
+			return 0, err
+		}
+		router.Start()
+		defer router.Stop()
+		rts := httptest.NewServer(router.Handler())
+		defer rts.Close()
+		return clusterDrive(res, "routed NDJSON", len(names), client, rts.URL, keys, rounds, body, itemsPerRequest)
+	}()
+	if err != nil {
+		return nil, err
+	}
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("router overhead: routed runs at %.0f%% of direct items/sec", 100*routedRate/directRate),
+		fmt.Sprintf("%d keys spread by consistent hash; both paths measured over TCP loopback", len(keys)))
+	return res, nil
+}
+
+func clusterNDJSONBody(items int) []byte {
+	var nd bytes.Buffer
+	for i := 0; i < items; i++ {
+		fmt.Fprintf(&nd, `{"sensor":%d,"v":%d.%03d,"tag":"s-%d"}`+"\n", i%64, i%97, i%1000, i)
+	}
+	return nd.Bytes()
+}
+
+// newClusterNode builds one started tbsd node on a real listener, the
+// same sampler configuration as the ingest benchmark.
+func newClusterNode(seed uint64) (*server.Server, *httptest.Server, error) {
+	lambda, n := 0.07, 1000
+	srv, err := server.New(server.Options{
+		Sampler: tbs.Config{Scheme: "rtbs", Lambda: &lambda, MaxSize: &n, Seed: ptr(seed)},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.Start()
+	return srv, httptest.NewServer(srv.Handler()), nil
+}
+
+func stopClusterNode(srv *server.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv.Stop(ctx) //nolint:errcheck // benchmark teardown
+}
+
+// clusterDrive pushes rounds×keys NDJSON requests at baseURL, drains each
+// key's pipelined boundaries inside the timed window, and appends a row.
+func clusterDrive(res *Result, name string, nodes int, client *http.Client, baseURL string, keys []string, rounds int, body []byte, itemsPerRequest int) (float64, error) {
+	post := func(path string, b []byte, contentType string) error {
+		req, err := http.NewRequest("POST", baseURL+path, bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("cluster: %s: %s: %w", name, path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			buf := make([]byte, 512)
+			k, _ := resp.Body.Read(buf)
+			return fmt.Errorf("cluster: %s: %s: status %d: %s", name, path, resp.StatusCode, buf[:k])
+		}
+		return nil
+	}
+
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, key := range keys {
+			path := fmt.Sprintf("/v1/streams/%s/items?batch=%d", key, itemsPerRequest)
+			if err := post(path, body, "application/x-ndjson"); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Drain inside the window: batch boundaries are pipelined through the
+	// engine, and a synchronous /advance per key is the FIFO barrier that
+	// makes both rows pay for all queued work before the clock stops.
+	for _, key := range keys {
+		if err := post("/v1/streams/"+key+"/advance", nil, ""); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	total := rounds * len(keys) * itemsPerRequest
+	rate := float64(total) / elapsed.Seconds()
+	res.Rows = append(res.Rows, []string{
+		name, fmt.Sprint(nodes), fmt.Sprint(total), f1(elapsed.Seconds() * 1000), f0(rate),
+	})
+	return rate, nil
+}

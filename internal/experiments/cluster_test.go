@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestClusterIngestQuick runs the routed-vs-direct bench in quick mode
+// and checks its structural claims: both rows see the same item total,
+// both paths actually moved data, and the header carries the columns the
+// benchguard gate keys on.
+func TestClusterIngestQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	res, err := ClusterIngest(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (direct, routed)", len(res.Rows))
+	}
+	col := func(name string) int {
+		t.Helper()
+		for i, h := range res.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("no column %q in %v", name, res.Header)
+		return -1
+	}
+	pathCol, itemsCol, rateCol := col("path"), col("items"), col("items/sec")
+	direct, routed := res.Rows[0], res.Rows[1]
+	if direct[pathCol] != "direct NDJSON" || routed[pathCol] != "routed NDJSON" {
+		t.Fatalf("unexpected row order: %q, %q", direct[pathCol], routed[pathCol])
+	}
+	if direct[itemsCol] != routed[itemsCol] {
+		t.Errorf("workloads differ: direct %s items vs routed %s", direct[itemsCol], routed[itemsCol])
+	}
+	for _, row := range res.Rows {
+		rate, err := strconv.ParseFloat(row[rateCol], 64)
+		if err != nil || rate <= 0 {
+			t.Errorf("%s: items/sec %q not a positive rate (%v)", row[pathCol], row[rateCol], err)
+		}
+	}
+}

@@ -88,6 +88,7 @@ func Registry() []Spec {
 		{"ttbs-law", "Theorem 3.1(ii): T-TBS mean sample-size law", func(quick bool, seed uint64) (*Result, error) {
 			return TTBSLaw(runsFor(quick, 5000, 500), seed)
 		}},
+		{"cluster", "clustered ingest: direct node vs router-forwarded NDJSON", ClusterIngest},
 		{"ingest", "ingest pipeline: JSON vs NDJSON+engine vs core hot path", IngestPipeline},
 		{"serve-drift", "online model management through the tbsd HTTP path: always vs drift retraining", ServeDrift},
 		{"wal", "WAL append throughput: fsync policies and group commit", WALAppend},

@@ -232,16 +232,36 @@ func (s *Server) restoreOne(dir, name, key, scheme string, bootLSN uint64) error
 		return fmt.Errorf("%w: checkpoint file %s holds scheme %q, but the server is configured for %q",
 			errRestoreStrict, name, st.Snapshot.Scheme, scheme)
 	}
-	sampler, err := tbs.Restore[Item](st.Snapshot)
-	if err != nil {
-		return fmt.Errorf("server: checkpoint file %s: %w", name, err)
-	}
 	if st.WalLSN > bootLSN {
 		st.WalLSN = bootLSN
 	}
+	e, err := s.entryFromState(st)
+	if err != nil {
+		return fmt.Errorf("server: checkpoint file %s: %w", name, err)
+	}
+	if err := s.reg.insertRestored(e); err != nil {
+		return fmt.Errorf("%w: %v", errRestoreStrict, err)
+	}
+	return nil
+}
+
+// entryFromState rebuilds a live entry from a checkpoint envelope: the
+// restored sampler, open batch and counters, the managed model, and an
+// in-order replay of boundaries that were closed but unapplied at
+// capture. Shared by boot restore and by stream adoption. The entry's
+// wal is left nil — replayed work must not be re-journaled — so the
+// caller attaches the log (enableWAL at boot, explicitly on adoption)
+// once replay has quiesced. The caller also validates the scheme first;
+// the two paths classify a mismatch differently (strict boot failure vs
+// a structured 409 to the handoff peer).
+func (s *Server) entryFromState(st checkpointState) (*entry, error) {
+	sampler, err := tbs.Restore[Item](st.Snapshot)
+	if err != nil {
+		return nil, err
+	}
 	cs := tbs.NewConcurrent(sampler)
 	e := &entry{
-		key:            key,
+		key:            st.Key,
 		sampler:        cs,
 		sampleMutating: tbs.SampleMutates[Item](cs),
 		pending:        st.Pending,
@@ -253,7 +273,7 @@ func (s *Server) restoreOne(dir, name, key, scheme string, bootLSN uint64) error
 	if st.Model != nil {
 		mm, err := restoreManagedModel(st.Model, s.runBackground, s.metrics)
 		if err != nil {
-			return fmt.Errorf("server: checkpoint file %s: %w", name, err)
+			return nil, err
 		}
 		mm.onSwap = e.journalSwapRecord
 		e.model.Store(mm)
@@ -261,10 +281,10 @@ func (s *Server) restoreOne(dir, name, key, scheme string, bootLSN uint64) error
 	// Replay boundaries that were closed but still queued when the
 	// checkpoint was taken: the snapshot's RNG predates them, so
 	// applying them in order reproduces the exact stochastic process
-	// the pre-crash server was executing. With a model attached the
-	// replay runs the full model step — the pre-crash server had not
-	// scored these boundaries yet, so scoring them now is exactly what
-	// it would have done next.
+	// the pre-capture server was executing. With a model attached the
+	// replay runs the full model step — that server had not scored
+	// these boundaries yet, so scoring them now is exactly what it
+	// would have done next.
 	for _, b := range st.Queued {
 		if mm := e.model.Load(); mm != nil {
 			mm.onBoundary(e.sampler, b)
@@ -274,8 +294,5 @@ func (s *Server) restoreOne(dir, name, key, scheme string, bootLSN uint64) error
 		e.batches++
 		e.dirty = true // memory is now ahead of the on-disk state
 	}
-	if err := s.reg.insertRestored(e); err != nil {
-		return fmt.Errorf("%w: %v", errRestoreStrict, err)
-	}
-	return nil
+	return e, nil
 }

@@ -1,0 +1,284 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// This file is the clustered acceptance test: three tbsd nodes behind a
+// consistent-hash router, NDJSON ingest through the router, a live
+// stream migration, a kill -9 of one node, and a full cluster restart —
+// with every surviving stream's state compared byte-for-byte against a
+// single-node control server that saw the same traffic. Placement is
+// keyed on node names, so the restarted cluster (new ports, same names)
+// routes every key exactly as before.
+
+// e2eCluster is three harness nodes, a router over them, and the
+// lockstep control node.
+type e2eCluster struct {
+	t       *testing.T
+	names   []string
+	nodes   map[string]*harness
+	dirs    map[string]string
+	ring    *cluster.Ring
+	router  *cluster.Router
+	routeTS *httptest.Server
+	ctl     *harness
+}
+
+func nodeAddr(h *harness) string { return strings.TrimPrefix(h.ts.URL, "http://") }
+
+func (c *e2eCluster) buildRouter() {
+	c.t.Helper()
+	var members []cluster.Node
+	for _, name := range c.names {
+		members = append(members, cluster.Node{Name: name, Addr: nodeAddr(c.nodes[name])})
+	}
+	ring, err := cluster.NewRing(members, 64)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.ring = ring
+	c.router, err = cluster.NewRouter(cluster.RouterOptions{
+		Ring:          ring,
+		ProbeInterval: 5 * time.Millisecond,
+		FailThreshold: 2,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.router.Start()
+	c.routeTS = httptest.NewServer(c.router.Handler())
+	c.t.Cleanup(func() { c.routeTS.Close(); c.router.Stop() })
+}
+
+func newE2ECluster(t *testing.T) *e2eCluster {
+	t.Helper()
+	c := &e2eCluster{
+		t:     t,
+		names: []string{"a", "b", "c"},
+		nodes: make(map[string]*harness),
+		dirs:  make(map[string]string),
+	}
+	for _, name := range c.names {
+		dir := t.TempDir()
+		c.dirs[name] = dir
+		c.nodes[name] = newHarness(t, handoffOpts(dir, 5))
+	}
+	c.buildRouter()
+	c.ctl = newHarness(t, handoffOpts(t.TempDir(), 5))
+	return c
+}
+
+// via issues one request through the router and decodes the JSON answer.
+func (c *e2eCluster) via(method, path, contentType, body string, wantStatus int) map[string]any {
+	c.t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.routeTS.URL+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatalf("%s %s via router: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		c.t.Fatalf("%s %s via router: status %d (want %d): %s", method, path, resp.StatusCode, wantStatus, data)
+	}
+	var out map[string]any
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &out); err != nil {
+			c.t.Fatalf("%s %s via router: decode %q: %v", method, path, data, err)
+		}
+	}
+	return out
+}
+
+// ndjsonPhase is one deterministic NDJSON round for (key, t): 25 lines,
+// pipelined boundary every 10, final advance.
+func ndjsonPhase(key string, t int) string {
+	var b strings.Builder
+	for i := 0; i < 25; i++ {
+		fmt.Fprintf(&b, `{"k":%q,"t":%d,"i":%d}`+"\n", key, t, i)
+	}
+	return b.String()
+}
+
+// drive pushes phases [from, to] for every key through the router AND
+// through the control in lockstep.
+func (c *e2eCluster) drive(keys []string, from, to int) {
+	c.t.Helper()
+	for t := from; t <= to; t++ {
+		for _, key := range keys {
+			body := ndjsonPhase(key, t)
+			path := "/v1/streams/" + key + "/items?batch=10&advance=true"
+			c.via("POST", path, "application/x-ndjson", body, http.StatusOK)
+			c.ctl.mustNDJSON(key, "?batch=10&advance=true", body)
+		}
+	}
+}
+
+// sampleVia fetches one realized sample through the router, decoding the
+// raw body (no map round-trip, which would reorder item JSON keys).
+func (c *e2eCluster) sampleVia(key string) sampleResp {
+	c.t.Helper()
+	resp, err := http.Get(c.routeTS.URL + "/v1/streams/" + key + "/sample")
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		c.t.Fatalf("sample %s via router: status %d: %s", key, resp.StatusCode, data)
+	}
+	var s sampleResp
+	if err := json.Unmarshal(data, &s); err != nil {
+		c.t.Fatal(err)
+	}
+	return s
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	c := newE2ECluster(t)
+
+	// Enough keys that every node owns at least one (placement is
+	// deterministic, so this assertion cannot flake).
+	var keys []string
+	for i := 0; i < 24; i++ {
+		keys = append(keys, fmt.Sprintf("e2e-%02d", i))
+	}
+	owned := map[string]int{}
+	for _, k := range keys {
+		owned[c.ring.Owner(k).Name]++
+	}
+	for _, name := range c.names {
+		if owned[name] == 0 {
+			t.Fatalf("node %s owns no keys; placement degenerate (%v)", name, owned)
+		}
+	}
+
+	// Phase 1: NDJSON ingest through the router, mirrored to control.
+	c.drive(keys, 1, 4)
+
+	// The routed view lists every key exactly once.
+	list := c.via("GET", "/v1/streams", "", "", http.StatusOK)
+	if got := int(list["count"].(float64)); got != len(keys) {
+		t.Fatalf("router lists %d streams, want %d", got, len(keys))
+	}
+
+	// Phase 2: live migration of one of node a's keys to node b.
+	migKey := ""
+	for _, k := range keys {
+		if c.ring.Owner(k).Name == "a" {
+			migKey = k
+			break
+		}
+	}
+	out := c.via("POST", "/cluster/handoff?key="+migKey+"&to=b", "", "", http.StatusOK)
+	if out["moved"] != true {
+		t.Fatalf("handoff response %v", out)
+	}
+	// The old owner now answers 421 for the key when asked directly...
+	c.nodes["a"].do("GET", "/v1/streams/"+migKey+"/stats", nil, http.StatusMisdirectedRequest, nil)
+	// ...but the router override keeps the key serving, and acknowledged
+	// traffic keeps flowing to its new home.
+	c.drive(keys, 5, 6)
+
+	// Byte-identical check across the whole cluster, migration included:
+	// every key's realized sample equals the control's.
+	for _, k := range keys {
+		got, want := c.sampleVia(k), c.ctl.sample(k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("key %q sample diverged from control after migration:\n  cluster: %+v\n  control: %+v", k, got, want)
+		}
+	}
+
+	// Phase 3: kill -9 node c. Its keys answer structured 503s naming
+	// the dead owner; everyone else's keys (including the migrated one)
+	// keep serving.
+	c.nodes["c"].kill()
+	waitForCond(t, "c marked down", func() bool { return !c.router.Prober().Healthy("c") })
+	var deadKey, aliveKey string
+	for _, k := range keys {
+		switch c.ring.Owner(k).Name {
+		case "c":
+			deadKey = k
+		case "a":
+			if k != migKey {
+				aliveKey = k
+			}
+		}
+	}
+	errBody := c.via("GET", "/v1/streams/"+deadKey+"/stats", "", "", http.StatusServiceUnavailable)
+	if errBody["code"] != "node_down" || errBody["node"] != "c" {
+		t.Fatalf("dead node error body %v, want code node_down for node c", errBody)
+	}
+	c.via("GET", "/v1/streams/"+aliveKey+"/stats", "", "", http.StatusOK)
+	c.via("GET", "/v1/streams/"+migKey+"/stats", "", "", http.StatusOK)
+
+	// Phase 4: full cluster restart — every node killed (no graceful
+	// checkpoint) and rebooted from its own disk, new ports, same names;
+	// fresh ring and router. The control restarts the same way.
+	preStats := c.nodes["b"].stats(migKey)
+	ctlDir := c.ctl.srv.opts.CheckpointDir
+	c.nodes["a"].kill()
+	c.nodes["b"].kill()
+	c.ctl.kill()
+	for _, name := range c.names {
+		c.nodes[name] = newHarness(t, handoffOpts(c.dirs[name], 5))
+	}
+	c.buildRouter()
+	c.ctl = newHarness(t, handoffOpts(ctlDir, 5))
+
+	// The migrated stream must NOT resurrect at the source (tombstone)…
+	c.nodes["a"].do("GET", "/v1/streams/"+migKey+"/stats", nil, http.StatusNotFound, nil)
+	// …and must resume on the target with the exact pre-kill state.
+	if got := c.nodes["b"].stats(migKey); !reflect.DeepEqual(got, preStats) {
+		t.Fatalf("migrated stream after restart %+v, want %+v", got, preStats)
+	}
+	if got, want := c.nodes["b"].sample(migKey), c.ctl.sample(migKey); !reflect.DeepEqual(got, want) {
+		t.Fatalf("migrated stream sample after restart diverged:\n  target:  %+v\n  control: %+v", got, want)
+	}
+
+	// Every unmigrated key routes to its original owner (names pin
+	// placement) and matches the control byte-for-byte.
+	for _, k := range keys {
+		if k == migKey {
+			continue
+		}
+		got, want := c.sampleVia(k), c.ctl.sample(k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("key %q diverged from control after cluster restart:\n  cluster: %+v\n  control: %+v", k, got, want)
+		}
+	}
+}
+
+// waitForCond polls until cond holds or a 5s deadline passes.
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

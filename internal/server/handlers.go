@@ -36,12 +36,48 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/streams/{key}/model", s.handleModelDetach)
 	mux.HandleFunc("POST /v1/streams/{key}/model/predict", s.handleModelPredict)
 	mux.HandleFunc("GET /v1/streams/{key}/model/stats", s.handleModelStats)
+	mux.HandleFunc("POST /v1/streams/{key}/handoff", s.handleHandoff)
+	mux.HandleFunc("POST /v1/streams/{key}/adopt", s.handleAdopt)
 	mux.HandleFunc("GET /v1/streams", s.handleList)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Liveness: the process is up and serving HTTP. Always 200 — a node
+	// mid-restore or mid-drain is alive, just not ready.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "streams": s.reg.count()})
 	})
+	// Readiness: restore completed and Start ran (503 again once Stop
+	// begins draining). The router's health prober keys off this.
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready := s.metrics.Ready()
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ready":       ready,
+		"streams":     s.reg.count(),
+		"restored":    s.metrics.restoredStreams.Load(),
+		"walReplayed": s.metrics.walReplayed.Load(),
+	})
+}
+
+// movedGuard answers 421 Misdirected Request for a stream this node
+// handed off: the structured body names the new home so a stale client
+// (or a router without the override) can re-route instead of silently
+// recreating the stream here.
+func (s *Server) movedGuard(w http.ResponseWriter, key string) bool {
+	t, ok := s.moved.Load(key)
+	if !ok {
+		return false
+	}
+	writeJSON(w, http.StatusMisdirectedRequest, errorBody("stream_moved",
+		fmt.Sprintf("stream %q was handed off to %s", key, t),
+		map[string]any{"key": key, "target": t}))
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -86,6 +122,10 @@ func (s *Server) ingestFailure(err error) (status int, code string, extra map[st
 		// The entry lost a race with DELETE /v1/streams/{key}; a retry
 		// recreates the stream from scratch.
 		return http.StatusNotFound, "stream_deleted", nil
+	case errors.Is(err, errStreamMigrating):
+		// Frozen for a handoff; the freeze either lifts (failed handoff)
+		// or the key starts answering 421 with its new home.
+		return http.StatusServiceUnavailable, "stream_migrating", nil
 	case errors.Is(err, errJournalFailed):
 		return http.StatusInternalServerError, "wal_unavailable", nil
 	default:
@@ -151,6 +191,9 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.movedGuard(w, key) {
+		return
+	}
 	if isNDJSON(r.Header.Get("Content-Type")) {
 		s.handleItemsNDJSON(w, r, key)
 		return
@@ -185,7 +228,12 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 		"ingested": ingested,
 	}
 	if q := r.URL.Query().Get("advance"); q == "1" || q == "true" {
-		_, batches, _, blsn := s.advanceWait(e)
+		_, batches, _, blsn, err := s.advanceWait(e)
+		if err != nil {
+			status, code, extra := s.ingestFailure(err)
+			writeJSON(w, status, errorBody(code, err.Error(), extra))
+			return
+		}
 		if blsn > lsn {
 			lsn = blsn
 		}
@@ -212,6 +260,9 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.movedGuard(w, key) {
+		return
+	}
 	e, err := s.reg.getOrCreate(key)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -221,7 +272,12 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	n, batches, elapsed, lsn := s.advanceWait(e)
+	n, batches, elapsed, lsn, err := s.advanceWait(e)
+	if err != nil {
+		status, code, extra := s.ingestFailure(err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		return
+	}
 	if err := s.syncWAL(lsn); err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorBody("wal_unavailable", err.Error(), nil))
 		return
@@ -251,6 +307,9 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	e := s.reg.lookup(key)
 	if e == nil {
+		if s.movedGuard(w, key) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown stream %q", key)
 		return
 	}
@@ -305,6 +364,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	e := s.reg.lookup(key)
 	if e == nil {
+		if s.movedGuard(w, key) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown stream %q", key)
 		return
 	}
@@ -345,8 +407,13 @@ func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// A DELETE clears the handed-off marker too: the operator is
+	// explicitly discarding this node's memory of the key, after which a
+	// new ingest may create a fresh stream here. Dropping the marker
+	// alone counts as a delete — there is no local entry behind it.
+	_, wasMoved := s.moved.LoadAndDelete(key)
 	existed, err := s.deleteStream(key)
-	if !existed {
+	if !existed && !wasMoved {
 		writeError(w, http.StatusNotFound, "unknown stream %q", key)
 		return
 	}

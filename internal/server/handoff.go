@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/wal"
+	"repro/tbs"
+)
+
+// Stream migration: POST /v1/streams/{key}/handoff?target=http://host:port
+// moves one stream to another tbsd node with no acknowledged-data loss.
+//
+// Source side (handleHandoff):
+//
+//  1. freeze the entry (beginMigration) — every mutation answers 503
+//     stream_migrating from here on, so nothing acknowledged can miss
+//     the shipped state
+//  2. drain queued boundaries (flushStream) and force-capture the
+//     checkpoint envelope, plus the WAL tail past its WalLSN (empty by
+//     construction after the freeze; shipped anyway so the envelope is
+//     self-contained even if capture semantics ever loosen)
+//  3. POST the envelope to the target's /adopt; any failure unfreezes
+//     the stream and reports a structured 502 — the source remains the
+//     owner
+//  4. on 200: journal a deletion tombstone (durable before the
+//     checkpoint file is unlinked, mirroring DELETE), drop the entry,
+//     and record the moved marker so stale clients get 421 with the new
+//     home instead of silently recreating the stream here
+//
+// Target side (handleAdopt): rebuild the entry through the boot-restore
+// path (entryFromState + applyReplayRecord for the tail), rebase its LSN
+// bookkeeping into the local WAL's space, persist a checkpoint BEFORE
+// the entry starts serving — adoption must survive an immediate kill —
+// and only then attach the local WAL and unfreeze.
+
+// handoffEnvelope is the migration wire format: the stream's checkpoint
+// envelope (the PR 5 restore format, so adoption is exactly a restore)
+// plus the WAL records after its WalLSN and the source's identity.
+type handoffEnvelope struct {
+	State checkpointState `json:"state"`
+	Tail  []wireRecord    `json:"tail,omitempty"`
+	From  string          `json:"from,omitempty"`
+}
+
+// wireRecord is a WAL record stripped to what adoption needs: source
+// LSNs are meaningless in the target's LSN space, and the key rides the
+// URL. Order within the tail is LSN order.
+type wireRecord struct {
+	Type  uint8             `json:"type"`
+	Items []json.RawMessage `json:"items,omitempty"`
+	Data  []byte            `json:"data,omitempty"`
+}
+
+func toWireRecords(recs []wal.Record) []wireRecord {
+	out := make([]wireRecord, len(recs))
+	for i, r := range recs {
+		w := wireRecord{Type: uint8(r.Type), Data: r.Data}
+		if len(r.Items) > 0 {
+			w.Items = make([]json.RawMessage, len(r.Items))
+			for j, it := range r.Items {
+				w.Items[j] = json.RawMessage(it)
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func (w wireRecord) toRecord(key string) wal.Record {
+	r := wal.Record{Type: wal.Type(w.Type), Key: key, Data: w.Data}
+	if len(w.Items) > 0 {
+		r.Items = make([][]byte, len(w.Items))
+		for i, it := range w.Items {
+			r.Items[i] = []byte(it)
+		}
+	}
+	return r
+}
+
+// maxAdoptBytes bounds one adoption envelope. Envelopes carry a full
+// stream state (reservoir + open batch + model bytes), which can far
+// exceed a single ingest request.
+const maxAdoptBytes = 256 << 20
+
+// handoffClient ships envelopes between nodes. The timeout bounds the
+// whole exchange — a handoff holds ckptMu at the source, so a wedged
+// target must not stall checkpoints forever.
+var handoffClient = &http.Client{Timeout: 30 * time.Second}
+
+// handoffTarget extracts and validates the target node URL from
+// ?target= or a {"target": "..."} body.
+func handoffTarget(w http.ResponseWriter, r *http.Request) (string, bool) {
+	target := r.URL.Query().Get("target")
+	if target == "" {
+		var body struct {
+			Target string `json:"target"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err == nil {
+			target = body.Target
+		}
+	}
+	target = strings.TrimSuffix(target, "/")
+	if target == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody("bad_request",
+			"handoff needs a target node URL (?target= or a JSON body with \"target\")", nil))
+		return "", false
+	}
+	u, err := url.Parse(target)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody("bad_request",
+			fmt.Sprintf("target %q must be an absolute http(s) URL", target), nil))
+		return "", false
+	}
+	return target, true
+}
+
+// handleHandoff is the source side of a stream migration.
+func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	key, ok := streamKey(w, r)
+	if !ok {
+		return
+	}
+	target, ok := handoffTarget(w, r)
+	if !ok {
+		return
+	}
+	// ckptMu serializes the handoff against checkpoint passes and
+	// deletes, exactly like deleteStream: the capture, the tombstone and
+	// the file unlink must not interleave with a pass rewriting the file.
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	e := s.reg.lookup(key)
+	if e == nil {
+		if !s.movedGuard(w, key) {
+			writeError(w, http.StatusNotFound, "unknown stream %q", key)
+		}
+		return
+	}
+	if err := e.beginMigration(); err != nil {
+		status, code, extra := s.ingestFailure(err)
+		if errors.Is(err, errStreamMigrating) {
+			status, code = http.StatusConflict, "handoff_in_progress"
+		}
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		return
+	}
+	success := false
+	defer func() {
+		if !success {
+			e.endMigration()
+		}
+	}()
+
+	// Drain: every closed-but-unapplied boundary folds into the sampler
+	// before capture, so the envelope reflects all acknowledged work.
+	s.flushStream(e)
+	st, err := e.captureState()
+	if err != nil {
+		s.metrics.ObserveHandoffOut(false)
+		writeJSON(w, http.StatusInternalServerError, errorBody("handoff_capture", err.Error(), nil))
+		return
+	}
+	var tail []wireRecord
+	if s.wal != nil {
+		recs, err := s.wal.TailForKey(key, st.WalLSN)
+		if err != nil {
+			s.metrics.ObserveHandoffOut(false)
+			writeJSON(w, http.StatusInternalServerError, errorBody("handoff_tail", err.Error(), nil))
+			return
+		}
+		tail = toWireRecords(recs)
+	}
+	payload, err := json.Marshal(handoffEnvelope{State: st, Tail: tail, From: s.opts.Advertise})
+	if err != nil {
+		s.metrics.ObserveHandoffOut(false)
+		writeJSON(w, http.StatusInternalServerError, errorBody("handoff_encode", err.Error(), nil))
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		target+"/v1/streams/"+url.PathEscape(key)+"/adopt", bytes.NewReader(payload))
+	if err != nil {
+		s.metrics.ObserveHandoffOut(false)
+		writeJSON(w, http.StatusBadRequest, errorBody("bad_request", err.Error(), nil))
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := handoffClient.Do(req)
+	if err != nil {
+		s.metrics.ObserveHandoffOut(false)
+		writeJSON(w, http.StatusBadGateway, errorBody("target_unreachable",
+			fmt.Sprintf("shipping stream %q to %s: %v", key, target, err),
+			map[string]any{"target": target}))
+		return
+	}
+	defer resp.Body.Close()
+	rbody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		s.metrics.ObserveHandoffOut(false)
+		writeJSON(w, http.StatusBadGateway, errorBody("handoff_rejected",
+			fmt.Sprintf("target %s answered %d: %s", target, resp.StatusCode, strings.TrimSpace(string(rbody))),
+			map[string]any{"target": target, "targetStatus": resp.StatusCode}))
+		return
+	}
+
+	// The target owns the stream now. Tombstone, removal and unlink
+	// mirror deleteStream's crash-safe ordering: journal the tombstone,
+	// make it durable, only then unlink the checkpoint file — so a crash
+	// at any point leaves either a tombstone that finishes the job on
+	// replay, or the untouched pre-handoff state it supersedes; never a
+	// WAL tail that could resurrect a partial copy of a moved stream.
+	var lsn uint64
+	var jerr error
+	e.mu.Lock()
+	e.deleted = true
+	if e.wal != nil {
+		if lsn, jerr = e.wal.AppendRecord(wal.TypeStreamDelete, key, nil); jerr != nil {
+			jerr = fmt.Errorf("journal handoff tombstone: %w", jerr)
+		}
+	}
+	e.mu.Unlock()
+	s.reg.remove(key)
+	jerr = errors.Join(jerr, s.syncWAL(lsn))
+	if dir := s.opts.CheckpointDir; dir != "" {
+		if err := os.Remove(filepath.Join(dir, checkpointFileName(key))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			jerr = errors.Join(jerr, err)
+		}
+	}
+	s.moved.Store(key, target)
+	success = true
+	s.metrics.ObserveHandoffOut(true)
+	s.opts.Logf("handoff: stream %q -> %s (%d items, %d batches, %d tail records)",
+		key, target, st.Ingested, st.Batches, len(tail))
+	body := map[string]any{
+		"key":         key,
+		"target":      target,
+		"handedOff":   true,
+		"ingested":    st.Ingested,
+		"batches":     st.Batches,
+		"tailRecords": len(tail),
+	}
+	if jerr != nil {
+		// The move itself succeeded — the target owns the stream and
+		// failing the response would desynchronize routers — but part of
+		// the source-side cleanup did not; surface it rather than hide it.
+		body["sourceCleanup"] = jerr.Error()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleAdopt is the target side of a stream migration.
+func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	key, ok := streamKey(w, r)
+	if !ok {
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxAdoptBytes))
+	if err != nil {
+		status, code, extra := s.ingestFailure(err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		return
+	}
+	var env handoffEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody("bad_envelope", err.Error(), nil))
+		return
+	}
+	if env.State.Key != key {
+		writeJSON(w, http.StatusBadRequest, errorBody("bad_envelope",
+			fmt.Sprintf("envelope names key %q, URL names %q", env.State.Key, key), nil))
+		return
+	}
+	// Same strictness as boot restore: adopting a stream sampled under a
+	// different scheme would silently mix sampling semantics.
+	info, err := tbs.Lookup(s.opts.Sampler.Scheme)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody("internal", err.Error(), nil))
+		return
+	}
+	if env.State.Snapshot.Scheme != info.Name {
+		writeJSON(w, http.StatusConflict, errorBody("scheme_mismatch",
+			fmt.Sprintf("envelope holds scheme %q, this node runs %q", env.State.Snapshot.Scheme, info.Name),
+			map[string]any{"envelopeScheme": env.State.Snapshot.Scheme, "nodeScheme": info.Name}))
+		return
+	}
+	e, err := s.entryFromState(env.State)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody("bad_envelope", err.Error(), nil))
+		return
+	}
+	// Replay the source's WAL tail through the boot-replay code. The
+	// entry's wal is still nil, so nothing is re-journaled; source LSNs
+	// were stripped at export (the records apply in slice order).
+	for i, wr := range env.Tail {
+		if err := s.applyReplayRecord(e, wr.toRecord(key)); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody("bad_envelope",
+				fmt.Sprintf("tail record %d: %v", i, err), nil))
+			return
+		}
+	}
+	// Quiesce any retrain the queued/tail replay dispatched before the
+	// entry becomes reachable, mirroring restoreAll's ordering.
+	if mm := e.model.Load(); mm != nil {
+		mm.waitIdle()
+	}
+	// Rebase the LSN bookkeeping into this node's WAL space: everything
+	// adopted is captured in the entry state, not in the local log, so
+	// boot replay must skip every local record at or below this point —
+	// including any records a previous tenancy of the same key left
+	// behind, whose tombstone this rebase also neutralizes.
+	var adoptedLSN uint64
+	if s.wal != nil {
+		adoptedLSN = s.wal.LastLSN()
+	}
+	e.walLSN, e.durableLSN = adoptedLSN, adoptedLSN
+	e.dirty = true
+	// Insert frozen: the entry is visible (and readable) immediately, but
+	// mutations stay rejected until the adopted state is durable below —
+	// an acknowledged write before that could be lost by a crash, with
+	// the source's copy already tombstoned.
+	e.migrating = true
+	if err := s.reg.insertRestored(e); err != nil {
+		writeJSON(w, http.StatusConflict, errorBody("stream_exists",
+			fmt.Sprintf("stream %q already exists on this node", key), nil))
+		return
+	}
+	if dir := s.opts.CheckpointDir; dir != "" {
+		st, err := e.captureState()
+		if err == nil {
+			err = writeCheckpointFile(dir, st)
+		}
+		if err != nil {
+			// Refuse the adoption: the source still owns the stream (it
+			// only tombstones on 200), so dropping the half-adopted entry
+			// is safe — it was frozen, nothing was acknowledged.
+			s.reg.remove(key)
+			s.metrics.ObserveHandoffOut(false)
+			writeJSON(w, http.StatusServiceUnavailable, errorBody("adopt_persist_failed", err.Error(), nil))
+			return
+		}
+	}
+	// Durable: attach the local WAL and open for business.
+	e.mu.Lock()
+	e.wal = s.wal
+	e.migrating = false
+	e.mu.Unlock()
+	s.moved.Delete(key)
+	s.metrics.ObserveHandoffIn()
+	pending, ingested, batches := e.counters()
+	s.opts.Logf("adopt: stream %q from %s (%d items, %d batches, %d tail records)",
+		key, env.From, ingested, batches, len(env.Tail))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":          key,
+		"adopted":      true,
+		"from":         env.From,
+		"pending":      pending,
+		"ingested":     ingested,
+		"batches":      batches,
+		"tailReplayed": len(env.Tail),
+	})
+}

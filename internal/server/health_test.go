@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestHealthzVsReadyz separates liveness from readiness: /healthz is 200
+// from the moment the handler exists (the process is alive even while
+// restoring or draining), while /readyz flips 200 only between Start and
+// Stop — the window a router should send traffic in.
+func TestHealthzVsReadyz(t *testing.T) {
+	srv, err := New(Options{Sampler: rtbsConfig(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// Before Start: alive, not ready.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz before Start = %d, want 200 (liveness is unconditional)", code)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Errorf("readyz before Start = %d %v, want 503 ready:false", code, body)
+	}
+
+	srv.Start()
+	if code, body := get("/readyz"); code != http.StatusOK || body["ready"] != true {
+		t.Errorf("readyz after Start = %d %v, want 200 ready:true", code, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// After Stop: still alive (the handler answers), no longer ready.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz after Stop = %d, want 200", code)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after Stop = %d, want 503", code)
+	}
+}
+
+// TestReadyzReportsRestore: after a crash-restart, readyz reports what
+// boot brought back — here the streams return via WAL replay (the
+// checkpointer never ran), so the live stream count and the replayed
+// record count are the signals.
+func TestReadyzReportsRestore(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, walOpts(dir, 5))
+	h.driveStream("r1", 1, 2)
+	h.driveStream("r2", 1, 2)
+	h.kill()
+
+	h2 := newHarness(t, walOpts(dir, 5))
+	var body map[string]any
+	h2.do("GET", "/readyz", nil, http.StatusOK, &body)
+	if got := body["streams"].(float64); got != 2 {
+		t.Errorf("readyz streams = %v, want 2", got)
+	}
+	if got := body["walReplayed"].(float64); got <= 0 {
+		t.Errorf("readyz walReplayed = %v, want > 0 (crash recovery ran)", got)
+	}
+}

@@ -81,7 +81,32 @@ type Metrics struct {
 	deletedStreams atomic.Uint64
 	quarantined    atomic.Int64
 	walReplayed    atomic.Int64
+
+	handoffsOut   atomic.Uint64 // streams this node handed to another node
+	handoffsIn    atomic.Uint64 // streams this node adopted
+	handoffErrors atomic.Uint64
+	ready         atomic.Bool
 }
+
+// SetReady flips the /readyz gate: true once restore completed and the
+// background loops started, false again when shutdown begins draining.
+func (m *Metrics) SetReady(v bool) { m.ready.Store(v) }
+
+// Ready reports the /readyz gate.
+func (m *Metrics) Ready() bool { return m.ready.Load() }
+
+// ObserveHandoffOut records one stream handed off to another node (or a
+// failed attempt).
+func (m *Metrics) ObserveHandoffOut(ok bool) {
+	if ok {
+		m.handoffsOut.Add(1)
+	} else {
+		m.handoffErrors.Add(1)
+	}
+}
+
+// ObserveHandoffIn records one stream adopted from another node.
+func (m *Metrics) ObserveHandoffIn() { m.handoffsIn.Add(1) }
 
 // ObserveTickerLag records n wall-clock ticks the batch-time ticker had
 // to coalesce because an AdvanceAll pass outlasted the interval.
@@ -181,8 +206,12 @@ func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats, walSt *
 		line("%s{stat=%q} %g", name, "p99", quantileOrZero(win, 0.99))
 	}
 
+	line("tbsd_ready %d", boolGauge(m.ready.Load()))
 	line("tbsd_streams %d", streams)
 	line("tbsd_deleted_streams_total %d", m.deletedStreams.Load())
+	line("tbsd_handoffs_out_total %d", m.handoffsOut.Load())
+	line("tbsd_handoffs_in_total %d", m.handoffsIn.Load())
+	line("tbsd_handoff_errors_total %d", m.handoffErrors.Load())
 	line("tbsd_ticker_lagged_total %d", m.tickerLagged.Load())
 	line("tbsd_restore_quarantined_total %d", m.quarantined.Load())
 	line("tbsd_shards %d", len(perShard))

@@ -30,6 +30,9 @@ func (s *Server) handleModelAttach(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.movedGuard(w, key) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
@@ -79,7 +82,9 @@ func (s *Server) handleModelAttach(w http.ResponseWriter, r *http.Request) {
 func (s *Server) modelFor(w http.ResponseWriter, key string) (*entry, *managedModel, bool) {
 	e := s.reg.lookup(key)
 	if e == nil {
-		writeError(w, http.StatusNotFound, "unknown stream %q", key)
+		if !s.movedGuard(w, key) {
+			writeError(w, http.StatusNotFound, "unknown stream %q", key)
+		}
 		return nil, nil, false
 	}
 	mm := e.model.Load()
@@ -113,7 +118,9 @@ func (s *Server) handleModelDetach(w http.ResponseWriter, r *http.Request) {
 	}
 	e := s.reg.lookup(key)
 	if e == nil {
-		writeError(w, http.StatusNotFound, "unknown stream %q", key)
+		if !s.movedGuard(w, key) {
+			writeError(w, http.StatusNotFound, "unknown stream %q", key)
+		}
 		return
 	}
 	had, lsn, err := e.detachModel()

@@ -248,7 +248,11 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 		"ingested": ingested,
 	}
 	if finalAdvance {
-		_, batches, _, lsn := s.advanceWait(e)
+		_, batches, _, lsn, aerr := s.advanceWait(e)
+		if aerr != nil {
+			fail(aerr, "")
+			return
+		}
 		if lsn > maxLSN {
 			maxLSN = lsn
 		}

@@ -56,6 +56,12 @@ type entry struct {
 	batches  uint64   // batch boundaries ever applied to the sampler
 	dirty    bool     // state changed since the last persisted checkpoint
 	deleted  bool     // stream removed; rejects journaling and checkpointing
+	// migrating freezes the stream for a handoff: every mutation (ingest,
+	// boundary, model attach/detach, RNG-consuming sample read) is
+	// rejected with errStreamMigrating between the capture of the
+	// migration envelope and the handoff's outcome, so the shipped state
+	// can never miss an acknowledged operation.
+	migrating bool
 
 	// walLSN is the LSN of the last record journaled for this stream;
 	// durableLSN the LSN its newest on-disk checkpoint covers. The gap
@@ -81,7 +87,32 @@ var (
 	// could not be written — the server never acknowledges what it could
 	// not log; handlers map it to 500.
 	errJournalFailed = errors.New("write-ahead log append failed")
+	// errStreamMigrating marks an operation rejected because the stream is
+	// frozen for a handoff; handlers map it to 503 (retry — the stream
+	// either unfreezes here or starts answering 421 with its new home).
+	errStreamMigrating = errors.New("stream is migrating to another node")
 )
+
+// beginMigration freezes the entry for a handoff; endMigration lifts the
+// freeze after a failed handoff (a successful one deletes the entry).
+func (e *entry) beginMigration() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return errStreamDeleted
+	}
+	if e.migrating {
+		return errStreamMigrating
+	}
+	e.migrating = true
+	return nil
+}
+
+func (e *entry) endMigration() {
+	e.mu.Lock()
+	e.migrating = false
+	e.mu.Unlock()
+}
 
 // append adds items to the open batch and returns the new pending and
 // total counts plus, when journaling is on, the LSN of the item-append
@@ -99,6 +130,9 @@ func (e *entry) append(items []Item, maxPending int) (pending int, ingested uint
 	defer e.mu.Unlock()
 	if e.deleted {
 		return 0, 0, 0, errStreamDeleted
+	}
+	if e.migrating {
+		return len(e.pending), e.ingested, 0, errStreamMigrating
 	}
 	if maxPending > 0 && len(e.pending)+len(items) > maxPending {
 		if len(items) > maxPending {
@@ -167,9 +201,17 @@ func (e *entry) setDurableLSN(lsn uint64) {
 // (refusing to advance would wedge the ticker), but the WAL has poisoned
 // itself, so replay converges to the state just before this boundary and
 // the checkpointer remains the durability backstop.
-func (e *entry) closeBatch() (batch []Item, lsn uint64, jerr error) {
+//
+// ok is false when the stream is frozen for a handoff: the boundary does
+// NOT happen (jerr is errStreamMigrating, batch nil) — a boundary after
+// the migration capture would advance a sampler whose state has already
+// been shipped.
+func (e *entry) closeBatch() (batch []Item, ok bool, lsn uint64, jerr error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.migrating {
+		return nil, false, 0, errStreamMigrating
+	}
 	if e.wal != nil && !e.deleted {
 		if lsn, jerr = e.wal.AppendRecord(wal.TypeBatchBoundary, e.key, nil); jerr == nil {
 			e.walLSN = lsn
@@ -178,7 +220,7 @@ func (e *entry) closeBatch() (batch []Item, lsn uint64, jerr error) {
 	batch = e.pending
 	e.pending = nil
 	e.queued = append(e.queued, batch)
-	return batch, lsn, jerr
+	return batch, true, lsn, jerr
 }
 
 // advance closes the open batch and applies it inline — the synchronous
@@ -187,8 +229,11 @@ func (e *entry) closeBatch() (batch []Item, lsn uint64, jerr error) {
 // closeBatch/applyBatch.
 func (e *entry) advance() (batchLen int, batches uint64, elapsed time.Duration) {
 	e.advMu.Lock()
-	batch, _, _ := e.closeBatch()
+	batch, ok, _, _ := e.closeBatch()
 	e.advMu.Unlock()
+	if !ok {
+		return 0, 0, 0
+	}
 	return e.applyBatch(batch)
 }
 
@@ -249,6 +294,29 @@ func (e *entry) checkpoint() (st checkpointState, wasDirty bool, err error) {
 	if !e.dirty || e.deleted {
 		return checkpointState{}, false, nil
 	}
+	if st, err = e.stateLocked(); err != nil {
+		return checkpointState{}, true, err
+	}
+	e.dirty = false
+	return st, true, nil
+}
+
+// captureState is the forced capture used by stream handoff: it ignores
+// the dirty flag (the migration envelope must reflect the state whether
+// or not a checkpoint pass just ran) and leaves it set, so a failed
+// handoff changes nothing about the next checkpoint pass.
+func (e *entry) captureState() (checkpointState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return checkpointState{}, errStreamDeleted
+	}
+	return e.stateLocked()
+}
+
+// stateLocked captures a consistent (snapshot, open batch, counters)
+// triple. Caller holds e.mu.
+func (e *entry) stateLocked() (checkpointState, error) {
 	// Model first: capture waits out any retrain still on the background
 	// lane, and holding e.mu here means no new boundary can fire one — so
 	// the sampler snapshot below and the model state are a consistent
@@ -257,14 +325,13 @@ func (e *entry) checkpoint() (st checkpointState, wasDirty bool, err error) {
 	if mm := e.model.Load(); mm != nil {
 		var err error
 		if mst, err = mm.capture(); err != nil {
-			return checkpointState{}, true, err
+			return checkpointState{}, err
 		}
 	}
 	snap, err := e.sampler.Snapshot()
 	if err != nil {
-		return checkpointState{}, true, err
+		return checkpointState{}, err
 	}
-	e.dirty = false
 	var queued [][]Item
 	if len(e.queued) > 0 {
 		// Closed-but-unapplied boundaries (the checkpoint raced a batch
@@ -284,7 +351,7 @@ func (e *entry) checkpoint() (st checkpointState, wasDirty bool, err error) {
 		Batches:  e.batches,
 		Model:    mst,
 		WalLSN:   e.walLSN,
-	}, true, nil
+	}, nil
 }
 
 // attachModel installs (or replaces) the stream's managed model,
@@ -298,6 +365,9 @@ func (e *entry) attachModel(mm *managedModel) (lsn uint64, err error) {
 	defer e.mu.Unlock()
 	if e.deleted {
 		return 0, errStreamDeleted
+	}
+	if e.migrating {
+		return 0, errStreamMigrating
 	}
 	if e.wal != nil {
 		spec, err := json.Marshal(mm.spec)
@@ -321,6 +391,9 @@ func (e *entry) detachModel() (had bool, lsn uint64, err error) {
 	defer e.mu.Unlock()
 	if e.deleted {
 		return false, 0, errStreamDeleted
+	}
+	if e.migrating {
+		return false, 0, errStreamMigrating
 	}
 	had = e.model.Load() != nil
 	if had && e.wal != nil {
@@ -361,6 +434,9 @@ func (e *entry) journalSampleRead(buf []Item) (items []Item, lsn uint64, err err
 	defer e.mu.Unlock()
 	if e.deleted {
 		return nil, 0, errStreamDeleted
+	}
+	if e.migrating {
+		return nil, 0, errStreamMigrating
 	}
 	if lsn, err = e.wal.AppendRecord(wal.TypeSampleRead, e.key, nil); err != nil {
 		return nil, 0, fmt.Errorf("%w: sample read: %v", errJournalFailed, err)

@@ -89,6 +89,11 @@ type Options struct {
 	// items; negative disables the bound).
 	MaxPendingItems int
 
+	// Advertise is the URL peers should use to reach this node (e.g.
+	// "http://10.0.0.5:8377"). It identifies the node in handoff
+	// envelopes and logs; empty is fine for single-node deployments.
+	Advertise string
+
 	// MaxStreams bounds the number of live streams; requests that would
 	// create one beyond it get 429 (default 1<<16; negative disables the
 	// bound). Boot-time restore is exempt, so lowering the cap never
@@ -148,7 +153,16 @@ type Server struct {
 	stopOnce  sync.Once
 	stop      chan struct{}
 	wg        sync.WaitGroup
-	ckptMu    sync.Mutex // serializes whole checkpoint passes (and stream deletes)
+	ckptMu    sync.Mutex // serializes whole checkpoint passes (and stream deletes/handoffs)
+
+	// moved records streams handed off to another node: key → target base
+	// URL. Requests for a moved key answer 421 with the new home instead
+	// of silently recreating the stream here. In-memory only — after a
+	// restart the journaled tombstone still prevents resurrection, and a
+	// misdirected ingest then creates a fresh stream exactly as a DELETE
+	// would allow; keeping routers pointed at the new owner is the
+	// router's job (its override map), this guard is the backstop.
+	moved sync.Map
 }
 
 // New validates the configuration and, when a checkpoint directory is
@@ -224,7 +238,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Start launches the wall-clock ticker and the background checkpointer
-// (each only when configured). It is idempotent.
+// (each only when configured) and flips /readyz to ready — restore
+// already completed in New, so a Started server can serve every stream it
+// owns. It is idempotent.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
 		if s.opts.BatchInterval > 0 {
@@ -235,6 +251,7 @@ func (s *Server) Start() {
 			s.wg.Add(1)
 			go s.runCheckpointer()
 		}
+		s.metrics.SetReady(true)
 	})
 }
 
@@ -249,6 +266,9 @@ func (s *Server) Start() {
 func (s *Server) Stop(ctx context.Context) error {
 	var err error
 	s.stopOnce.Do(func() {
+		// Unready first: a cluster router probing /readyz stops routing
+		// here before the drain begins.
+		s.metrics.SetReady(false)
 		close(s.stop)
 		done := make(chan struct{})
 		go func() {
@@ -307,11 +327,16 @@ func (s *Server) submitApply(e *entry, batch []Item) {
 // application, returning without waiting — the pipelined batch boundary
 // used by the ticker and by NDJSON mid-request boundaries. The returned
 // LSN is the boundary's journal record (0 when journaling is off); the
-// caller acknowledging the boundary must wal-sync it first.
+// caller acknowledging the boundary must wal-sync it first. A stream
+// frozen for a handoff is silently skipped (lsn 0) — the ticker must not
+// stall, and the boundary will happen on the stream's new owner.
 func (s *Server) advanceAsync(e *entry) uint64 {
 	e.advMu.Lock()
 	defer e.advMu.Unlock()
-	batch, lsn, jerr := e.closeBatch()
+	batch, ok, lsn, jerr := e.closeBatch()
+	if !ok {
+		return 0
+	}
 	s.noteJournalErr(jerr)
 	s.submitApply(e, batch)
 	return lsn
@@ -320,11 +345,18 @@ func (s *Server) advanceAsync(e *entry) uint64 {
 // advanceWait is advanceAsync plus a wait for that specific batch: it
 // returns only after the batch has been applied, with the applied batch
 // size, total boundary count, sampler-update latency and the boundary's
-// journal LSN — what the synchronous /advance API reports.
-func (s *Server) advanceWait(e *entry) (n int, batches uint64, elapsed time.Duration, lsn uint64) {
+// journal LSN — what the synchronous /advance API reports. err is
+// errStreamMigrating when the stream is frozen for a handoff: the
+// boundary did NOT happen and the caller must report the failure rather
+// than acknowledge it.
+func (s *Server) advanceWait(e *entry) (n int, batches uint64, elapsed time.Duration, lsn uint64, err error) {
 	done := make(chan struct{})
 	e.advMu.Lock()
-	batch, lsn, jerr := e.closeBatch()
+	batch, ok, lsn, jerr := e.closeBatch()
+	if !ok {
+		e.advMu.Unlock()
+		return 0, 0, 0, 0, jerr
+	}
 	s.noteJournalErr(jerr)
 	apply := func() {
 		n, batches, elapsed = e.applyBatch(batch)
@@ -336,7 +368,7 @@ func (s *Server) advanceWait(e *entry) (n int, batches uint64, elapsed time.Dura
 	}
 	e.advMu.Unlock()
 	<-done
-	return n, batches, elapsed, lsn
+	return n, batches, elapsed, lsn, nil
 }
 
 // flushStream blocks until every batch queued for the stream has been

@@ -111,48 +111,59 @@ func (s *Server) replayWAL() (int, error) {
 				return fmt.Errorf("server: wal replay, stream %q: %w", r.Key, err)
 			}
 		}
-		switch r.Type {
-		case wal.TypeItemAppend:
-			e.replayAppend(r.Items, r.LSN)
-		case wal.TypeBatchBoundary:
-			e.advance()
-			e.setWalLSN(r.LSN)
-		case wal.TypeModelAttach:
-			var spec ModelSpec
-			if err := json.Unmarshal(r.Data, &spec); err != nil {
-				return fmt.Errorf("server: wal replay, model attach for %q: %w", r.Key, err)
-			}
-			if err := spec.normalize(); err != nil {
-				return fmt.Errorf("server: wal replay, model attach for %q: %w", r.Key, err)
-			}
-			mm, err := newManagedModel(spec, s.runBackground, s.metrics)
-			if err != nil {
-				return fmt.Errorf("server: wal replay, model attach for %q: %w", r.Key, err)
-			}
-			mm.onSwap = e.journalSwapRecord
-			if _, err := e.attachModel(mm); err != nil {
-				return err
-			}
-			e.setWalLSN(r.LSN)
-		case wal.TypeModelDetach:
-			if _, _, err := e.detachModel(); err != nil {
-				return err
-			}
-			e.setWalLSN(r.LSN)
-		case wal.TypeSampleRead:
-			// Consume the same realization draws the pre-crash /sample
-			// consumed, keeping the RNG trajectory identical.
-			e.sampler.AppendSample(nil)
-			e.setWalLSN(r.LSN)
-			e.markDirty()
-		case wal.TypeRetrainSwap:
-			// Informational: the swap was recomputed by replaying its
-			// boundary. Nothing to apply.
+		if err := s.applyReplayRecord(e, r); err != nil {
+			return err
 		}
 		replayed++
 		return nil
 	})
 	return replayed, err
+}
+
+// applyReplayRecord applies one non-delete WAL record to an entry. Shared
+// by boot-time replay and by stream adoption (the migration envelope's
+// WAL tail replays through the same code, against an entry whose wal is
+// still nil so nothing is re-journaled).
+func (s *Server) applyReplayRecord(e *entry, r wal.Record) error {
+	switch r.Type {
+	case wal.TypeItemAppend:
+		e.replayAppend(r.Items, r.LSN)
+	case wal.TypeBatchBoundary:
+		e.advance()
+		e.setWalLSN(r.LSN)
+	case wal.TypeModelAttach:
+		var spec ModelSpec
+		if err := json.Unmarshal(r.Data, &spec); err != nil {
+			return fmt.Errorf("server: wal replay, model attach for %q: %w", r.Key, err)
+		}
+		if err := spec.normalize(); err != nil {
+			return fmt.Errorf("server: wal replay, model attach for %q: %w", r.Key, err)
+		}
+		mm, err := newManagedModel(spec, s.runBackground, s.metrics)
+		if err != nil {
+			return fmt.Errorf("server: wal replay, model attach for %q: %w", r.Key, err)
+		}
+		mm.onSwap = e.journalSwapRecord
+		if _, err := e.attachModel(mm); err != nil {
+			return err
+		}
+		e.setWalLSN(r.LSN)
+	case wal.TypeModelDetach:
+		if _, _, err := e.detachModel(); err != nil {
+			return err
+		}
+		e.setWalLSN(r.LSN)
+	case wal.TypeSampleRead:
+		// Consume the same realization draws the pre-crash /sample
+		// consumed, keeping the RNG trajectory identical.
+		e.sampler.AppendSample(nil)
+		e.setWalLSN(r.LSN)
+		e.markDirty()
+	case wal.TypeRetrainSwap:
+		// Informational: the swap was recomputed by replaying its
+		// boundary. Nothing to apply.
+	}
+	return nil
 }
 
 // dropEntry detaches an entry from the registry and marks it deleted so

@@ -1,0 +1,99 @@
+package wal
+
+import (
+	"testing"
+)
+
+// TestTailForKey: the export helper returns exactly one key's records
+// strictly after the given LSN, in LSN order, from a live log.
+func TestTailForKey(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Interleave two keys: a(1), b(2), a(3), b(4), a(5).
+	for i, key := range []string{"a", "b", "a", "b", "a"} {
+		if _, err := AppendItems(l, key, itemsFor(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.AppendRecord(TypeBatchBoundary, "a", nil); err != nil { // LSN 6
+		t.Fatal(err)
+	}
+
+	recs, err := l.TailForKey("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLSNs := []uint64{1, 3, 5, 6}
+	if len(recs) != len(wantLSNs) {
+		t.Fatalf("TailForKey(a, 0) returned %d records, want %d", len(recs), len(wantLSNs))
+	}
+	for i, r := range recs {
+		if r.LSN != wantLSNs[i] {
+			t.Errorf("record %d has LSN %d, want %d", i, r.LSN, wantLSNs[i])
+		}
+		if r.Key != "a" {
+			t.Errorf("record %d leaked key %q", i, r.Key)
+		}
+	}
+	if recs[3].Type != TypeBatchBoundary {
+		t.Errorf("last record type = %v, want boundary", recs[3].Type)
+	}
+	if string(recs[1].Items[0]) != `{"t":2,"i":0}` {
+		t.Errorf("payload corrupted: %q", recs[1].Items[0])
+	}
+
+	// afterLSN filters: only records strictly above it.
+	recs, err = l.TailForKey("a", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].LSN != 5 || recs[1].LSN != 6 {
+		t.Fatalf("TailForKey(a, 3) = %v records, want LSNs [5 6]", len(recs))
+	}
+
+	// Unknown key and future LSN are empty, not errors.
+	if recs, err := l.TailForKey("ghost", 0); err != nil || len(recs) != 0 {
+		t.Errorf("TailForKey(ghost) = %d recs, %v", len(recs), err)
+	}
+	if recs, err := l.TailForKey("a", 99); err != nil || len(recs) != 0 {
+		t.Errorf("TailForKey(a, 99) = %d recs, %v", len(recs), err)
+	}
+}
+
+// TestTailForKeySpansSegments: the tail scan walks sealed segments, not
+// just the active one.
+func TestTailForKeySpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation every couple of records.
+	l, err := Open(Options{Dir: dir, Fsync: SyncOff, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := AppendItems(l, "k", itemsFor(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Stats().Segments; got < 2 {
+		t.Fatalf("test needs multiple segments, got %d", got)
+	}
+	recs, err := l.TailForKey("k", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("TailForKey across segments = %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d, want %d (ordered scan)", i, r.LSN, i+1)
+		}
+	}
+}

@@ -364,6 +364,60 @@ func (l *Log) Replay(fn func(Record) error) error {
 	return nil
 }
 
+// TailForKey returns every record for key with LSN > afterLSN, in LSN
+// order — the migration export: a stream handoff ships the stream's
+// checkpoint envelope plus this tail, so the target can replay anything
+// the envelope's WalLSN does not cover. It scans the segments like Replay
+// but may run on a live log; a torn or half-written frame at the very
+// tail (a concurrent append in flight) ends the scan cleanly, which is
+// safe because the caller has frozen the exported stream — records still
+// being written belong to other keys.
+func (l *Log) TailForKey(key string, afterLSN uint64) ([]Record, error) {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+	var out []Record
+	for i, seg := range segs {
+		lastSeg := i == len(segs)-1
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return nil, err
+		}
+		br := bufio.NewReaderSize(f, 1<<20)
+		expect := seg.first
+		for {
+			payload, _, rerr := readFrame(br)
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				f.Close()
+				if lastSeg {
+					return out, nil
+				}
+				return nil, fmt.Errorf("wal: %s: %w", seg.path, rerr)
+			}
+			rec, derr := decodeRecord(payload)
+			if derr != nil || rec.LSN != expect {
+				f.Close()
+				if lastSeg {
+					return out, nil
+				}
+				if derr == nil {
+					derr = fmt.Errorf("LSN %d where %d expected", rec.LSN, expect)
+				}
+				return nil, fmt.Errorf("wal: %s: %w", seg.path, derr)
+			}
+			if rec.Key == key && rec.LSN > afterLSN {
+				out = append(out, rec)
+			}
+			expect++
+		}
+		f.Close()
+	}
+	return out, nil
+}
+
 // AppendItems journals one item-append record. The generic item type
 // (anything backed by []byte, e.g. json.RawMessage) lets the server pass
 // its batch slices without a per-call conversion allocation.
