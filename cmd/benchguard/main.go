@@ -32,6 +32,9 @@ func main() {
 		current  = flag.String("current", "", "freshly measured tbsbench -json result")
 		id       = flag.String("id", "ingest", "experiment record to gate (ingest, wal)")
 		maxDrop  = flag.Float64("max-drop", 0.30, "tolerated fractional items/sec drop per path")
+		ovBase   = flag.String("overhead-base", "", "within-run gate: baseline row label (e.g. 'http NDJSON engine')")
+		ovRow    = flag.String("overhead-row", "", "within-run gate: instrumented row label (e.g. 'http NDJSON engine+trace')")
+		maxOv    = flag.Float64("max-overhead", 0.05, "tolerated fractional items/sec drop of -overhead-row vs -overhead-base within the current run")
 	)
 	flag.Parse()
 	if *current == "" {
@@ -48,4 +51,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchguard: all paths within %.0f%% of baseline\n", 100**maxDrop)
+	if *ovRow != "" && *ovBase != "" {
+		// Row-vs-row inside the SAME run: both rows share the machine and
+		// the moment, so the tolerance can be far tighter than the
+		// cross-machine baseline gate above.
+		lines, err := experiments.CompareRowOverhead(*current, *id, *ovBase, *ovRow, *maxOv)
+		for _, line := range lines {
+			fmt.Println(line)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -77,7 +77,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -86,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/tbs"
 )
@@ -112,20 +112,31 @@ func main() {
 		quarantine = flag.Bool("restore-quarantine", false, "boot past a corrupt checkpoint file by renaming it to *.corrupt instead of failing (default: strict fail)")
 		maxPending = flag.Int("max-pending", 1<<20, "max items in one stream's open batch (negative = unbounded)")
 		maxStreams = flag.Int("max-streams", 1<<16, "max live streams; creation beyond it gets 429 (negative = unbounded)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug also emits one line per traced request)")
+		debugAddr  = flag.String("debug-addr", "", "opt-in debug listener (pprof, runtime gauges, trace ring), e.g. 127.0.0.1:6060; empty disables")
+		traceRing  = flag.Int("trace-ring", obs.DefaultRingSize, "recent-trace ring capacity for /debug/trace/recent (0 disables tracing entirely)")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "tbsd: ", log.LstdFlags)
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbsd:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("app", "tbsd")
+	fatal := func(args ...any) {
+		fmt.Fprintln(os.Stderr, append([]any{"tbsd:"}, args...)...)
+		os.Exit(2)
+	}
 
 	cfg, err := samplerConfig(*configPath, *scheme, *lambda, *n, *meanBatch, *horizon, *seed)
 	if err != nil {
-		logger.Println(err)
-		os.Exit(2)
+		fatal(err)
 	}
 	walDir := ""
 	if *walOn {
 		if *ckptDir == "" {
-			logger.Println("-wal requires -checkpoint-dir (checkpoints are the WAL's compaction step)")
-			os.Exit(2)
+			fatal("-wal requires -checkpoint-dir (checkpoints are the WAL's compaction step)")
 		}
 		walDir = filepath.Join(*ckptDir, "wal")
 	}
@@ -141,6 +152,10 @@ func main() {
 	if adv == "" {
 		adv = "http://" + *addr
 	}
+	var tracer *obs.Tracer
+	if *traceRing > 0 {
+		tracer = obs.NewTracer(*traceRing, logger)
+	}
 	srv, err := server.New(server.Options{
 		Sampler:            cfg,
 		Advertise:          adv,
@@ -155,19 +170,34 @@ func main() {
 		RestoreQuarantine:  *quarantine,
 		MaxPendingItems:    *maxPending,
 		MaxStreams:         *maxStreams,
-		Logf:               logger.Printf,
+		Logger:             logger,
+		Trace:              tracer,
 	})
 	if err != nil {
-		logger.Println(err)
-		os.Exit(2)
+		fatal(err)
 	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Println(err)
-		os.Exit(2)
+		fatal(err)
 	}
-	logger.Printf("listening on %s (scheme %s)", lis.Addr(), cfg.Scheme)
+	logger.Info(fmt.Sprintf("listening on %s (scheme %s)", lis.Addr(), cfg.Scheme),
+		"addr", lis.Addr().String(), "scheme", string(cfg.Scheme))
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dlis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		debugSrv = &http.Server{Handler: obs.NewDebugMux(tracer)}
+		logger.Info("debug listener on "+dlis.Addr().String(), "addr", dlis.Addr().String())
+		go func() {
+			if err := debugSrv.Serve(dlis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	srv.Start()
@@ -180,13 +210,13 @@ func main() {
 	exitCode := 0
 	select {
 	case s := <-sig:
-		logger.Printf("received %s, shutting down", s)
+		logger.Info("received signal, shutting down", "signal", s.String())
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			// A dead listener is a failure even though shutdown (and its
 			// final checkpoint) still proceeds; the supervisor must see a
 			// nonzero exit so it restarts the daemon.
-			logger.Printf("serve: %v", err)
+			logger.Error("serve failed", "err", err)
 			exitCode = 1
 		}
 	}
@@ -196,15 +226,18 @@ func main() {
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancelDrain()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown failed", "err", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
 	}
 	stopCtx, cancelStop := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancelStop()
 	if err := srv.Stop(stopCtx); err != nil {
-		logger.Printf("stop: %v", err)
+		logger.Error("stop failed", "err", err)
 		exitCode = 1
 	}
-	logger.Println("shutdown complete")
+	logger.Info("shutdown complete")
 	os.Exit(exitCode)
 }
 

@@ -38,7 +38,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -57,23 +58,37 @@ func main() {
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "health probe HTTP timeout")
 		failThreshold = flag.Int("fail-threshold", 2, "consecutive probe failures before a node is routed around")
 		maxBackoff    = flag.Duration("max-probe-backoff", 0, "probe backoff cap while a node is down (0 = 8x probe-interval)")
+		logFormat     = flag.String("log-format", "text", "log output format: text or json")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug also emits one line per traced request)")
+		debugAddr     = flag.String("debug-addr", "", "opt-in debug listener (pprof, runtime gauges, trace ring), e.g. 127.0.0.1:6061; empty disables")
+		traceRing     = flag.Int("trace-ring", obs.DefaultRingSize, "recent-trace ring capacity for /debug/trace/recent (0 disables tracing entirely)")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "tbsrouter: ", log.LstdFlags)
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbsrouter:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("app", "tbsrouter")
+	fatal := func(args ...any) {
+		fmt.Fprintln(os.Stderr, append([]any{"tbsrouter:"}, args...)...)
+		os.Exit(2)
+	}
 
 	if *configPath == "" {
-		logger.Println("-cluster-config is required")
-		os.Exit(2)
+		fatal("-cluster-config is required")
 	}
 	cfg, err := cluster.LoadConfig(*configPath)
 	if err != nil {
-		logger.Println(err)
-		os.Exit(2)
+		fatal(err)
 	}
 	ring, err := cfg.Ring()
 	if err != nil {
-		logger.Println(err)
-		os.Exit(2)
+		fatal(err)
+	}
+	var tracer *obs.Tracer
+	if *traceRing > 0 {
+		tracer = obs.NewTracer(*traceRing, logger)
 	}
 	router, err := cluster.NewRouter(cluster.RouterOptions{
 		Ring:            ring,
@@ -81,20 +96,35 @@ func main() {
 		ProbeTimeout:    *probeTimeout,
 		FailThreshold:   *failThreshold,
 		MaxProbeBackoff: *maxBackoff,
-		Logf:            logger.Printf,
+		Logger:          logger,
+		Trace:           tracer,
 	})
 	if err != nil {
-		logger.Println(err)
-		os.Exit(2)
+		fatal(err)
 	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Println(err)
-		os.Exit(2)
+		fatal(err)
 	}
-	logger.Printf("listening on %s (%d nodes, %d virtual nodes each)",
-		lis.Addr(), len(ring.Nodes()), ring.VirtualNodes())
+	logger.Info(fmt.Sprintf("listening on %s (%d nodes, %d virtual nodes each)",
+		lis.Addr(), len(ring.Nodes()), ring.VirtualNodes()),
+		"addr", lis.Addr().String(), "nodes", len(ring.Nodes()), "vnodes", ring.VirtualNodes())
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dlis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		debugSrv = &http.Server{Handler: obs.NewDebugMux(tracer)}
+		logger.Info("debug listener on "+dlis.Addr().String(), "addr", dlis.Addr().String())
+		go func() {
+			if err := debugSrv.Serve(dlis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Handler: router.Handler()}
 	router.Start()
@@ -107,10 +137,10 @@ func main() {
 	exitCode := 0
 	select {
 	case s := <-sig:
-		logger.Printf("received %s, shutting down", s)
+		logger.Info("received signal, shutting down", "signal", s.String())
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			logger.Printf("serve: %v", err)
+			logger.Error("serve failed", "err", err)
 			exitCode = 1
 		}
 	}
@@ -118,9 +148,12 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown failed", "err", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
 	}
 	router.Stop()
-	logger.Println("shutdown complete")
+	logger.Info("shutdown complete")
 	os.Exit(exitCode)
 }

@@ -3,9 +3,12 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ProberOptions tunes the per-node health loop.
@@ -28,8 +31,8 @@ type ProberOptions struct {
 	Path string
 	// Client issues the probes; nil builds one with sane dial timeouts.
 	Client *http.Client
-	// Logf receives up/down transitions; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives up/down transitions; nil discards them.
+	Logger *slog.Logger
 }
 
 func (o *ProberOptions) setDefaults() {
@@ -51,8 +54,8 @@ func (o *ProberOptions) setDefaults() {
 	if o.Client == nil {
 		o.Client = &http.Client{}
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 }
 
@@ -246,9 +249,11 @@ func (p *Prober) observe(st *nodeState, err error) {
 	st.mu.Unlock()
 	if flipped {
 		if nowHealthy {
-			p.opts.Logf("node %s (%s) is healthy again", st.node.Name, st.node.Addr)
+			p.opts.Logger.Info("node is healthy again",
+				"node", st.node.Name, "addr", st.node.Addr)
 		} else {
-			p.opts.Logf("node %s (%s) marked down: %v", st.node.Name, st.node.Addr, err)
+			p.opts.Logger.Warn("node marked down",
+				"node", st.node.Name, "addr", st.node.Addr, "err", err)
 		}
 	}
 }

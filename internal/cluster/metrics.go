@@ -8,55 +8,8 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
-
-// latencyRingSize bounds the window the forward-latency quantiles are
-// computed over; the Welford mean covers the full history (the same
-// layout internal/server uses for its advance/checkpoint latencies).
-const latencyRingSize = 512
-
-type latencyStats struct {
-	mu     sync.Mutex
-	w      metrics.Welford
-	ring   [latencyRingSize]float64
-	next   int
-	filled bool
-}
-
-func (l *latencyStats) observe(d time.Duration) {
-	s := d.Seconds()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.w.Add(s)
-	l.ring[l.next] = s
-	l.next++
-	if l.next == len(l.ring) {
-		l.next = 0
-		l.filled = true
-	}
-}
-
-func (l *latencyStats) snapshot() (w metrics.Welford, window []float64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.filled {
-		window = append(window, l.ring[:]...)
-	} else {
-		window = append(window, l.ring[:l.next]...)
-	}
-	return l.w, window
-}
-
-func quantileOrZero(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	v, err := metrics.Quantile(xs, q)
-	if err != nil {
-		return 0
-	}
-	return v
-}
 
 // nodeCounters is one backend's per-node traffic tally.
 type nodeCounters struct {
@@ -76,7 +29,9 @@ type RouterMetrics struct {
 	handoffs      atomic.Uint64 // migrations driven to completion
 	handoffErrors atomic.Uint64
 	responseBytes atomic.Uint64
-	forwardLat    latencyStats
+	// forwardLat quantiles cover a rotating time window, not all history —
+	// after a latency burst subsides the p99 drains back down.
+	forwardLat metrics.LatencyStats
 
 	mu     sync.Mutex
 	byNode map[string]*nodeCounters
@@ -111,7 +66,7 @@ func (m *RouterMetrics) ObserveRequest() { m.requests.Add(1) }
 func (m *RouterMetrics) ObserveForward(node string, respBytes int64, d time.Duration) {
 	m.forwarded.Add(1)
 	m.responseBytes.Add(uint64(respBytes))
-	m.forwardLat.observe(d)
+	m.forwardLat.Observe(d)
 	m.node(node).forwarded.Add(1)
 }
 
@@ -155,13 +110,13 @@ func (m *RouterMetrics) WriteTo(w io.Writer, status []NodeStatus) error {
 	line("tbsrouter_handoff_errors_total %d", m.handoffErrors.Load())
 	line("tbsrouter_response_bytes_total %d", m.responseBytes.Load())
 
-	wf, win := m.forwardLat.snapshot()
+	wf, win := m.forwardLat.Snapshot()
 	line("tbsrouter_forward_latency_seconds_count %d", wf.N())
 	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "mean", wf.Mean())
 	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "std", wf.Std())
-	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "p50", quantileOrZero(win, 0.50))
-	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "p95", quantileOrZero(win, 0.95))
-	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "p99", quantileOrZero(win, 0.99))
+	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "p50", metrics.QuantileOrZero(win, 0.50))
+	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "p95", metrics.QuantileOrZero(win, 0.95))
+	line("tbsrouter_forward_latency_seconds{stat=%q} %g", "p99", metrics.QuantileOrZero(win, 0.99))
 
 	line("tbsrouter_nodes %d", len(status))
 	for _, st := range status {
@@ -169,12 +124,15 @@ func (m *RouterMetrics) WriteTo(w io.Writer, status []NodeStatus) error {
 		if st.Healthy {
 			up = 1
 		}
-		line("tbsrouter_node_up{node=%q} %d", st.Node.Name, up)
-		line("tbsrouter_node_probes_total{node=%q} %d", st.Node.Name, st.Probes)
-		line("tbsrouter_node_probe_failures_total{node=%q} %d", st.Node.Name, st.Failures)
+		// Node names come from operator config, so escape them the
+		// Prometheus way (%q would produce Go, not Prometheus, escapes).
+		name := obs.EscapeLabel(st.Node.Name)
+		line(`tbsrouter_node_up{node="%s"} %d`, name, up)
+		line(`tbsrouter_node_probes_total{node="%s"} %d`, name, st.Probes)
+		line(`tbsrouter_node_probe_failures_total{node="%s"} %d`, name, st.Failures)
 		c := m.node(st.Node.Name)
-		line("tbsrouter_node_forwarded_total{node=%q} %d", st.Node.Name, c.forwarded.Load())
-		line("tbsrouter_node_forward_errors_total{node=%q} %d", st.Node.Name, c.errors.Load())
+		line(`tbsrouter_node_forwarded_total{node="%s"} %d`, name, c.forwarded.Load())
+		line(`tbsrouter_node_forward_errors_total{node="%s"} %d`, name, c.errors.Load())
 	}
 
 	_, err := w.Write(b)

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/url"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RouterOptions configures the cluster front door.
@@ -28,9 +31,14 @@ type RouterOptions struct {
 	// start answering within it.
 	DialTimeout           time.Duration
 	ResponseHeaderTimeout time.Duration
-	// Logf receives router lifecycle and node-transition logs; nil
+	// Logger receives router lifecycle and node-transition logs; nil
 	// discards them.
-	Logf func(format string, args ...any)
+	Logger *slog.Logger
+	// Trace, when non-nil, traces every forwarded request
+	// (route → forward → copy) into its ring and histograms, and stamps a
+	// W3C traceparent header on outbound requests so the owning node's
+	// trace joins the router's trace ID. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // copyBufPool recycles the 32KB buffers response bodies are pumped
@@ -54,7 +62,7 @@ type Router struct {
 	client  *http.Client
 	metrics *RouterMetrics
 	mux     *http.ServeMux
-	logf    func(string, ...any)
+	logger  *slog.Logger
 
 	// moved overrides ring placement for streams migrated by
 	// POST /cluster/handoff: key → node name. In-memory only; a router
@@ -75,9 +83,9 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	if opts.ResponseHeaderTimeout <= 0 {
 		opts.ResponseHeaderTimeout = 30 * time.Second
 	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
 	}
 	transport := &http.Transport{
 		DialContext: (&net.Dialer{
@@ -99,11 +107,11 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 			FailThreshold: opts.FailThreshold,
 			MaxBackoff:    opts.MaxProbeBackoff,
 			Client:        client,
-			Logf:          logf,
+			Logger:        logger,
 		}),
 		client:  client,
 		metrics: NewRouterMetrics(opts.Ring.Nodes()),
-		logf:    logf,
+		logger:  logger,
 	}
 	r.mux = r.buildMux()
 	return r, nil
@@ -140,6 +148,9 @@ func (rt *Router) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /cluster/nodes", rt.handleNodes)
 	mux.HandleFunc("POST /cluster/handoff", rt.handleHandoff)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	// The router keeps its own trace ring: a forwarded request shows up
+	// here under the same trace ID as on the owning node. Nil-safe.
+	mux.HandleFunc("GET /debug/trace/recent", rt.opts.Trace.ServeRecent)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -166,8 +177,12 @@ func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody("bad_request", "empty stream key", nil))
 		return
 	}
+	tr := rt.opts.Trace.StartFromRequest(r, obs.KindForward, key)
+	routeStart := time.Now()
 	owner := rt.ownerOf(key)
-	if !rt.prober.Healthy(owner.Name) {
+	healthy := rt.prober.Healthy(owner.Name)
+	tr.StageSince(obs.StageRoute, routeStart)
+	if !healthy {
 		// Degraded routing: answer immediately with the owner's identity
 		// instead of burning a dial timeout per request against a node
 		// the prober already knows is down.
@@ -177,30 +192,40 @@ func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("node %s (%s) owning stream %q is down", owner.Name, owner.Addr, key),
 			map[string]any{"node": owner.Name, "addr": owner.Addr, "key": key},
 		))
+		tr.Finish(http.StatusServiceUnavailable)
 		return
 	}
-	rt.forward(w, r, owner)
+	rt.forward(w, r, owner, tr)
 }
 
 // forward proxies one request to a node, streaming both bodies. The
 // inbound body is handed to the transport untouched (chunked NDJSON
 // ingest flows through without buffering); the response is pumped back
 // through a pooled copy buffer.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, owner Node) {
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, owner Node, tr *obs.Trace) {
 	start := time.Now()
 	// RequestURI (not Path) keeps the client's original encoding and
 	// query string intact for the node.
 	out, err := http.NewRequestWithContext(r.Context(), r.Method, "http://"+owner.Addr+r.URL.RequestURI(), r.Body)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody("bad_request", err.Error(), nil))
+		tr.Finish(http.StatusBadRequest)
 		return
 	}
 	// The inbound request is never reused after this, so sharing its
 	// header map with the outbound request is safe and saves a copy.
 	out.Header = r.Header
 	out.ContentLength = r.ContentLength
+	// Stamp the trace identity on the outbound request: the node starts
+	// its ingest trace from this header, so the same trace ID shows up in
+	// both the router's and the node's /debug/trace/recent rings.
+	if tp := tr.Traceparent(); tp != "" {
+		out.Header.Set("traceparent", tp)
+	}
 
+	fwdStart := time.Now()
 	resp, err := rt.client.Do(out)
+	tr.StageSince(obs.StageForward, fwdStart)
 	if err != nil {
 		rt.metrics.ObserveForwardError(owner.Name)
 		rt.prober.ReportFailure(owner.Name, err)
@@ -209,6 +234,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, owner Node) {
 			fmt.Sprintf("forwarding to node %s (%s): %v", owner.Name, owner.Addr, err),
 			map[string]any{"node": owner.Name, "addr": owner.Addr},
 		))
+		tr.Finish(http.StatusBadGateway)
 		return
 	}
 	defer resp.Body.Close()
@@ -218,9 +244,12 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, owner Node) {
 		h[k] = vs
 	}
 	w.WriteHeader(resp.StatusCode)
+	copyStart := time.Now()
 	bufp := copyBufPool.Get().(*[]byte)
 	n, _ := io.CopyBuffer(w, resp.Body, *bufp)
 	copyBufPool.Put(bufp)
+	tr.StageSince(obs.StageCopy, copyStart)
+	tr.Finish(resp.StatusCode)
 	rt.metrics.ObserveForward(owner.Name, n, time.Since(start))
 }
 
@@ -374,20 +403,30 @@ func (rt *Router) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := rt.opts.Trace.StartFromRequest(r, obs.KindForward, key)
 	u := "http://" + source.Addr + "/v1/streams/" + url.PathEscape(key) + "/handoff?target=" +
 		url.QueryEscape("http://"+target.Addr)
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u, nil)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorBody("internal", err.Error(), nil))
+		tr.Finish(http.StatusInternalServerError)
 		return
 	}
+	// Propagate the trace so the source node's handoff trace (freeze →
+	// capture → ship → commit) joins the router's trace ID.
+	if tp := tr.Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	fwdStart := time.Now()
 	resp, err := rt.client.Do(req)
+	tr.StageSince(obs.StageForward, fwdStart)
 	if err != nil {
 		rt.metrics.ObserveHandoff(false)
 		rt.prober.ReportFailure(source.Name, err)
 		writeJSON(w, http.StatusBadGateway, errorBody("node_unreachable",
 			fmt.Sprintf("handoff request to source %s: %v", source.Name, err),
 			map[string]any{"node": source.Name, "addr": source.Addr}))
+		tr.Finish(http.StatusBadGateway)
 		return
 	}
 	defer resp.Body.Close()
@@ -399,11 +438,13 @@ func (rt *Router) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(resp.StatusCode)
 		_, _ = w.Write(body)
+		tr.Finish(resp.StatusCode)
 		return
 	}
 	rt.moved.Store(key, target.Name)
 	rt.metrics.ObserveHandoff(true)
-	rt.logf("stream %q handed off: %s -> %s", key, source.Name, target.Name)
+	rt.logger.Info("stream handed off",
+		"key", key, "from", source.Name, "to", target.Name, "trace", tr.TraceID())
 	writeJSON(w, http.StatusOK, map[string]any{
 		"key":    key,
 		"from":   source.Name,
@@ -411,11 +452,13 @@ func (rt *Router) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		"moved":  true,
 		"source": json.RawMessage(body),
 	})
+	tr.Finish(http.StatusOK)
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = rt.metrics.WriteTo(w, rt.prober.Status())
+	_ = rt.opts.Trace.WriteMetrics(w, "tbsrouter")
 }
 
 // writeJSON / errorBody mirror internal/server's response helpers so

@@ -51,6 +51,11 @@ type Stats struct {
 	Blocked   uint64 // submissions that found their mailbox full
 	Depths    []int  // current queue depth per worker
 
+	// DepthHWM is each worker's high-watermark queue depth since the
+	// previous Stats call (reading resets it to the current depth), so a
+	// scrape sees spikes that filled and drained between scrapes.
+	DepthHWM []int
+
 	// Background lane counters; BackgroundWorkers is 0 when the lane is
 	// disabled.
 	BackgroundWorkers   int
@@ -71,6 +76,7 @@ func (s Stats) BackgroundPending() uint64 { return s.BackgroundSubmitted - s.Bac
 type Engine struct {
 	queues   []chan task
 	depths   []atomic.Int64
+	hwms     []atomic.Int64 // per-worker depth high-watermark since last Stats
 	queueCap int
 	seed     maphash.Seed
 
@@ -122,6 +128,7 @@ func New(workers, depth int, opts ...Option) (*Engine, error) {
 	e := &Engine{
 		queues:   make([]chan task, workers),
 		depths:   make([]atomic.Int64, workers),
+		hwms:     make([]atomic.Int64, workers),
 		queueCap: depth,
 		seed:     maphash.MakeSeed(),
 	}
@@ -246,7 +253,13 @@ func (e *Engine) enqueueWorker(i int, t task, counted bool) error {
 	// Count before the send: a fast worker may complete the task before
 	// this function returns, and Completed must never exceed Submitted
 	// (Stats.Pending would underflow).
-	e.depths[i].Add(1)
+	d := e.depths[i].Add(1)
+	for {
+		h := e.hwms[i].Load()
+		if d <= h || e.hwms[i].CompareAndSwap(h, d) {
+			break
+		}
+	}
 	if counted {
 		e.submitted.Add(1)
 	}
@@ -290,6 +303,7 @@ func (e *Engine) Stats() Stats {
 		Completed: e.completed.Load(),
 		Blocked:   e.blocked.Load(),
 		Depths:    make([]int, len(e.depths)),
+		DepthHWM:  make([]int, len(e.hwms)),
 
 		BackgroundWorkers:   e.bgWorkers,
 		BackgroundSubmitted: e.bgSubmitted.Load(),
@@ -297,7 +311,11 @@ func (e *Engine) Stats() Stats {
 		BackgroundDepth:     int(e.bgDepth.Load()),
 	}
 	for i := range e.depths {
-		st.Depths[i] = int(e.depths[i].Load())
+		d := e.depths[i].Load()
+		st.Depths[i] = int(d)
+		// Reset the watermark to the current depth (not zero): a queue
+		// that stays deep across the scrape keeps reporting deep.
+		st.DepthHWM[i] = int(e.hwms[i].Swap(d))
 	}
 	return st
 }

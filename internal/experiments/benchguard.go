@@ -148,6 +148,43 @@ func CompareBenchBaseline(baselinePath, currentPath, id string, maxDrop float64)
 	return lines, nil
 }
 
+// CompareRowOverhead gates an instrumented row against its baseline row
+// WITHIN one measured run — both rows came off the same machine seconds
+// apart, so a much tighter tolerance than the cross-machine baseline
+// comparison is meaningful. It is how CI holds the tracing-on ingest row
+// to a few percent of the tracing-off row. The noise floor still
+// applies: rows too short to measure are reported but not gated.
+func CompareRowOverhead(currentPath, id, baseRow, overheadRow string, maxOverhead float64) ([]string, error) {
+	if maxOverhead <= 0 || maxOverhead >= 1 {
+		return nil, fmt.Errorf("benchguard: max overhead must be in (0,1), got %v", maxOverhead)
+	}
+	rates, err := benchRates(currentPath, id)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := rates[baseRow]
+	if !ok {
+		return nil, fmt.Errorf("benchguard: %s: no row %q in %s record", currentPath, baseRow, id)
+	}
+	c, ok := rates[overheadRow]
+	if !ok {
+		return nil, fmt.Errorf("benchguard: %s: no row %q in %s record", currentPath, overheadRow, id)
+	}
+	ratio := c.rate / b.rate
+	line := fmt.Sprintf("%-24s vs %-24s ratio %5.1f%% (floor %.0f%%)",
+		overheadRow, baseRow, 100*ratio, 100*(1-maxOverhead))
+	if (b.hasElapsed && b.elapsedMS < minGateElapsedMS) ||
+		(c.hasElapsed && c.elapsedMS < minGateElapsedMS) {
+		return []string{line + "  skipped (too noisy to gate)"}, nil
+	}
+	if ratio < 1-maxOverhead {
+		return []string{line + "  REGRESSION"},
+			fmt.Errorf("benchguard: %q overhead beyond %.0f%%: %.0f items/sec vs %.0f (%.1f%%)",
+				overheadRow, 100*maxOverhead, c.rate, b.rate, 100*ratio)
+	}
+	return []string{line + "  ok"}, nil
+}
+
 func sortedKeys(m map[string]pathRate) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {

@@ -103,6 +103,62 @@ func TestBenchGuardFailsOnMissingPath(t *testing.T) {
 	}
 }
 
+// writeOverheadBench writes one run holding a tracing-off and a
+// tracing-on row at the given rates (and an optional elapsed override).
+func writeOverheadBench(t *testing.T, dir, name, offRate, onRate, elapsed string) string {
+	t.Helper()
+	body := `[
+  {
+    "id": "ingest",
+    "header": ["path", "items", "elapsed ms", "items/sec", "allocs/item", "B/item"],
+    "rows": [
+      ["http NDJSON engine", "1000", "` + elapsed + `", "` + offRate + `", "0.0", "50"],
+      ["http NDJSON engine+trace", "1000", "` + elapsed + `", "` + onRate + `", "0.0", "52"]
+    ]
+  }
+]`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareRowOverhead(t *testing.T) {
+	dir := t.TempDir()
+	const off, on = "http NDJSON engine", "http NDJSON engine+trace"
+
+	// 2% overhead: within the 5% gate.
+	cur := writeOverheadBench(t, dir, "ok.json", "3000000", "2940000", "150.0")
+	if _, err := CompareRowOverhead(cur, "ingest", off, on, 0.05); err != nil {
+		t.Errorf("2%% overhead failed the 5%% gate: %v", err)
+	}
+
+	// 10% overhead: beyond the gate, and the error names the row.
+	cur = writeOverheadBench(t, dir, "slow.json", "3000000", "2700000", "150.0")
+	lines, err := CompareRowOverhead(cur, "ingest", off, on, 0.05)
+	if err == nil {
+		t.Fatalf("10%% overhead passed the 5%% gate: %v", lines)
+	}
+	if !strings.Contains(err.Error(), on) {
+		t.Errorf("error does not name the instrumented row: %v", err)
+	}
+
+	// Sub-millisecond rows: reported but never gated.
+	cur = writeOverheadBench(t, dir, "noisy.json", "3000000", "1000000", "0.4")
+	if _, err := CompareRowOverhead(cur, "ingest", off, on, 0.05); err != nil {
+		t.Errorf("sub-millisecond rows were gated: %v", err)
+	}
+
+	// Unknown rows and invalid tolerances are rejected up front.
+	if _, err := CompareRowOverhead(cur, "ingest", off, "no such row", 0.05); err == nil {
+		t.Error("unknown overhead row accepted")
+	}
+	if _, err := CompareRowOverhead(cur, "ingest", off, on, 0); err == nil {
+		t.Error("maxOverhead 0 accepted")
+	}
+}
+
 func TestBenchGuardInputValidation(t *testing.T) {
 	dir := t.TempDir()
 	good := writeBench(t, dir, "base.json", "1", "1")

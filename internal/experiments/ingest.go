@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/xrand"
 	"repro/tbs"
@@ -35,13 +36,26 @@ func IngestPipeline(quick bool, seed uint64) (*Result, error) {
 	}
 
 	jsonRate, err := runIngestPath(res, "http JSON array", seed, requests, itemsPerRequest,
-		"/v1/streams/bench/items?advance=true", "", jsonBody, false)
+		"/v1/streams/bench/items?advance=true", "", jsonBody, nil)
 	if err != nil {
 		return nil, err
 	}
 	ndjsonRate, err := runIngestPath(res, "http NDJSON engine", seed, requests, itemsPerRequest,
 		fmt.Sprintf("/v1/streams/bench/items?batch=%d", itemsPerRequest),
-		"application/x-ndjson", ndjsonBody)
+		"application/x-ndjson", ndjsonBody, nil)
+	if err != nil {
+		return nil, err
+	}
+	// The same streaming path with request tracing on (span per request,
+	// chunk-grained stage attribution, ring + histogram filing). CI gates
+	// this row against the tracing-off row at a few percent — tracing is
+	// designed to be cheap enough to leave on in production.
+	traceRate, err := runIngestPath(res, "http NDJSON engine+trace", seed, requests, itemsPerRequest,
+		fmt.Sprintf("/v1/streams/bench/items?batch=%d", itemsPerRequest),
+		"application/x-ndjson", ndjsonBody, func(o *server.Options) func() {
+			o.Trace = obs.NewTracer(obs.DefaultRingSize, nil)
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +66,7 @@ func IngestPipeline(quick bool, seed uint64) (*Result, error) {
 	// experiment gates the fsync paths separately.
 	walRate, err := runIngestPath(res, "http NDJSON engine+wal", seed, requests, itemsPerRequest,
 		fmt.Sprintf("/v1/streams/bench/items?batch=%d", itemsPerRequest),
-		"application/x-ndjson", ndjsonBody, true)
+		"application/x-ndjson", ndjsonBody, withThrowawayWAL)
 	if err != nil {
 		return nil, err
 	}
@@ -62,8 +76,23 @@ func IngestPipeline(quick bool, seed uint64) (*Result, error) {
 
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("NDJSON/JSON speedup: %.2fx items/sec", ndjsonRate/jsonRate),
+		fmt.Sprintf("tracing-on/tracing-off NDJSON throughput: %.1f%%", 100*traceRate/ndjsonRate),
 		fmt.Sprintf("WAL-on/WAL-off NDJSON throughput: %.0f%%", 100*walRate/ndjsonRate))
 	return res, nil
+}
+
+// withThrowawayWAL points the server at a temp-dir group-commit WAL and
+// returns the cleanup that removes it after the row finishes.
+func withThrowawayWAL(o *server.Options) func() {
+	dir, err := os.MkdirTemp("", "ingestwal")
+	if err != nil {
+		return nil
+	}
+	o.CheckpointDir = dir
+	o.CheckpointInterval = time.Hour
+	o.WALDir = filepath.Join(dir, "wal")
+	o.WALFsync = "group"
+	return func() { os.RemoveAll(dir) }
 }
 
 func ingestBodies(items int) (jsonBody, ndjsonBody []byte) {
@@ -85,23 +114,18 @@ func ingestBodies(items int) (jsonBody, ndjsonBody []byte) {
 func ptr[T any](v T) *T { return &v }
 
 // runIngestPath drives one wire format through a fresh server and appends
-// its row. With withWAL set the server journals to a throwaway
-// group-commit WAL, measuring the durability tax on the same workload.
-func runIngestPath(res *Result, name string, seed uint64, requests, itemsPerRequest int, path, contentType string, body []byte, withWAL ...bool) (itemsPerSec float64, err error) {
+// its row. mutate, when non-nil, adjusts the server options for the row
+// (attach a tracer, point at a throwaway WAL, …) and may return a cleanup
+// to run after the row finishes.
+func runIngestPath(res *Result, name string, seed uint64, requests, itemsPerRequest int, path, contentType string, body []byte, mutate func(*server.Options) func()) (itemsPerSec float64, err error) {
 	lambda, n := 0.07, 1000
 	opts := server.Options{
 		Sampler: tbs.Config{Scheme: "rtbs", Lambda: &lambda, MaxSize: &n, Seed: ptr(seed)},
 	}
-	if len(withWAL) > 0 && withWAL[0] {
-		dir, err := os.MkdirTemp("", "ingestwal")
-		if err != nil {
-			return 0, err
+	if mutate != nil {
+		if cleanup := mutate(&opts); cleanup != nil {
+			defer cleanup()
 		}
-		defer os.RemoveAll(dir)
-		opts.CheckpointDir = dir
-		opts.CheckpointInterval = time.Hour
-		opts.WALDir = filepath.Join(dir, "wal")
-		opts.WALFsync = "group"
 	}
 	srv, err := server.New(opts)
 	if err != nil {

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Defaults for the latency windows the server's /metrics quantiles are
+// computed over: the reported p50/p95/p99 always reflect roughly the
+// last one to two half-intervals of traffic, not the whole process
+// lifetime.
+const (
+	DefaultWindowInterval = 30 * time.Second
+	DefaultWindowCap      = 2048
+)
+
+// RotatingWindow is a two-bucket rotating reservoir: observations land
+// in the current half-window; when it ages past the interval it becomes
+// the previous half and a fresh current half starts. A snapshot merges
+// both halves, so quantiles cover between one and two intervals of
+// recent data and an idle period empties the window instead of pinning
+// stale extremes forever (the failure mode of a pure ring buffer under
+// low traffic).
+//
+// Each half is capped; past the cap new observations overwrite the
+// oldest in cyclic order. The zero value is not ready — use
+// NewRotatingWindow. Not safe for concurrent use; wrap with a lock
+// (LatencyStats does).
+type RotatingWindow struct {
+	interval time.Duration
+	capacity int
+	cur      []float64
+	prev     []float64
+	curStart time.Time
+	n        int // total adds into cur, for cyclic overwrite
+}
+
+// NewRotatingWindow builds a window with the given rotation interval
+// and per-half capacity; non-positive arguments take the defaults.
+func NewRotatingWindow(interval time.Duration, capPerHalf int) *RotatingWindow {
+	if interval <= 0 {
+		interval = DefaultWindowInterval
+	}
+	if capPerHalf <= 0 {
+		capPerHalf = DefaultWindowCap
+	}
+	return &RotatingWindow{interval: interval, capacity: capPerHalf}
+}
+
+// rotate ages the halves relative to now.
+func (w *RotatingWindow) rotate(now time.Time) {
+	if w.curStart.IsZero() {
+		w.curStart = now
+		return
+	}
+	age := now.Sub(w.curStart)
+	switch {
+	case age >= 2*w.interval:
+		// Both halves predate the window entirely.
+		w.prev = w.prev[:0]
+		w.cur = w.cur[:0]
+		w.n = 0
+		w.curStart = now
+	case age >= w.interval:
+		// Swap the slices so the retired half's capacity is reused.
+		w.prev, w.cur = w.cur, w.prev[:0]
+		w.n = 0
+		w.curStart = w.curStart.Add(w.interval)
+	}
+}
+
+// Add records one observation at time now.
+func (w *RotatingWindow) Add(now time.Time, x float64) {
+	w.rotate(now)
+	if len(w.cur) < w.capacity {
+		w.cur = append(w.cur, x)
+	} else {
+		w.cur[w.n%w.capacity] = x
+	}
+	w.n++
+}
+
+// AppendSnapshot appends both halves (oldest half first) to dst and
+// returns it — the recent-window sample set quantiles are computed over.
+func (w *RotatingWindow) AppendSnapshot(now time.Time, dst []float64) []float64 {
+	w.rotate(now)
+	dst = append(dst, w.prev...)
+	return append(dst, w.cur...)
+}
+
+// LatencyStats tracks a latency distribution two ways: an all-time
+// Welford accumulator (count, mean, std) and a RotatingWindow of recent
+// observations for quantiles. It carries its own mutex so independent
+// distributions never contend with each other.
+type LatencyStats struct {
+	mu  sync.Mutex
+	w   Welford
+	win *RotatingWindow
+}
+
+// NewLatencyStats builds a LatencyStats with the default window shape.
+func NewLatencyStats() *LatencyStats {
+	return &LatencyStats{win: NewRotatingWindow(0, 0)}
+}
+
+// Observe folds one latency into both distributions.
+func (l *LatencyStats) Observe(d time.Duration) {
+	s := d.Seconds()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Add(s)
+	if l.win == nil {
+		l.win = NewRotatingWindow(0, 0)
+	}
+	l.win.Add(time.Now(), s)
+}
+
+// Snapshot returns the all-time accumulator and a copy of the recent
+// window.
+func (l *LatencyStats) Snapshot() (w Welford, window []float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.win != nil {
+		window = l.win.AppendSnapshot(time.Now(), nil)
+	}
+	return l.w, window
+}
+
+// QuantileOrZero is Quantile over a possibly-empty window.
+func QuantileOrZero(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	v, err := Quantile(xs, q)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRotatingWindowRotation(t *testing.T) {
+	w := NewRotatingWindow(time.Minute, 10)
+	t0 := time.Unix(1000, 0)
+	w.Add(t0, 1)
+	w.Add(t0.Add(time.Second), 2)
+	if got := w.AppendSnapshot(t0.Add(2*time.Second), nil); len(got) != 2 {
+		t.Fatalf("fresh window holds %d, want 2", len(got))
+	}
+
+	// One interval later: old half retires to prev, still visible.
+	w.Add(t0.Add(61*time.Second), 3)
+	got := w.AppendSnapshot(t0.Add(62*time.Second), nil)
+	if len(got) != 3 {
+		t.Fatalf("after one rotation window holds %d, want 3 (prev+cur)", len(got))
+	}
+
+	// Two intervals of silence: everything ages out.
+	if got := w.AppendSnapshot(t0.Add(200*time.Second), nil); len(got) != 0 {
+		t.Fatalf("stale window holds %d, want 0 — idle periods must drain it", len(got))
+	}
+}
+
+func TestRotatingWindowCapOverwrites(t *testing.T) {
+	w := NewRotatingWindow(time.Hour, 4)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		w.Add(t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	got := w.AppendSnapshot(t0.Add(11*time.Second), nil)
+	if len(got) != 4 {
+		t.Fatalf("capped half holds %d, want 4", len(got))
+	}
+	sum := 0.0
+	for _, v := range got {
+		sum += v
+	}
+	// Cyclic overwrite keeps the newest 4 observations: 6+7+8+9.
+	if sum != 30 {
+		t.Fatalf("capped half kept sum %g, want 30 (newest observations)", sum)
+	}
+}
+
+func TestLatencyStatsWindowedQuantiles(t *testing.T) {
+	l := NewLatencyStats()
+	for i := 0; i < 100; i++ {
+		l.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	w, win := l.Snapshot()
+	if w.N() != 100 {
+		t.Fatalf("all-time N = %d, want 100", w.N())
+	}
+	if len(win) != 100 {
+		t.Fatalf("window holds %d, want 100", len(win))
+	}
+	p50 := QuantileOrZero(win, 0.50)
+	if p50 < 0.040 || p50 > 0.060 {
+		t.Fatalf("p50 = %g, want ≈ 0.050", p50)
+	}
+	if QuantileOrZero(nil, 0.5) != 0 {
+		t.Fatal("empty window quantile must be 0")
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	rtmetrics "runtime/metrics"
+)
+
+// NewDebugMux builds the opt-in debug listener's handler (-debug-addr
+// on both daemons): the full net/http/pprof suite, runtime gauges in
+// Prometheus text format at /debug/runtime, and the trace ring at
+// /debug/trace/recent. It is wired to its own mux (never the API mux),
+// so profiling endpoints are reachable only when the operator binds the
+// listener.
+func NewDebugMux(tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/runtime", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = WriteRuntimeMetrics(w)
+	})
+	mux.HandleFunc("GET /debug/trace/recent", tr.ServeRecent)
+	return mux
+}
+
+// runtimeGauges maps runtime/metrics samples to exported gauge names.
+var runtimeGauges = []struct {
+	sample string
+	name   string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines"},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes"},
+	{"/memory/classes/heap/released:bytes", "go_heap_released_bytes"},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes"},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total"},
+	{"/gc/heap/allocs:bytes", "go_gc_heap_allocs_bytes_total"},
+}
+
+// gcPausesSample is rendered as quantile gauges rather than a raw
+// histogram dump: the question a scrape answers is "how bad are GC
+// pauses right now", not the full shape.
+const gcPausesSample = "/gc/pauses:seconds"
+
+// WriteRuntimeMetrics renders runtime/metrics-derived gauges (GC pause
+// quantiles, goroutine count, heap and memory byte classes) in
+// Prometheus text format.
+func WriteRuntimeMetrics(w io.Writer) error {
+	samples := make([]rtmetrics.Sample, 0, len(runtimeGauges)+1)
+	for _, g := range runtimeGauges {
+		samples = append(samples, rtmetrics.Sample{Name: g.sample})
+	}
+	samples = append(samples, rtmetrics.Sample{Name: gcPausesSample})
+	rtmetrics.Read(samples)
+
+	var b []byte
+	for i, g := range runtimeGauges {
+		switch v := samples[i].Value; v.Kind() {
+		case rtmetrics.KindUint64:
+			b = fmt.Appendf(b, "%s %d\n", g.name, v.Uint64())
+		case rtmetrics.KindFloat64:
+			b = fmt.Appendf(b, "%s %g\n", g.name, v.Float64())
+		}
+	}
+	if v := samples[len(samples)-1].Value; v.Kind() == rtmetrics.KindFloat64Histogram {
+		h := v.Float64Histogram()
+		for _, q := range []struct {
+			q     float64
+			label string
+		}{{0.50, "0.5"}, {0.90, "0.9"}, {0.99, "0.99"}} {
+			b = fmt.Appendf(b, "go_gc_pause_seconds{quantile=%q} %g\n", q.label, histogramQuantile(h, q.q))
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// histogramQuantile approximates a quantile from a runtime/metrics
+// Float64Histogram by walking the cumulative counts and reporting the
+// crossing bucket's upper bound (finite-ward for the ±Inf edges).
+func histogramQuantile(h *rtmetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				hi = h.Buckets[i]
+			}
+			if math.IsInf(hi, -1) {
+				hi = 0
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HistFiniteBuckets is the number of finite histogram buckets: upper
+// bounds 2^i microseconds for i in [0, HistFiniteBuckets), i.e. 1µs up
+// to ~8.4s, followed by one +Inf bucket. Log-spaced powers of two make
+// the record path a single bits.Len64 — no search, no float math.
+const HistFiniteBuckets = 24
+
+// Histogram is a fixed log-spaced latency histogram with a zero-alloc,
+// lock-free record path (one atomic add per bucket/count/sum). The zero
+// value is ready to use.
+type Histogram struct {
+	counts [HistFiniteBuckets + 1]atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// histBucketIndex maps a duration to its bucket: the smallest i with
+// d ≤ 2^i µs, or the +Inf bucket past the last finite bound.
+func histBucketIndex(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 1000 {
+		return 0
+	}
+	us := uint64(ns+999) / 1000 // ceil to µs; truncation would under-bucket
+	i := bits.Len64(us - 1)
+	if i >= HistFiniteBuckets {
+		return HistFiniteBuckets
+	}
+	return i
+}
+
+// HistBucketBound returns bucket i's upper bound in seconds
+// (math.Inf(1) for the +Inf bucket).
+func HistBucketBound(i int) float64 {
+	if i >= HistFiniteBuckets {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1e-6, i)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histBucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// AppendProm renders the histogram in Prometheus text format
+// (cumulative _bucket series plus _sum and _count) under the given
+// metric name. labels is a pre-escaped label list like
+// `kind="ingest",stage="parse"` (empty for none); le is appended to it.
+func (h *Histogram) AppendProm(b []byte, name, labels string) []byte {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		b = append(b, name...)
+		b = append(b, "_bucket{"...)
+		b = append(b, labels...)
+		b = append(b, sep...)
+		b = append(b, `le="`...)
+		if i >= HistFiniteBuckets {
+			b = append(b, "+Inf"...)
+		} else {
+			b = strconv.AppendFloat(b, HistBucketBound(i), 'g', -1, 64)
+		}
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	braceOpen, braceClose := "", ""
+	if labels != "" {
+		braceOpen, braceClose = "{", "}"
+	}
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	b = append(b, braceOpen...)
+	b = append(b, labels...)
+	b = append(b, braceClose...)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, float64(h.sumNS.Load())/1e9, 'g', -1, 64)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	b = append(b, braceOpen...)
+	b = append(b, labels...)
+	b = append(b, braceClose...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, h.count.Load(), 10)
+	b = append(b, '\n')
+	return b
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the daemons' structured logger: format "text"
+// (default, human-readable key=value) or "json" (one object per line),
+// level one of debug|info|warn|error (slog's grammar, so "info+2" style
+// offsets work too). An empty format or level takes the default.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if level != "" {
+		if err := lvl.UnmarshalText([]byte(level)); err != nil {
+			return nil, fmt.Errorf("log level %q: %w", level, err)
+		}
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("log format %q: want text or json", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for library consumers that pass no logger.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

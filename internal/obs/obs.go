@@ -1,0 +1,470 @@
+// Package obs is tbsd's observability layer: lightweight span tracing
+// over the ingest and batch-boundary pipelines, fixed-bucket latency
+// histograms merged into /metrics, W3C traceparent propagation between
+// the cluster router and the nodes, structured logging helpers, and the
+// opt-in debug listener (pprof + runtime gauges + the trace ring).
+//
+// The tracing design is allocation-conscious by construction: a Trace
+// is a pooled value with fixed-size stage arrays (no per-stage
+// allocation), stage durations feed lock-free atomic histograms, and
+// the only lock on the record path is the bounded ring buffer's mutex,
+// taken once per finished trace — never per stage. A nil *Tracer (and
+// the nil *Trace it hands out) disables everything: every method is
+// nil-safe, so instrumented code carries no conditionals.
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Kind identifies which pipeline a trace covers; each kind has its own
+// ordered stage set.
+type Kind uint8
+
+const (
+	// KindIngest covers one ingest request end to end:
+	// parse → engine_enqueue → shard_apply → wal_append → fsync_wait → ack.
+	KindIngest Kind = iota
+	// KindBoundary covers one batch boundary:
+	// close_batch → score → policy → retrain → swap.
+	KindBoundary
+	// KindForward covers one proxied request at the router:
+	// route → forward → copy.
+	KindForward
+	// KindHandoff covers the source side of a stream migration:
+	// freeze → capture → ship → commit.
+	KindHandoff
+	// KindAdopt covers the target side of a stream migration:
+	// restore → replay → persist.
+	KindAdopt
+
+	numKinds
+)
+
+// MaxStages is the widest stage set across kinds; Trace stage arrays
+// are sized to it.
+const MaxStages = 6
+
+// Ingest stage indices (KindIngest).
+const (
+	StageParse = iota
+	StageEnqueue
+	StageApply
+	StageWALAppend
+	StageFsyncWait
+	StageAck
+)
+
+// Batch-boundary stage indices (KindBoundary).
+const (
+	StageCloseBatch = iota
+	StageScore
+	StagePolicy
+	StageRetrain
+	StageSwap
+)
+
+// Router forward stage indices (KindForward).
+const (
+	StageRoute = iota
+	StageForward
+	StageCopy
+)
+
+// Handoff stage indices (KindHandoff, source side).
+const (
+	StageFreeze = iota
+	StageCapture
+	StageShip
+	StageCommit
+)
+
+// Adopt stage indices (KindAdopt, target side).
+const (
+	StageRestore = iota
+	StageReplay
+	StagePersist
+)
+
+var kindNames = [numKinds]string{"ingest", "boundary", "forward", "handoff", "adopt"}
+
+var stageNames = [numKinds][]string{
+	KindIngest:   {"parse", "engine_enqueue", "shard_apply", "wal_append", "fsync_wait", "ack"},
+	KindBoundary: {"close_batch", "score", "policy", "retrain", "swap"},
+	KindForward:  {"route", "forward", "copy"},
+	KindHandoff:  {"freeze", "capture", "ship", "commit"},
+	KindAdopt:    {"restore", "replay", "persist"},
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// StageNames returns the ordered stage names for a kind (shared, do not
+// mutate).
+func StageNames(k Kind) []string {
+	if int(k) < len(stageNames) {
+		return stageNames[k]
+	}
+	return nil
+}
+
+// DefaultRingSize is the trace ring capacity when the caller passes a
+// non-positive size to NewTracer.
+const DefaultRingSize = 256
+
+// Record is one finished trace as kept in the ring buffer: a pure value
+// (the only pointer is the key string's data), so ring storage is one
+// flat slice with no per-record allocation.
+type Record struct {
+	TraceID [16]byte
+	Span    [8]byte
+	Parent  [8]byte
+	Kind    Kind
+	Status  int
+	Key     string
+	Start   time.Time
+	Total   time.Duration
+	Off     [MaxStages]int64 // ns offsets from Start
+	Dur     [MaxStages]int64 // ns durations
+	Set     uint8            // bitmask of recorded stages
+}
+
+// Trace is one in-flight span. Obtain from a Tracer, record stages with
+// StageSince/StageDur, and call Finish exactly once — it files the
+// record and returns the Trace to the pool (the pointer must not be
+// used afterwards). All methods are nil-safe no-ops, so disabled
+// tracing costs one pointer test per call site.
+//
+// A Trace is not safe for concurrent stage recording; the pipelines
+// hand it between goroutines through channels/queues (happens-before),
+// never share it.
+type Trace struct {
+	tracer  *Tracer
+	kind    Kind
+	traceID [16]byte
+	span    [8]byte
+	parent  [8]byte
+	key     string
+	start   time.Time
+	off     [MaxStages]int64
+	dur     [MaxStages]int64
+	set     uint8
+}
+
+// Tracer owns the trace pool, the ring of recent traces and the
+// per-stage histograms. A nil *Tracer is a valid disabled tracer.
+type Tracer struct {
+	logger *slog.Logger
+	pool   sync.Pool
+
+	stageHist [numKinds][MaxStages]Histogram
+	totalHist [numKinds]Histogram
+	started   [numKinds]uint64 // guarded by mu; cheap, bumped once per trace
+
+	mu   sync.Mutex
+	ring []Record
+	next int
+	full bool
+}
+
+// NewTracer builds a tracer with a bounded ring of the given size
+// (DefaultRingSize when non-positive). logger, when non-nil and at
+// debug level, receives one structured line per finished trace —
+// the per-request log line carrying trace ID, stream key and status.
+func NewTracer(ringSize int, logger *slog.Logger) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	t := &Tracer{logger: logger, ring: make([]Record, ringSize)}
+	t.pool.New = func() any { return new(Trace) }
+	return t
+}
+
+// Start begins a trace with fresh IDs.
+func (tr *Tracer) Start(kind Kind, key string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	var traceID [16]byte
+	var parent [8]byte
+	fillRandom(traceID[:])
+	return tr.start(kind, key, traceID, parent)
+}
+
+// StartFromRequest begins a trace, continuing the trace ID (and
+// recording the caller's span as parent) from a W3C traceparent header
+// when the request carries a valid one.
+func (tr *Tracer) StartFromRequest(r *http.Request, kind Kind, key string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	if traceID, parent, ok := ParseTraceparent(r.Header.Get("traceparent")); ok {
+		return tr.start(kind, key, traceID, parent)
+	}
+	return tr.Start(kind, key)
+}
+
+// StartChild begins a trace under parent's trace ID (fresh IDs when
+// parent is nil) — how a batch boundary closed inside an ingest request
+// stays correlated with it.
+func (tr *Tracer) StartChild(parent *Trace, kind Kind, key string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	if parent == nil {
+		return tr.Start(kind, key)
+	}
+	return tr.start(kind, key, parent.traceID, parent.span)
+}
+
+func (tr *Tracer) start(kind Kind, key string, traceID [16]byte, parent [8]byte) *Trace {
+	t := tr.pool.Get().(*Trace)
+	*t = Trace{tracer: tr, kind: kind, traceID: traceID, parent: parent, key: key, start: time.Now()}
+	fillRandom(t.span[:])
+	return t
+}
+
+// fillRandom fills b with non-zero randomness (all-zero IDs are invalid
+// in the traceparent grammar). math/rand/v2's global generator is
+// cryptographically seeded per process and, unlike crypto/rand, costs
+// no syscall on the request path.
+func fillRandom(b []byte) {
+	for {
+		for i := 0; i < len(b); i += 8 {
+			v := rand.Uint64()
+			for j := i; j < i+8 && j < len(b); j++ {
+				b[j] = byte(v)
+				v >>= 8
+			}
+		}
+		for _, c := range b {
+			if c != 0 {
+				return
+			}
+		}
+	}
+}
+
+// StageSince records stage as having started at from and ended now.
+func (t *Trace) StageSince(stage int, from time.Time) {
+	if t == nil {
+		return
+	}
+	t.StageDur(stage, from, time.Since(from))
+}
+
+// StageDur records stage with an explicit duration (for durations
+// accumulated piecewise, e.g. per-chunk parse time). Recording the same
+// stage again adds to its duration — chunked pipelines call it once per
+// chunk — while the offset keeps the first recording's start.
+func (t *Trace) StageDur(stage int, from time.Time, d time.Duration) {
+	if t == nil || stage < 0 || stage >= MaxStages {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	bit := uint8(1) << stage
+	if t.set&bit == 0 {
+		t.set |= bit
+		// A stage may begin a hair before the trace itself (a boundary
+		// trace is created just after its close_batch timer started);
+		// clamp so offsets stay non-negative.
+		if off := from.Sub(t.start).Nanoseconds(); off > 0 {
+			t.off[stage] = off
+		}
+	}
+	t.dur[stage] += d.Nanoseconds()
+	t.tracer.stageHist[t.kind][stage].Observe(d)
+}
+
+// Traceparent renders the trace's identity as a W3C traceparent header
+// value for propagation to a downstream node; empty for a nil trace.
+func (t *Trace) Traceparent() string {
+	if t == nil {
+		return ""
+	}
+	return FormatTraceparent(t.traceID, t.span)
+}
+
+// TraceID returns the hex trace ID; empty for a nil trace.
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return hex.EncodeToString(t.traceID[:])
+}
+
+// Finish completes the trace: the record enters the ring, the total
+// duration feeds the kind's histogram, and — when the tracer's logger
+// is at debug level — one structured request line is emitted. The
+// Trace returns to the pool; the pointer is dead after this call.
+func (t *Trace) Finish(status int) {
+	if t == nil {
+		return
+	}
+	tr := t.tracer
+	total := time.Since(t.start)
+	tr.totalHist[t.kind].Observe(total)
+
+	rec := Record{
+		TraceID: t.traceID, Span: t.span, Parent: t.parent,
+		Kind: t.kind, Status: status, Key: t.key,
+		Start: t.start, Total: total,
+		Off: t.off, Dur: t.dur, Set: t.set,
+	}
+	tr.mu.Lock()
+	tr.started[t.kind]++
+	tr.ring[tr.next] = rec
+	tr.next++
+	if tr.next == len(tr.ring) {
+		tr.next = 0
+		tr.full = true
+	}
+	tr.mu.Unlock()
+
+	if tr.logger != nil && tr.logger.Enabled(context.Background(), slog.LevelDebug) {
+		tr.logger.Debug("trace",
+			"trace", hex.EncodeToString(rec.TraceID[:]),
+			"kind", rec.Kind.String(),
+			"key", rec.Key,
+			"status", rec.Status,
+			"durMicros", total.Microseconds())
+	}
+	*t = Trace{}
+	tr.pool.Put(t)
+}
+
+// recent returns the ring's contents newest-first.
+func (tr *Tracer) recent() []Record {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := tr.next
+	if tr.full {
+		n = len(tr.ring)
+	}
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		idx := tr.next - 1 - i
+		if idx < 0 {
+			idx += len(tr.ring)
+		}
+		out = append(out, tr.ring[idx])
+	}
+	return out
+}
+
+// stageView / traceView are the JSON shape of GET /debug/trace/recent.
+type stageView struct {
+	Stage        string `json:"stage"`
+	OffsetMicros int64  `json:"offsetMicros"`
+	DurMicros    int64  `json:"durMicros"`
+}
+
+type traceView struct {
+	TraceID   string      `json:"traceId"`
+	SpanID    string      `json:"spanId"`
+	ParentID  string      `json:"parentId,omitempty"`
+	Kind      string      `json:"kind"`
+	Key       string      `json:"key,omitempty"`
+	Status    int         `json:"status,omitempty"`
+	Start     time.Time   `json:"start"`
+	DurMicros int64       `json:"durMicros"`
+	Stages    []stageView `json:"stages"`
+}
+
+var zeroSpan [8]byte
+
+func viewOf(r Record) traceView {
+	v := traceView{
+		TraceID:   hex.EncodeToString(r.TraceID[:]),
+		SpanID:    hex.EncodeToString(r.Span[:]),
+		Kind:      r.Kind.String(),
+		Key:       r.Key,
+		Status:    r.Status,
+		Start:     r.Start,
+		DurMicros: r.Total.Microseconds(),
+	}
+	if r.Parent != zeroSpan {
+		v.ParentID = hex.EncodeToString(r.Parent[:])
+	}
+	names := StageNames(r.Kind)
+	v.Stages = make([]stageView, 0, len(names))
+	for i, name := range names {
+		if r.Set&(1<<i) == 0 {
+			continue
+		}
+		v.Stages = append(v.Stages, stageView{
+			Stage:        name,
+			OffsetMicros: r.Off[i] / 1e3,
+			DurMicros:    r.Dur[i] / 1e3,
+		})
+	}
+	return v
+}
+
+// ServeRecent serves the trace ring as JSON, newest first. Filters:
+// ?key= (exact stream key), ?kind= (ingest|boundary|forward|handoff|adopt),
+// ?min_dur= (a Go duration like 5ms — only traces at least that long),
+// ?limit= (cap the answer). A nil tracer serves an empty, disabled
+// listing rather than 404, so the route is always probeable.
+func (tr *Tracer) ServeRecent(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if tr == nil {
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"enabled": false, "count": 0, "traces": []traceView{},
+		})
+		return
+	}
+	q := r.URL.Query()
+	keyFilter := q.Get("key")
+	kindFilter := q.Get("kind")
+	var minDur time.Duration
+	if v := q.Get("min_dur"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error": "min_dur must be a duration like 5ms", "code": "bad_request",
+			})
+			return
+		}
+		minDur = d
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		limit, _ = strconv.Atoi(v)
+	}
+
+	views := []traceView{}
+	for _, rec := range tr.recent() {
+		if keyFilter != "" && rec.Key != keyFilter {
+			continue
+		}
+		if kindFilter != "" && rec.Kind.String() != kindFilter {
+			continue
+		}
+		if rec.Total < minDur {
+			continue
+		}
+		views = append(views, viewOf(rec))
+		if limit > 0 && len(views) >= limit {
+			break
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(map[string]any{"enabled": true, "count": len(views), "traces": views})
+}

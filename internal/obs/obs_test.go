@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`with"quote`, `with\"quote`},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{"tab\tand ünïcode", "tab\tand ünïcode"}, // NOT escaped — prom text allows raw UTF-8
+		{`all"three\of
+them`, `all\"three\\of\nthem`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabel(c.in); got != c.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBucketsMonotonicAndPlacement(t *testing.T) {
+	var h Histogram
+	durs := []time.Duration{
+		0, 500 * time.Nanosecond, time.Microsecond, 1500 * time.Nanosecond,
+		2 * time.Microsecond, 100 * time.Microsecond, time.Millisecond,
+		time.Second, time.Hour, // far past the last finite bound → +Inf
+	}
+	for _, d := range durs {
+		h.Observe(d)
+	}
+	if got := h.Count(); got != uint64(len(durs)) {
+		t.Fatalf("count = %d, want %d", got, len(durs))
+	}
+
+	out := string(h.AppendProm(nil, "x_seconds", `k="v"`))
+	var prevCum uint64
+	var prevBound float64 = -1
+	buckets := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "x_seconds_bucket{") {
+			continue
+		}
+		buckets++
+		leStart := strings.Index(line, `le="`) + 4
+		leEnd := strings.Index(line[leStart:], `"`) + leStart
+		boundStr := line[leStart:leEnd]
+		bound := math.Inf(1)
+		if boundStr != "+Inf" {
+			var err error
+			bound, err = strconv.ParseFloat(boundStr, 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", boundStr, err)
+			}
+		}
+		cum, err := strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad count in %q: %v", line, err)
+		}
+		if bound <= prevBound {
+			t.Fatalf("bucket bounds not increasing: %g after %g", bound, prevBound)
+		}
+		if cum < prevCum {
+			t.Fatalf("cumulative counts decreased: %d after %d (le=%g)", cum, prevCum, bound)
+		}
+		prevBound, prevCum = bound, cum
+	}
+	if buckets != HistFiniteBuckets+1 {
+		t.Fatalf("rendered %d buckets, want %d", buckets, HistFiniteBuckets+1)
+	}
+	if prevCum != uint64(len(durs)) {
+		t.Fatalf("+Inf cumulative = %d, want %d (histogram must count everything)", prevCum, len(durs))
+	}
+
+	// Placement: 1.5µs must land in the 2µs bucket, not 1µs
+	// (ceiling, not truncation, of sub-µs remainders).
+	var h2 Histogram
+	h2.Observe(1500 * time.Nanosecond)
+	if got := h2.counts[0].Load(); got != 0 {
+		t.Errorf("1.5µs landed in the ≤1µs bucket")
+	}
+	if got := h2.counts[1].Load(); got != 1 {
+		t.Errorf("1.5µs not in the ≤2µs bucket")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	traceID := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	span := [8]byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x01, 0x02}
+	h := FormatTraceparent(traceID, span)
+	if len(h) != 55 {
+		t.Fatalf("header length %d, want 55: %q", len(h), h)
+	}
+	gotID, gotParent, ok := ParseTraceparent(h)
+	if !ok || gotID != traceID || gotParent != span {
+		t.Fatalf("round trip failed: %q -> %x %x ok=%v", h, gotID, gotParent, ok)
+	}
+
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"ff-0102030405060708090a0b0c0d0e0f10-aabbccddeeff0102-01",      // version ff
+		"00-00000000000000000000000000000000-aabbccddeeff0102-01",      // zero trace id
+		"00-0102030405060708090a0b0c0d0e0f10-0000000000000000-01",      // zero span
+		"00-0102030405060708090a0b0c0d0e0gg0-aabbccddeeff0102-01",      // non-hex
+		"00-0102030405060708090a0b0c0d0e0f10-aabbccddeeff0102-01extra", // trailing junk, no dash
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted invalid input", h)
+		}
+	}
+	// Future-version values with appended fields parse (next byte is a dash).
+	if _, _, ok := ParseTraceparent("01-0102030405060708090a0b0c0d0e0f10-aabbccddeeff0102-01-extrafield"); !ok {
+		t.Errorf("future-version traceparent with extra field rejected")
+	}
+}
+
+func TestTracerRingAndFilters(t *testing.T) {
+	tr := NewTracer(4, nil)
+	for i := 0; i < 6; i++ {
+		span := tr.Start(KindIngest, fmt.Sprintf("key-%d", i))
+		span.StageDur(StageParse, time.Now(), time.Duration(i+1)*time.Millisecond)
+		span.Finish(200)
+	}
+	recs := tr.recent()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records, want 4 (bounded)", len(recs))
+	}
+	if recs[0].Key != "key-5" || recs[3].Key != "key-2" {
+		t.Fatalf("ring order wrong: newest %q oldest %q", recs[0].Key, recs[3].Key)
+	}
+
+	get := func(query string) map[string]any {
+		req := httptest.NewRequest("GET", "/debug/trace/recent"+query, nil)
+		w := httptest.NewRecorder()
+		tr.ServeRecent(w, req)
+		var body map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		return body
+	}
+	if body := get("?key=key-4"); body["count"].(float64) != 1 {
+		t.Errorf("key filter: count = %v, want 1", body["count"])
+	}
+	if body := get("?min_dur=1h"); body["count"].(float64) != 0 {
+		t.Errorf("min_dur filter: count = %v, want 0", body["count"])
+	}
+	if body := get("?kind=boundary"); body["count"].(float64) != 0 {
+		t.Errorf("kind filter: count = %v, want 0", body["count"])
+	}
+
+	// Nil tracer: still serves, reports disabled.
+	var nilTr *Tracer
+	req := httptest.NewRequest("GET", "/debug/trace/recent", nil)
+	w := httptest.NewRecorder()
+	nilTr.ServeRecent(w, req)
+	var body map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("nil tracer served bad JSON: %v", err)
+	}
+	if body["enabled"].(bool) {
+		t.Errorf("nil tracer claims enabled")
+	}
+}
+
+func TestTraceChildSharesTraceID(t *testing.T) {
+	tr := NewTracer(8, nil)
+	parent := tr.Start(KindIngest, "k")
+	child := tr.StartChild(parent, KindBoundary, "k")
+	if parent.TraceID() != child.TraceID() {
+		t.Fatalf("child trace ID %s != parent %s", child.TraceID(), parent.TraceID())
+	}
+	if child.parent != parent.span {
+		t.Fatalf("child parent span not the parent's span")
+	}
+	// Continuation via header: the "remote" side picks up the same ID.
+	req := httptest.NewRequest("POST", "/v1/streams/k/items", nil)
+	req.Header.Set("traceparent", parent.Traceparent())
+	remote := tr.StartFromRequest(req, KindIngest, "k")
+	if remote.TraceID() != parent.TraceID() {
+		t.Fatalf("header continuation trace ID %s != %s", remote.TraceID(), parent.TraceID())
+	}
+	remote.Finish(200)
+	child.Finish(0)
+	parent.Finish(200)
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var span *Trace
+	span.StageSince(StageParse, time.Now())
+	span.StageDur(StageAck, time.Now(), time.Millisecond)
+	span.Finish(200)
+	if span.Traceparent() != "" || span.TraceID() != "" {
+		t.Fatal("nil trace rendered an identity")
+	}
+	var tr *Tracer
+	if tr.Start(KindIngest, "k") != nil {
+		t.Fatal("nil tracer handed out a trace")
+	}
+	if err := tr.WriteMetrics(nil, "x"); err != nil {
+		t.Fatalf("nil tracer WriteMetrics: %v", err)
+	}
+}
+
+// promSample is one parsed sample from the text exposition format.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromText is a minimal Prometheus text-format parser: enough
+// grammar (names, escaped label values, float values) to round-trip
+// what the server emits. Used by the scrape round-trip tests here and
+// in internal/server.
+func parsePromText(t *testing.T, text string) []promSample {
+	t.Helper()
+	var out []promSample
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s := promSample{labels: map[string]string{}}
+		rest := line
+		if i := strings.IndexAny(rest, "{ "); i < 0 {
+			t.Fatalf("line %d: no value separator: %q", ln+1, line)
+		} else {
+			s.name = rest[:i]
+			rest = rest[i:]
+		}
+		if strings.HasPrefix(rest, "{") {
+			rest = rest[1:]
+			for {
+				eq := strings.IndexByte(rest, '=')
+				if eq < 0 {
+					t.Fatalf("line %d: label without '=': %q", ln+1, line)
+				}
+				lname := rest[:eq]
+				rest = rest[eq+1:]
+				if !strings.HasPrefix(rest, `"`) {
+					t.Fatalf("line %d: unquoted label value: %q", ln+1, line)
+				}
+				rest = rest[1:]
+				var val strings.Builder
+				for {
+					if rest == "" {
+						t.Fatalf("line %d: unterminated label value: %q", ln+1, line)
+					}
+					c := rest[0]
+					if c == '\\' {
+						if len(rest) < 2 {
+							t.Fatalf("line %d: dangling escape: %q", ln+1, line)
+						}
+						switch rest[1] {
+						case '\\':
+							val.WriteByte('\\')
+						case '"':
+							val.WriteByte('"')
+						case 'n':
+							val.WriteByte('\n')
+						default:
+							t.Fatalf("line %d: invalid escape \\%c: %q", ln+1, rest[1], line)
+						}
+						rest = rest[2:]
+						continue
+					}
+					if c == '"' {
+						rest = rest[1:]
+						break
+					}
+					val.WriteByte(c)
+					rest = rest[1:]
+				}
+				s.labels[lname] = val.String()
+				if strings.HasPrefix(rest, ",") {
+					rest = rest[1:]
+					continue
+				}
+				if strings.HasPrefix(rest, "}") {
+					rest = rest[1:]
+					break
+				}
+				t.Fatalf("line %d: expected ',' or '}': %q", ln+1, line)
+			}
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 {
+			t.Fatalf("line %d: no value: %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, fields[0], err)
+		}
+		s.value = v
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestTracerMetricsScrapeRoundTrip(t *testing.T) {
+	tr := NewTracer(8, nil)
+	span := tr.Start(KindIngest, "k")
+	span.StageDur(StageParse, time.Now(), 3*time.Microsecond)
+	span.StageDur(StageAck, time.Now(), 10*time.Millisecond)
+	span.Finish(200)
+
+	var sb strings.Builder
+	if err := tr.WriteMetrics(&sb, "tbsd"); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, sb.String())
+	if len(samples) == 0 {
+		t.Fatal("no samples rendered")
+	}
+	var sawParse, sawTotalCount bool
+	for _, s := range samples {
+		switch s.name {
+		case "tbsd_trace_stage_duration_seconds_count":
+			if s.labels["stage"] == "parse" && s.labels["kind"] == "ingest" {
+				sawParse = true
+				if s.value != 1 {
+					t.Errorf("parse stage count = %g, want 1", s.value)
+				}
+			}
+		case "tbsd_trace_duration_seconds_count":
+			if s.labels["kind"] == "ingest" && s.value == 1 {
+				sawTotalCount = true
+			}
+		}
+	}
+	if !sawParse || !sawTotalCount {
+		t.Fatalf("missing families: parse=%v total=%v\n%s", sawParse, sawTotalCount, sb.String())
+	}
+}
+
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteRuntimeMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, sb.String())
+	byName := map[string]bool{}
+	for _, s := range samples {
+		byName[s.name] = true
+	}
+	for _, want := range []string{"go_goroutines", "go_memory_total_bytes", "go_gc_pause_seconds"} {
+		if !byName[want] {
+			t.Errorf("runtime metrics missing %s:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var sb strings.Builder
+	lg, err := NewLogger(&sb, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "k", "v")
+	out := sb.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("info line not filtered at warn level: %s", out)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &obj); err != nil {
+		t.Fatalf("json format produced non-JSON %q: %v", out, err)
+	}
+	if _, err := NewLogger(&sb, "xml", ""); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := NewLogger(&sb, "text", "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"io"
+	"strings"
+)
+
+// EscapeLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double quote and newline are the only characters
+// escaped (as \\, \" and \n). Go's %q is NOT a substitute — it escapes
+// tabs, control bytes and non-ASCII as \t/\xNN/\uNNNN, sequences the
+// Prometheus parser rejects.
+func EscapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics renders the tracer's per-stage and per-trace latency
+// histograms in Prometheus text format under the given prefix
+// (e.g. "tbsd" → tbsd_trace_stage_duration_seconds_bucket{...}).
+// Kinds with no finished traces are skipped to keep scrapes compact.
+// Nil-safe: a nil tracer writes nothing.
+func (tr *Tracer) WriteMetrics(w io.Writer, prefix string) error {
+	if tr == nil {
+		return nil
+	}
+	var b []byte
+	for k := Kind(0); k < numKinds; k++ {
+		if tr.totalHist[k].Count() == 0 {
+			continue
+		}
+		kindLabel := `kind="` + k.String() + `"`
+		b = tr.totalHist[k].AppendProm(b, prefix+"_trace_duration_seconds", kindLabel)
+		for i, name := range StageNames(k) {
+			if tr.stageHist[k][i].Count() == 0 {
+				continue
+			}
+			b = tr.stageHist[k][i].AppendProm(b,
+				prefix+"_trace_stage_duration_seconds", kindLabel+`,stage="`+name+`"`)
+		}
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	_, err := w.Write(b)
+	return err
+}

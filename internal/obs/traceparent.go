@@ -1,0 +1,65 @@
+package obs
+
+import "encoding/hex"
+
+// W3C Trace Context "traceparent" header support (the subset tbsd
+// needs): version 00, format
+//
+//	00-{32 hex trace-id}-{16 hex parent-id}-{2 hex flags}
+//
+// The router starts a trace per proxied request and stamps the header
+// on the outbound copy; the owning node continues the trace ID, so one
+// ingest shows up in both processes' trace rings under one ID.
+
+// FormatTraceparent renders a version-00 traceparent value with the
+// sampled flag set.
+func FormatTraceparent(traceID [16]byte, span [8]byte) string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = hex.AppendEncode(buf, traceID[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, span[:])
+	buf = append(buf, "-01"...)
+	return string(buf)
+}
+
+// ParseTraceparent extracts the trace ID and parent span ID from a
+// traceparent header value. Invalid values — wrong shape, non-hex,
+// version ff, all-zero IDs — report ok=false and the caller starts a
+// fresh trace, per the spec's "restart the trace" guidance.
+func ParseTraceparent(h string) (traceID [16]byte, parent [8]byte, ok bool) {
+	// version "00" is 55 bytes exactly; future versions may append
+	// fields, so accept a longer value when the next byte is a dash.
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return traceID, parent, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return traceID, parent, false
+	}
+	if !isHex(h[:2]) || h[:2] == "ff" {
+		return traceID, parent, false
+	}
+	if _, err := hex.Decode(traceID[:], []byte(h[3:35])); err != nil {
+		return traceID, parent, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(h[36:52])); err != nil {
+		return traceID, parent, false
+	}
+	if !isHex(h[53:55]) {
+		return traceID, parent, false
+	}
+	if traceID == [16]byte{} || parent == [8]byte{} {
+		return traceID, parent, false
+	}
+	return traceID, parent, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}

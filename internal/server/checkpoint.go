@@ -135,7 +135,7 @@ func (s *Server) restoreAll() (int, error) {
 			return restored, err
 		}
 		if replayed > 0 {
-			s.opts.Logf("wal: replayed %d record(s) on top of %d snapshot(s)", replayed, restored)
+			s.opts.Logger.Info("wal: replayed records on top of snapshots", "records", replayed, "snapshots", restored)
 		}
 		// Replayed boundaries may have dispatched retrains to the
 		// background lane; wait them out so journaling can be enabled
@@ -200,7 +200,7 @@ func (s *Server) restoreSnapshots() (int, error) {
 				return restored, fmt.Errorf("server: quarantine %s: %v (original error: %w)", de.Name(), rerr, err)
 			}
 			quarantined++
-			s.opts.Logf("restore: quarantined %s -> %s.corrupt: %v", de.Name(), de.Name(), err)
+			s.opts.Logger.Warn("restore: quarantined corrupt checkpoint", "file", de.Name(), "renamedTo", de.Name()+".corrupt", "err", err)
 			continue
 		}
 		return restored, err
@@ -287,7 +287,7 @@ func (s *Server) entryFromState(st checkpointState) (*entry, error) {
 	// would have done next.
 	for _, b := range st.Queued {
 		if mm := e.model.Load(); mm != nil {
-			mm.onBoundary(e.sampler, b)
+			mm.onBoundary(e.sampler, b, nil)
 		} else {
 			e.sampler.Advance(b)
 		}

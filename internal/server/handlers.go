@@ -8,8 +8,10 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/wal"
 	"repro/tbs"
 )
@@ -40,6 +42,11 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/streams/{key}/adopt", s.handleAdopt)
 	mux.HandleFunc("GET /v1/streams", s.handleList)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The trace ring rides on the main mux (not just the debug listener):
+	// it is bounded, read-only, and the first thing to look at when a
+	// request is slow. Nil-safe — a tracing-disabled server answers with
+	// an empty, disabled listing.
+	mux.HandleFunc("GET /debug/trace/recent", s.opts.Trace.ServeRecent)
 	// Liveness: the process is up and serving HTTP. Always 200 — a node
 	// mid-restore or mid-drain is alive, just not ready.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -86,6 +93,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v)
+}
+
+// respond is writeJSON for traced handlers: the response write is the
+// trace's ack stage, and the trace finishes with the response status.
+// tr may be nil (tracing off, or an untraced early-exit path).
+func respond(tr *obs.Trace, w http.ResponseWriter, status int, v any) {
+	ackStart := time.Now()
+	writeJSON(w, status, v)
+	tr.StageSince(obs.StageAck, ackStart)
+	tr.Finish(status)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -198,10 +215,13 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 		s.handleItemsNDJSON(w, r, key)
 		return
 	}
+	tr := s.opts.Trace.StartFromRequest(r, obs.KindIngest, key)
+	parseStart := time.Now()
 	req, err := decodeIngest(r)
+	tr.StageSince(obs.StageParse, parseStart)
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
-		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		respond(tr, w, status, errorBody(code, err.Error(), extra))
 		return
 	}
 	e, err := s.reg.getOrCreate(key)
@@ -210,13 +230,15 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 		if !errors.Is(err, errTooManyStreams) {
 			status, code = http.StatusInternalServerError, "internal"
 		}
-		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		respond(tr, w, status, errorBody(code, err.Error(), extra))
 		return
 	}
+	appendStart := time.Now()
 	pending, ingested, lsn, err := e.append(req.items, s.opts.MaxPendingItems)
+	tr.StageSince(obs.StageWALAppend, appendStart)
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
-		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		respond(tr, w, status, errorBody(code, err.Error(), extra))
 		return
 	}
 	s.metrics.ObserveIngest(len(req.items))
@@ -228,10 +250,10 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 		"ingested": ingested,
 	}
 	if q := r.URL.Query().Get("advance"); q == "1" || q == "true" {
-		_, batches, _, blsn, err := s.advanceWait(e)
+		_, batches, _, blsn, err := s.advanceWait(e, tr)
 		if err != nil {
 			status, code, extra := s.ingestFailure(err)
-			writeJSON(w, status, errorBody(code, err.Error(), extra))
+			respond(tr, w, status, errorBody(code, err.Error(), extra))
 			return
 		}
 		if blsn > lsn {
@@ -243,11 +265,14 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 	}
 	// The 200 below acknowledges the items (and boundary): group-commit
 	// fsync first, so a crash after the acknowledgement cannot lose them.
-	if err := s.syncWAL(lsn); err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody("wal_unavailable", err.Error(), nil))
+	fsyncStart := time.Now()
+	err = s.syncWAL(lsn)
+	tr.StageSince(obs.StageFsyncWait, fsyncStart)
+	if err != nil {
+		respond(tr, w, http.StatusInternalServerError, errorBody("wal_unavailable", err.Error(), nil))
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	respond(tr, w, http.StatusOK, resp)
 }
 
 // handleAdvance closes the stream's open batch — an explicit batch
@@ -272,17 +297,21 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	n, batches, elapsed, lsn, err := s.advanceWait(e)
+	tr := s.opts.Trace.StartFromRequest(r, obs.KindIngest, key)
+	n, batches, elapsed, lsn, err := s.advanceWait(e, tr)
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
-		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		respond(tr, w, status, errorBody(code, err.Error(), extra))
 		return
 	}
-	if err := s.syncWAL(lsn); err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody("wal_unavailable", err.Error(), nil))
+	fsyncStart := time.Now()
+	err = s.syncWAL(lsn)
+	tr.StageSince(obs.StageFsyncWait, fsyncStart)
+	if err != nil {
+		respond(tr, w, http.StatusInternalServerError, errorBody("wal_unavailable", err.Error(), nil))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	respond(tr, w, http.StatusOK, map[string]any{
 		"key":           key,
 		"batch":         n,
 		"batches":       batches,
@@ -440,4 +469,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		walSt = &st
 	}
 	_ = s.metrics.WriteTo(w, s.reg.count(), s.reg.perShardCounts(), eng, walSt)
+	_ = s.opts.Trace.WriteMetrics(w, "tbsd")
 }

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 	"repro/tbs"
 )
@@ -134,6 +135,7 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr := s.opts.Trace.StartFromRequest(r, obs.KindHandoff, key)
 	// ckptMu serializes the handoff against checkpoint passes and
 	// deletes, exactly like deleteStream: the capture, the tombstone and
 	// the file unlink must not interleave with a pass rewriting the file.
@@ -144,14 +146,18 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		if !s.movedGuard(w, key) {
 			writeError(w, http.StatusNotFound, "unknown stream %q", key)
 		}
+		tr.Finish(http.StatusNotFound)
 		return
 	}
-	if err := e.beginMigration(); err != nil {
+	freezeStart := time.Now()
+	err := e.beginMigration()
+	tr.StageSince(obs.StageFreeze, freezeStart)
+	if err != nil {
 		status, code, extra := s.ingestFailure(err)
 		if errors.Is(err, errStreamMigrating) {
 			status, code = http.StatusConflict, "handoff_in_progress"
 		}
-		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		respond(tr, w, status, errorBody(code, err.Error(), extra))
 		return
 	}
 	success := false
@@ -163,11 +169,12 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 
 	// Drain: every closed-but-unapplied boundary folds into the sampler
 	// before capture, so the envelope reflects all acknowledged work.
+	captureStart := time.Now()
 	s.flushStream(e)
 	st, err := e.captureState()
 	if err != nil {
 		s.metrics.ObserveHandoffOut(false)
-		writeJSON(w, http.StatusInternalServerError, errorBody("handoff_capture", err.Error(), nil))
+		respond(tr, w, http.StatusInternalServerError, errorBody("handoff_capture", err.Error(), nil))
 		return
 	}
 	var tail []wireRecord
@@ -175,29 +182,37 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		recs, err := s.wal.TailForKey(key, st.WalLSN)
 		if err != nil {
 			s.metrics.ObserveHandoffOut(false)
-			writeJSON(w, http.StatusInternalServerError, errorBody("handoff_tail", err.Error(), nil))
+			respond(tr, w, http.StatusInternalServerError, errorBody("handoff_tail", err.Error(), nil))
 			return
 		}
 		tail = toWireRecords(recs)
 	}
 	payload, err := json.Marshal(handoffEnvelope{State: st, Tail: tail, From: s.opts.Advertise})
+	tr.StageSince(obs.StageCapture, captureStart)
 	if err != nil {
 		s.metrics.ObserveHandoffOut(false)
-		writeJSON(w, http.StatusInternalServerError, errorBody("handoff_encode", err.Error(), nil))
+		respond(tr, w, http.StatusInternalServerError, errorBody("handoff_encode", err.Error(), nil))
 		return
 	}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
 		target+"/v1/streams/"+url.PathEscape(key)+"/adopt", bytes.NewReader(payload))
 	if err != nil {
 		s.metrics.ObserveHandoffOut(false)
-		writeJSON(w, http.StatusBadRequest, errorBody("bad_request", err.Error(), nil))
+		respond(tr, w, http.StatusBadRequest, errorBody("bad_request", err.Error(), nil))
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the trace: the target's adopt trace joins this trace ID,
+	// so one migration reads as one trace across both nodes' rings.
+	if tp := tr.Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	shipStart := time.Now()
 	resp, err := handoffClient.Do(req)
+	tr.StageSince(obs.StageShip, shipStart)
 	if err != nil {
 		s.metrics.ObserveHandoffOut(false)
-		writeJSON(w, http.StatusBadGateway, errorBody("target_unreachable",
+		respond(tr, w, http.StatusBadGateway, errorBody("target_unreachable",
 			fmt.Sprintf("shipping stream %q to %s: %v", key, target, err),
 			map[string]any{"target": target}))
 		return
@@ -206,7 +221,7 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	rbody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if resp.StatusCode != http.StatusOK {
 		s.metrics.ObserveHandoffOut(false)
-		writeJSON(w, http.StatusBadGateway, errorBody("handoff_rejected",
+		respond(tr, w, http.StatusBadGateway, errorBody("handoff_rejected",
 			fmt.Sprintf("target %s answered %d: %s", target, resp.StatusCode, strings.TrimSpace(string(rbody))),
 			map[string]any{"target": target, "targetStatus": resp.StatusCode}))
 		return
@@ -218,6 +233,7 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	// at any point leaves either a tombstone that finishes the job on
 	// replay, or the untouched pre-handoff state it supersedes; never a
 	// WAL tail that could resurrect a partial copy of a moved stream.
+	commitStart := time.Now()
 	var lsn uint64
 	var jerr error
 	e.mu.Lock()
@@ -237,9 +253,11 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	}
 	s.moved.Store(key, target)
 	success = true
+	tr.StageSince(obs.StageCommit, commitStart)
 	s.metrics.ObserveHandoffOut(true)
-	s.opts.Logf("handoff: stream %q -> %s (%d items, %d batches, %d tail records)",
-		key, target, st.Ingested, st.Batches, len(tail))
+	s.opts.Logger.Info("handoff: stream shipped",
+		"key", key, "target", target, "items", st.Ingested, "batches", st.Batches,
+		"tailRecords", len(tail), "trace", tr.TraceID())
 	body := map[string]any{
 		"key":         key,
 		"target":      target,
@@ -254,7 +272,7 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		// the source-side cleanup did not; surface it rather than hide it.
 		body["sourceCleanup"] = jerr.Error()
 	}
-	writeJSON(w, http.StatusOK, body)
+	respond(tr, w, http.StatusOK, body)
 }
 
 // handleAdopt is the target side of a stream migration.
@@ -263,19 +281,21 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr := s.opts.Trace.StartFromRequest(r, obs.KindAdopt, key)
+	restoreStart := time.Now()
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxAdoptBytes))
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
-		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		respond(tr, w, status, errorBody(code, err.Error(), extra))
 		return
 	}
 	var env handoffEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody("bad_envelope", err.Error(), nil))
+		respond(tr, w, http.StatusBadRequest, errorBody("bad_envelope", err.Error(), nil))
 		return
 	}
 	if env.State.Key != key {
-		writeJSON(w, http.StatusBadRequest, errorBody("bad_envelope",
+		respond(tr, w, http.StatusBadRequest, errorBody("bad_envelope",
 			fmt.Sprintf("envelope names key %q, URL names %q", env.State.Key, key), nil))
 		return
 	}
@@ -283,26 +303,28 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	// different scheme would silently mix sampling semantics.
 	info, err := tbs.Lookup(s.opts.Sampler.Scheme)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody("internal", err.Error(), nil))
+		respond(tr, w, http.StatusInternalServerError, errorBody("internal", err.Error(), nil))
 		return
 	}
 	if env.State.Snapshot.Scheme != info.Name {
-		writeJSON(w, http.StatusConflict, errorBody("scheme_mismatch",
+		respond(tr, w, http.StatusConflict, errorBody("scheme_mismatch",
 			fmt.Sprintf("envelope holds scheme %q, this node runs %q", env.State.Snapshot.Scheme, info.Name),
 			map[string]any{"envelopeScheme": env.State.Snapshot.Scheme, "nodeScheme": info.Name}))
 		return
 	}
 	e, err := s.entryFromState(env.State)
+	tr.StageSince(obs.StageRestore, restoreStart)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody("bad_envelope", err.Error(), nil))
+		respond(tr, w, http.StatusBadRequest, errorBody("bad_envelope", err.Error(), nil))
 		return
 	}
 	// Replay the source's WAL tail through the boot-replay code. The
 	// entry's wal is still nil, so nothing is re-journaled; source LSNs
 	// were stripped at export (the records apply in slice order).
+	replayStart := time.Now()
 	for i, wr := range env.Tail {
 		if err := s.applyReplayRecord(e, wr.toRecord(key)); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody("bad_envelope",
+			respond(tr, w, http.StatusBadRequest, errorBody("bad_envelope",
 				fmt.Sprintf("tail record %d: %v", i, err), nil))
 			return
 		}
@@ -312,6 +334,7 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	if mm := e.model.Load(); mm != nil {
 		mm.waitIdle()
 	}
+	tr.StageSince(obs.StageReplay, replayStart)
 	// Rebase the LSN bookkeeping into this node's WAL space: everything
 	// adopted is captured in the entry state, not in the local log, so
 	// boot replay must skip every local record at or below this point —
@@ -329,10 +352,11 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	// the source's copy already tombstoned.
 	e.migrating = true
 	if err := s.reg.insertRestored(e); err != nil {
-		writeJSON(w, http.StatusConflict, errorBody("stream_exists",
+		respond(tr, w, http.StatusConflict, errorBody("stream_exists",
 			fmt.Sprintf("stream %q already exists on this node", key), nil))
 		return
 	}
+	persistStart := time.Now()
 	if dir := s.opts.CheckpointDir; dir != "" {
 		st, err := e.captureState()
 		if err == nil {
@@ -344,7 +368,7 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 			// is safe — it was frozen, nothing was acknowledged.
 			s.reg.remove(key)
 			s.metrics.ObserveHandoffOut(false)
-			writeJSON(w, http.StatusServiceUnavailable, errorBody("adopt_persist_failed", err.Error(), nil))
+			respond(tr, w, http.StatusServiceUnavailable, errorBody("adopt_persist_failed", err.Error(), nil))
 			return
 		}
 	}
@@ -353,12 +377,14 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	e.wal = s.wal
 	e.migrating = false
 	e.mu.Unlock()
+	tr.StageSince(obs.StagePersist, persistStart)
 	s.moved.Delete(key)
 	s.metrics.ObserveHandoffIn()
 	pending, ingested, batches := e.counters()
-	s.opts.Logf("adopt: stream %q from %s (%d items, %d batches, %d tail records)",
-		key, env.From, ingested, batches, len(env.Tail))
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.opts.Logger.Info("adopt: stream adopted",
+		"key", key, "from", env.From, "items", ingested, "batches", batches,
+		"tailRecords", len(env.Tail), "trace", tr.TraceID())
+	respond(tr, w, http.StatusOK, map[string]any{
 		"key":          key,
 		"adopted":      true,
 		"from":         env.From,

@@ -3,7 +3,6 @@ package server
 import (
 	"fmt"
 	"io"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,47 +10,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/wal"
 )
-
-// latencyRingSize bounds the window the latency quantiles are computed
-// over; the Welford mean covers the full history.
-const latencyRingSize = 512
-
-// latencyStats tracks a latency distribution: all-time mean/std via a
-// Welford accumulator and p50/p95/p99 over a ring of recent observations.
-// It carries its own mutex so the two distributions (advance, checkpoint)
-// never contend with each other or with the counter hot path.
-type latencyStats struct {
-	mu     sync.Mutex
-	w      metrics.Welford
-	ring   [latencyRingSize]float64
-	next   int
-	filled bool
-}
-
-func (l *latencyStats) observe(d time.Duration) {
-	s := d.Seconds()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.w.Add(s)
-	l.ring[l.next] = s
-	l.next++
-	if l.next == len(l.ring) {
-		l.next = 0
-		l.filled = true
-	}
-}
-
-// snapshot returns the accumulator and a copy of the recent window.
-func (l *latencyStats) snapshot() (w metrics.Welford, window []float64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.filled {
-		window = append(window, l.ring[:]...)
-	} else {
-		window = append(window, l.ring[:l.next]...)
-	}
-	return l.w, window
-}
 
 // Metrics aggregates the server's observability counters. Counts are
 // atomics so the ingest/advance hot paths never share a lock — the
@@ -63,12 +21,15 @@ type Metrics struct {
 
 	advances      atomic.Uint64
 	advancedItems atomic.Uint64
-	advanceLat    latencyStats
+	// advanceLat/checkpointLat quantiles cover a rotating time window
+	// (metrics.LatencyStats), not all history — after a burst subsides the
+	// p99 drains back down instead of being pinned by it forever.
+	advanceLat metrics.LatencyStats
 
 	checkpoints        atomic.Uint64
 	checkpointErrors   atomic.Uint64
 	checkpointedKeys   atomic.Uint64
-	checkpointLat      latencyStats
+	checkpointLat      metrics.LatencyStats
 	lastCheckpointUnix atomic.Int64
 	restoredStreams    atomic.Int64
 
@@ -149,14 +110,14 @@ func (m *Metrics) ObserveIngest(n int) {
 func (m *Metrics) ObserveAdvance(n int, d time.Duration) {
 	m.advances.Add(1)
 	m.advancedItems.Add(uint64(n))
-	m.advanceLat.observe(d)
+	m.advanceLat.Observe(d)
 }
 
 // ObserveCheckpoint records one full checkpoint pass over keys streams.
 func (m *Metrics) ObserveCheckpoint(keys int, d time.Duration, err error) {
 	m.checkpoints.Add(1)
 	m.checkpointedKeys.Add(uint64(keys))
-	m.checkpointLat.observe(d)
+	m.checkpointLat.Observe(d)
 	m.lastCheckpointUnix.Store(time.Now().Unix())
 	if err != nil {
 		m.checkpointErrors.Add(1)
@@ -166,18 +127,6 @@ func (m *Metrics) ObserveCheckpoint(keys int, d time.Duration, err error) {
 // SetRestored records how many streams boot-time restore brought back.
 func (m *Metrics) SetRestored(n int) {
 	m.restoredStreams.Store(int64(n))
-}
-
-// quantileOrZero is Quantile over a possibly-empty window.
-func quantileOrZero(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	v, err := metrics.Quantile(xs, q)
-	if err != nil {
-		return 0
-	}
-	return v
 }
 
 // WriteTo renders the counters in Prometheus text format. Registry-shape
@@ -196,14 +145,14 @@ func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats, walSt *
 	line := func(format string, args ...any) {
 		b = fmt.Appendf(b, format+"\n", args...)
 	}
-	lat := func(name string, l *latencyStats) {
-		w, win := l.snapshot()
+	lat := func(name string, l *metrics.LatencyStats) {
+		w, win := l.Snapshot()
 		line("%s_count %d", name, w.N())
 		line("%s{stat=%q} %g", name, "mean", w.Mean())
 		line("%s{stat=%q} %g", name, "std", w.Std())
-		line("%s{stat=%q} %g", name, "p50", quantileOrZero(win, 0.50))
-		line("%s{stat=%q} %g", name, "p95", quantileOrZero(win, 0.95))
-		line("%s{stat=%q} %g", name, "p99", quantileOrZero(win, 0.99))
+		line("%s{stat=%q} %g", name, "p50", metrics.QuantileOrZero(win, 0.50))
+		line("%s{stat=%q} %g", name, "p95", metrics.QuantileOrZero(win, 0.95))
+		line("%s{stat=%q} %g", name, "p99", metrics.QuantileOrZero(win, 0.99))
 	}
 
 	line("tbsd_ready %d", boolGauge(m.ready.Load()))
@@ -244,6 +193,9 @@ func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats, walSt *
 		line("tbsd_engine_backpressure_total %d", eng.Blocked)
 		for i, d := range eng.Depths {
 			line("tbsd_engine_queue_depth{worker=%q} %d", fmt.Sprint(i), d)
+		}
+		for i, d := range eng.DepthHWM {
+			line("tbsd_engine_queue_depth_hwm{worker=%q} %d", fmt.Sprint(i), d)
 		}
 		if eng.BackgroundWorkers > 0 {
 			line("tbsd_engine_background_workers %d", eng.BackgroundWorkers)

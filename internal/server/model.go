@@ -9,9 +9,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/manage"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/tbs"
 )
 
@@ -440,11 +442,18 @@ func (mm *managedModel) score(batch []Item) float64 {
 // whole step is atomic with respect to checkpoints — a checkpoint can
 // never observe the sampler advanced past a boundary whose policy
 // decision it has not yet captured.
-func (mm *managedModel) onBoundary(sampler *tbs.Concurrent[Item], batch []Item) {
+// onBoundary owns btr, the boundary trace (nil when tracing is off): it
+// records the score and policy stages and finishes the trace — unless a
+// retrain fires, in which case trainAndSwap finishes it after recording
+// the retrain and swap stages.
+func (mm *managedModel) onBoundary(sampler *tbs.Concurrent[Item], batch []Item, btr *obs.Trace) {
 	mm.waitIdle()
+	scoreStart := time.Now()
 	errScore := mm.score(batch)
+	btr.StageSince(obs.StageScore, scoreStart)
 	sampler.Advance(batch)
 
+	policyStart := time.Now()
 	mm.mu.Lock()
 	mm.t++
 	mm.staleness++
@@ -471,12 +480,15 @@ func (mm *managedModel) onBoundary(sampler *tbs.Concurrent[Item], batch []Item) 
 		mm.inFlight = true
 	}
 	mm.mu.Unlock()
+	btr.StageSince(obs.StagePolicy, policyStart)
 
 	if fire {
-		job := func() { mm.trainAndSwap(snap) }
+		job := func() { mm.trainAndSwap(snap, btr) }
 		if mm.runBg == nil || mm.runBg(job) != nil {
 			job()
 		}
+	} else {
+		btr.Finish(0)
 	}
 }
 
@@ -484,10 +496,12 @@ func (mm *managedModel) onBoundary(sampler *tbs.Concurrent[Item], batch []Item) 
 // atomically deploys it; a failed training keeps the previous model
 // (manage.Manager semantics). Runs on the background lane — or inline
 // when the lane is absent or draining.
-func (mm *managedModel) trainAndSwap(snap []Item) {
+func (mm *managedModel) trainAndSwap(snap []Item, btr *obs.Trace) {
+	trainStart := time.Now()
 	model, err := trainModel(mm.spec, snap)
+	btr.StageSince(obs.StageRetrain, trainStart)
+	swapStart := time.Now()
 	mm.mu.Lock()
-	defer mm.mu.Unlock()
 	if err != nil {
 		mm.trainFailures++
 		mm.lastTrainErr = err.Error()
@@ -507,6 +521,13 @@ func (mm *managedModel) trainAndSwap(snap []Item) {
 	}
 	mm.inFlight = false
 	mm.cond.Broadcast()
+	mm.mu.Unlock()
+	btr.StageSince(obs.StageSwap, swapStart)
+	status := 0
+	if err != nil {
+		status = 1
+	}
+	btr.Finish(status)
 }
 
 // modelStats is the JSON shape of GET …/model/stats and of the stats

@@ -10,6 +10,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the wire-decode stage of the sharded ingest pipeline:
@@ -124,13 +127,14 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 	}
 	finalAdvance := q.Get("advance") == "1" || q.Get("advance") == "true"
 
+	tr := s.opts.Trace.StartFromRequest(r, obs.KindIngest, key)
 	e, err := s.reg.getOrCreate(key)
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
 		if !errors.Is(err, errTooManyStreams) {
 			status, code = http.StatusInternalServerError, "internal"
 		}
-		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		respond(tr, w, status, errorBody(code, err.Error(), extra))
 		return
 	}
 
@@ -156,13 +160,20 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 	if boundaryEvery > 0 && boundaryEvery < chunkSize {
 		chunkSize = boundaryEvery
 	}
+	// Stage attribution is chunk-grained, never per-line: a time.Now()
+	// pair per line would cost more than the decode itself. Parse time is
+	// the decode loop's total minus what went to appends and boundaries.
+	loopStart := time.Now()
+	var appendDur, enqDur time.Duration
 	appendChunk := func() error {
 		if len(sc.batch) == 0 {
 			return nil
 		}
 		var err error
 		var lsn uint64
+		t0 := time.Now()
 		pending, ingested, lsn, err = e.append(sc.batch, s.opts.MaxPendingItems)
+		appendDur += time.Since(t0)
 		if err != nil {
 			return err
 		}
@@ -174,13 +185,28 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 		sc.batch = sc.batch[:0]
 		return nil
 	}
+	stagesDone := false
+	recordStages := func() {
+		if stagesDone {
+			return // fail() after the loop must not double-count
+		}
+		stagesDone = true
+		tr.StageDur(obs.StageWALAppend, loopStart, appendDur)
+		if enqDur > 0 {
+			tr.StageDur(obs.StageEnqueue, loopStart, enqDur)
+		}
+		tr.StageDur(obs.StageParse, loopStart, time.Since(loopStart)-appendDur-enqDur)
+	}
 	fail := func(err error, msg string) {
 		s.metrics.ObserveIngest(added)
+		recordStages()
 		// The error body reports `added` accepted items — an
 		// acknowledgement like any other, so their journal records are
 		// made durable too (best-effort: the primary error wins the
 		// response either way).
+		fsyncStart := time.Now()
 		_ = s.syncWAL(maxLSN)
+		tr.StageSince(obs.StageFsyncWait, fsyncStart)
 		status, code, extra := s.ingestFailure(err)
 		if extra == nil {
 			extra = map[string]any{}
@@ -190,7 +216,7 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 		if msg == "" {
 			msg = err.Error()
 		}
-		writeJSON(w, status, errorBody(code, msg, extra))
+		respond(tr, w, status, errorBody(code, msg, extra))
 	}
 
 	for {
@@ -218,9 +244,14 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 					// Pipelined batch boundary: the shard worker applies it
 					// while we keep decoding the rest of the body. Its
 					// journal record rides the final group-commit sync.
-					if lsn := s.advanceAsync(e); lsn > maxLSN {
+					// advanceAsync gets a nil trace — its boundary child
+					// traces would each want tr concurrently with this
+					// loop; the enqueue time is accumulated here instead.
+					t0 := time.Now()
+					if lsn := s.advanceAsync(e, nil); lsn > maxLSN {
 						maxLSN = lsn
 					}
+					enqDur += time.Since(t0)
 					boundaries++
 					sinceAdv = 0
 					pending = 0
@@ -236,6 +267,7 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 		return
 	}
 	s.metrics.ObserveIngest(added)
+	recordStages()
 	if added == 0 {
 		// No append touched the counters; report the stream's real state.
 		pending, ingested, _ = e.counters()
@@ -248,7 +280,7 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 		"ingested": ingested,
 	}
 	if finalAdvance {
-		_, batches, _, lsn, aerr := s.advanceWait(e)
+		_, batches, _, lsn, aerr := s.advanceWait(e, tr)
 		if aerr != nil {
 			fail(aerr, "")
 			return
@@ -267,9 +299,12 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 	// One durability wait acknowledges the whole request: every chunk and
 	// boundary journaled above is covered by a sync to the newest LSN
 	// (group commit amortizes the fsyncs across concurrent requests).
-	if err := s.syncWAL(maxLSN); err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody("wal_unavailable", err.Error(), nil))
+	fsyncStart := time.Now()
+	err = s.syncWAL(maxLSN)
+	tr.StageSince(obs.StageFsyncWait, fsyncStart)
+	if err != nil {
+		respond(tr, w, http.StatusInternalServerError, errorBody("wal_unavailable", err.Error(), nil))
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	respond(tr, w, http.StatusOK, resp)
 }

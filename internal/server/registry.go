@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 	"repro/tbs"
 )
@@ -234,7 +235,7 @@ func (e *entry) advance() (batchLen int, batches uint64, elapsed time.Duration) 
 	if !ok {
 		return 0, 0, 0
 	}
-	return e.applyBatch(batch)
+	return e.applyBatch(batch, nil)
 }
 
 // applyBatch folds a closed batch into the sampler, advancing the decay
@@ -242,7 +243,12 @@ func (e *entry) advance() (batchLen int, batches uint64, elapsed time.Duration) 
 // how long the sampler update took. It runs on an engine shard worker (or
 // inline when the engine is disabled); per-stream ordering is guaranteed
 // by the engine's key-affine FIFO mailboxes.
-func (e *entry) applyBatch(batch []Item) (batchLen int, batches uint64, elapsed time.Duration) {
+//
+// applyBatch owns btr, the boundary trace opened at closeBatch (nil when
+// tracing is off): model-less streams finish it here, model-managed
+// streams hand it to onBoundary, which finishes it — possibly on the
+// background retrain lane.
+func (e *entry) applyBatch(batch []Item, btr *obs.Trace) (batchLen int, batches uint64, elapsed time.Duration) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	start := time.Now()
@@ -251,9 +257,10 @@ func (e *entry) applyBatch(batch []Item) (batchLen int, batches uint64, elapsed 
 		// deployed model on the batch first (the paper predicts each
 		// incoming batch with the model trained on data up to t−1), then
 		// fold the batch in and let the policy decide about retraining.
-		mm.onBoundary(e.sampler, batch)
+		mm.onBoundary(e.sampler, batch, btr)
 	} else {
 		e.sampler.Advance(batch)
+		btr.Finish(0)
 	}
 	elapsed = time.Since(start)
 	// Retire the boundary from the in-flight ledger. Batches apply in

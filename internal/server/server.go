@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/wal"
 	"repro/tbs"
 )
@@ -100,8 +102,17 @@ type Options struct {
 	// strands an existing checkpoint directory.
 	MaxStreams int
 
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives operational log lines; nil discards them. Request
+	// lines (one per traced request, at debug level) come from Trace's
+	// logger, not this one, so the two can be split.
+	Logger *slog.Logger
+
+	// Trace, when non-nil, enables span tracing: per-request ingest
+	// traces and per-stream batch-boundary traces flow into its ring
+	// buffer (GET /debug/trace/recent) and its stage histograms are
+	// merged into GET /metrics. Nil disables tracing entirely — every
+	// record call is a nil-receiver no-op.
+	Trace *obs.Tracer
 }
 
 func (o *Options) setDefaults() {
@@ -132,8 +143,8 @@ func (o *Options) setDefaults() {
 	if o.MaxStreams == 0 {
 		o.MaxStreams = 1 << 16
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 }
 
@@ -224,8 +235,8 @@ func New(opts Options) (*Server, error) {
 		// the lambda/n they were checkpointed with even if the server's
 		// flags changed — worth a log line, since only a scheme mismatch
 		// fails boot loudly.
-		s.opts.Logf("restored %d stream(s) from %s (restored streams keep their checkpointed parameters)",
-			restored, opts.CheckpointDir)
+		s.opts.Logger.Info("restored streams from checkpoint directory (restored streams keep their checkpointed parameters)",
+			"streams", restored, "dir", opts.CheckpointDir)
 	}
 	s.mux = s.buildMux()
 	return s, nil
@@ -312,10 +323,12 @@ func (s *Server) Stop(ctx context.Context) error {
 
 // submitApply hands a closed batch to the engine worker owning the stream
 // (inline when the engine is disabled or closing). The caller must hold
-// e.advMu so close order equals submission order.
-func (s *Server) submitApply(e *entry, batch []Item) {
+// e.advMu so close order equals submission order. btr is the boundary
+// trace for this batch (nil when tracing is off); applyBatch takes
+// ownership of it.
+func (s *Server) submitApply(e *entry, batch []Item, btr *obs.Trace) {
 	apply := func() {
-		n, _, elapsed := e.applyBatch(batch)
+		n, _, elapsed := e.applyBatch(batch, btr)
 		s.metrics.ObserveAdvance(n, elapsed)
 	}
 	if s.eng == nil || s.eng.Submit(e.key, apply) != nil {
@@ -330,15 +343,24 @@ func (s *Server) submitApply(e *entry, batch []Item) {
 // caller acknowledging the boundary must wal-sync it first. A stream
 // frozen for a handoff is silently skipped (lsn 0) — the ticker must not
 // stall, and the boundary will happen on the stream's new owner.
-func (s *Server) advanceAsync(e *entry) uint64 {
+//
+// tr, when non-nil, is the ingest trace that ordered this boundary; the
+// boundary gets its own child trace under the same trace ID, and the
+// close+submit time is charged to the ingest trace's engine_enqueue
+// stage.
+func (s *Server) advanceAsync(e *entry, tr *obs.Trace) uint64 {
 	e.advMu.Lock()
 	defer e.advMu.Unlock()
+	enqStart := time.Now()
 	batch, ok, lsn, jerr := e.closeBatch()
 	if !ok {
 		return 0
 	}
 	s.noteJournalErr(jerr)
-	s.submitApply(e, batch)
+	btr := s.opts.Trace.StartChild(tr, obs.KindBoundary, e.key)
+	btr.StageSince(obs.StageCloseBatch, enqStart)
+	s.submitApply(e, batch, btr)
+	tr.StageSince(obs.StageEnqueue, enqStart)
 	return lsn
 }
 
@@ -349,25 +371,41 @@ func (s *Server) advanceAsync(e *entry) uint64 {
 // errStreamMigrating when the stream is frozen for a handoff: the
 // boundary did NOT happen and the caller must report the failure rather
 // than acknowledge it.
-func (s *Server) advanceWait(e *entry) (n int, batches uint64, elapsed time.Duration, lsn uint64, err error) {
+func (s *Server) advanceWait(e *entry, tr *obs.Trace) (n int, batches uint64, elapsed time.Duration, lsn uint64, err error) {
 	done := make(chan struct{})
 	e.advMu.Lock()
+	enqStart := time.Now()
 	batch, ok, lsn, jerr := e.closeBatch()
 	if !ok {
 		e.advMu.Unlock()
 		return 0, 0, 0, 0, jerr
 	}
 	s.noteJournalErr(jerr)
+	btr := s.opts.Trace.StartChild(tr, obs.KindBoundary, e.key)
+	btr.StageSince(obs.StageCloseBatch, enqStart)
+	// The apply closure may run on an engine worker while this goroutine
+	// is still recording the enqueue stage, so it must not touch tr
+	// itself: it captures the apply window into locals and the done-
+	// channel close publishes them back here for recording.
+	var applyStart time.Time
+	var applyDur time.Duration
 	apply := func() {
-		n, batches, elapsed = e.applyBatch(batch)
+		applyStart = time.Now()
+		n, batches, elapsed = e.applyBatch(batch, btr)
+		applyDur = time.Since(applyStart)
 		s.metrics.ObserveAdvance(n, elapsed)
 		close(done)
 	}
-	if s.eng == nil || s.eng.Submit(e.key, apply) != nil {
+	inline := s.eng == nil || s.eng.Submit(e.key, apply) != nil
+	if !inline {
+		tr.StageSince(obs.StageEnqueue, enqStart)
+	}
+	if inline {
 		apply()
 	}
 	e.advMu.Unlock()
 	<-done
+	tr.StageDur(obs.StageApply, applyStart, applyDur)
 	return n, batches, elapsed, lsn, nil
 }
 
@@ -395,7 +433,7 @@ func (s *Server) runBackground(fn func()) error {
 // one slow stream no longer serializes the whole pass.
 func (s *Server) AdvanceAll() {
 	for _, e := range s.reg.all() {
-		s.advanceAsync(e)
+		s.advanceAsync(e, nil)
 	}
 	if s.eng != nil {
 		s.eng.FlushAll()
@@ -421,8 +459,8 @@ func (s *Server) runTicker() {
 		case now := <-t.C:
 			if skipped := tickerSkips(last, now, s.opts.BatchInterval); skipped > 0 {
 				s.metrics.ObserveTickerLag(skipped)
-				s.opts.Logf("ticker: batch-time clock lagged %v behind the %v interval; %d tick(s) coalesced",
-					now.Sub(last)-s.opts.BatchInterval, s.opts.BatchInterval, skipped)
+				s.opts.Logger.Warn("ticker: batch-time clock lagged behind interval; ticks coalesced",
+					"lag", now.Sub(last)-s.opts.BatchInterval, "interval", s.opts.BatchInterval, "skipped", skipped)
 			}
 			last = now
 			s.AdvanceAll()
@@ -454,7 +492,7 @@ func (s *Server) runCheckpointer() {
 			return
 		case <-t.C:
 			if err := s.checkpointAll(); err != nil {
-				s.opts.Logf("checkpoint: %v", err)
+				s.opts.Logger.Error("checkpoint pass failed", "err", err)
 			}
 		}
 	}

@@ -43,7 +43,7 @@ func (s *Server) syncWAL(lsn uint64) error {
 // already counted by the log's stats and would only spam.
 func (s *Server) noteJournalErr(err error) {
 	if err != nil && !errors.Is(err, wal.ErrPoisoned) {
-		s.opts.Logf("wal: journal batch boundary: %v (journaling stops; checkpointer remains the durability backstop)", err)
+		s.opts.Logger.Error("wal: journal batch boundary failed (journaling stops; checkpointer remains the durability backstop)", "err", err)
 	}
 }
 
@@ -66,9 +66,9 @@ func (s *Server) compactWAL() {
 	}
 	removed, err := s.wal.TruncateBefore(min + 1)
 	if err != nil {
-		s.opts.Logf("wal: truncate: %v", err)
+		s.opts.Logger.Error("wal: truncate failed", "err", err)
 	} else if removed > 0 {
-		s.opts.Logf("wal: compacted %d sealed segment(s) below LSN %d", removed, min+1)
+		s.opts.Logger.Info("wal: compacted sealed segments", "segments", removed, "belowLSN", min+1)
 	}
 }
 

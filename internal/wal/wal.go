@@ -56,10 +56,9 @@ const (
 var ErrPoisoned = errors.New("wal: log poisoned by an earlier write error")
 
 const (
-	segmentSuffix               = ".wal"
-	defaultSegmentBytes         = 64 << 20
-	fsyncLatencyRingSize        = 512
-	firstLSN             uint64 = 1
+	segmentSuffix              = ".wal"
+	defaultSegmentBytes        = 64 << 20
+	firstLSN            uint64 = 1
 )
 
 // Options configures Open.
@@ -147,9 +146,7 @@ type Log struct {
 	appendErrors uint64
 	truncated    uint64
 	fsyncW       metrics.Welford
-	fsyncRing    [fsyncLatencyRingSize]float64
-	fsyncNext    int
-	fsyncFilled  bool
+	fsyncWin     *metrics.RotatingWindow // recent fsync latencies (under syncMu)
 }
 
 // Open scans dir, truncates any torn tail off the newest segment, and
@@ -168,6 +165,7 @@ func Open(opts Options) (*Log, error) {
 	}
 	l := &Log{opts: opts, segments: segs, nextLSN: firstLSN}
 	l.cond = sync.NewCond(&l.syncMu)
+	l.fsyncWin = metrics.NewRotatingWindow(0, 0)
 	if len(segs) == 0 {
 		if err := l.openSegment(firstLSN); err != nil {
 			return nil, err
@@ -541,12 +539,7 @@ func (l *Log) observeFsync(d time.Duration, upto uint64) {
 	l.fsyncs++
 	s := d.Seconds()
 	l.fsyncW.Add(s)
-	l.fsyncRing[l.fsyncNext] = s
-	l.fsyncNext++
-	if l.fsyncNext == len(l.fsyncRing) {
-		l.fsyncNext = 0
-		l.fsyncFilled = true
-	}
+	l.fsyncWin.Add(time.Now(), s)
 	if upto > l.synced {
 		l.synced = upto
 	}
@@ -694,11 +687,9 @@ func (l *Log) Stats() Stats {
 	st.FsyncCount = l.fsyncW.N()
 	st.FsyncMean = l.fsyncW.Mean()
 	st.FsyncStd = l.fsyncW.Std()
-	window := l.fsyncRing[:l.fsyncNext]
-	if l.fsyncFilled {
-		window = l.fsyncRing[:]
-	}
-	win := append([]float64(nil), window...)
+	// Quantiles cover a rotating recent window, not process lifetime —
+	// a disk that got slow shows up in p99 within a window interval.
+	win := l.fsyncWin.AppendSnapshot(time.Now(), nil)
 	l.syncMu.Unlock()
 	q := func(p float64) float64 {
 		if len(win) == 0 {
