@@ -22,11 +22,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
+// minRateFlags collects repeatable -min-rate 'row=items/sec' absolute
+// throughput floors.
+type minRateFlags map[string]float64
+
+func (m minRateFlags) String() string { return fmt.Sprint(map[string]float64(m)) }
+
+func (m minRateFlags) Set(v string) error {
+	row, rate, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want 'row=items/sec', got %q", v)
+	}
+	f, err := strconv.ParseFloat(strings.ReplaceAll(rate, ",", ""), 64)
+	if err != nil || f <= 0 {
+		return fmt.Errorf("bad rate in %q", v)
+	}
+	m[row] = f
+	return nil
+}
+
 func main() {
+	minRates := minRateFlags{}
 	var (
 		baseline = flag.String("baseline", "BENCH_ingest.json", "committed tbsbench -json baseline")
 		current  = flag.String("current", "", "freshly measured tbsbench -json result")
@@ -35,7 +57,11 @@ func main() {
 		ovBase   = flag.String("overhead-base", "", "within-run gate: baseline row label (e.g. 'http NDJSON engine')")
 		ovRow    = flag.String("overhead-row", "", "within-run gate: instrumented row label (e.g. 'http NDJSON engine+trace')")
 		maxOv    = flag.Float64("max-overhead", 0.05, "tolerated fractional items/sec drop of -overhead-row vs -overhead-base within the current run")
+		ratBase  = flag.String("ratio-base", "", "within-run speedup gate: denominator row label (e.g. 'ndjson fast-path')")
+		ratRow   = flag.String("ratio-row", "", "within-run speedup gate: numerator row label (e.g. 'x-tbs-bin')")
+		minRatio = flag.Float64("min-ratio", 2.0, "required items/sec factor of -ratio-row over -ratio-base within the current run")
 	)
+	flag.Var(minRates, "min-rate", "absolute floor 'row=items/sec' on the current run (repeatable)")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: need -current <tbsbench -json output>")
@@ -56,6 +82,29 @@ func main() {
 		// the moment, so the tolerance can be far tighter than the
 		// cross-machine baseline gate above.
 		lines, err := experiments.CompareRowOverhead(*current, *id, *ovBase, *ovRow, *maxOv)
+		for _, line := range lines {
+			fmt.Println(line)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if len(minRates) > 0 {
+		// Absolute floors encode frozen acceptance targets (e.g. the
+		// fast-path NDJSON row must stay ≥ 5× the PR 7 NDJSON baseline)
+		// even after the committed bench file is refreshed past them.
+		lines, err := experiments.RequireMinRates(*current, *id, minRates)
+		for _, line := range lines {
+			fmt.Println(line)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *ratRow != "" && *ratBase != "" {
+		lines, err := experiments.RequireRowFactor(*current, *id, *ratBase, *ratRow, *minRatio)
 		for _, line := range lines {
 			fmt.Println(line)
 		}

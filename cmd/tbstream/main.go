@@ -23,6 +23,9 @@
 //	-checkpoint   checkpoint file: restored on start if it exists, saved on
 //	              EOF and on SIGINT/SIGTERM, so a restarted pipeline resumes
 //	              the exact same stochastic process
+//	-emit-bin     emit N one-float rows as application/x-tbs-bin frames to
+//	              stdout and exit — a generator for smoke-testing the
+//	              binary ingest path from shell scripts
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 	"syscall"
 
 	"repro/internal/atomicfile"
+	"repro/internal/wire"
 	"repro/tbs"
 )
 
@@ -53,8 +57,16 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "RNG seed")
 		stats      = flag.Bool("stats", false, "print weight bookkeeping to stderr")
 		checkpoint = flag.String("checkpoint", "", "checkpoint file (restore on start, save on exit)")
+		emitBin    = flag.Int("emit-bin", 0, "emit N one-float rows as application/x-tbs-bin frames to stdout and exit")
 	)
 	flag.Parse()
+
+	if *emitBin > 0 {
+		if err := emitBinFrames(os.Stdout, *emitBin); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	if *schemes {
 		for _, s := range tbs.Schemes() {
@@ -281,4 +293,26 @@ func fatalf(format string, args ...any) {
 func usagef(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "tbstream: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// emitBinFrames writes n one-float value rows as x-tbs-bin frames of up
+// to 512 rows each — a shell-scriptable generator for smoke-testing the
+// binary ingest path (`tbstream -emit-bin 500 | curl --data-binary @-`).
+func emitBinFrames(w io.Writer, n int) error {
+	const rowsPerFrame = 512
+	var buf []byte
+	rows := make([][]float64, 0, rowsPerFrame)
+	vals := make([]float64, n)
+	for i := 0; i < n; i += rowsPerFrame {
+		rows = rows[:0]
+		for j := i; j < min(i+rowsPerFrame, n); j++ {
+			vals[j] = float64((j*7919)%200000-100000) / 1000
+			rows = append(rows, vals[j:j+1])
+		}
+		buf = wire.AppendFrame(buf[:0], rows)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }

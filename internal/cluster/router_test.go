@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // echoNode is a fake tbsd node: it records every request body it sees
@@ -21,11 +24,12 @@ type echoNode struct {
 
 	mu     sync.Mutex
 	bodies map[string][]byte // method+path -> last body
+	ctypes map[string]string // method+path -> last Content-Type
 }
 
 func newEchoNode(t *testing.T, name string) *echoNode {
 	t.Helper()
-	n := &echoNode{name: name, bodies: make(map[string][]byte)}
+	n := &echoNode{name: name, bodies: make(map[string][]byte), ctypes: make(map[string]string)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -37,6 +41,7 @@ func newEchoNode(t *testing.T, name string) *echoNode {
 		body, _ := io.ReadAll(r.Body)
 		n.mu.Lock()
 		n.bodies[r.Method+" "+r.URL.RequestURI()] = body
+		n.ctypes[r.Method+" "+r.URL.RequestURI()] = r.Header.Get("Content-Type")
 		n.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]any{"node": name, "path": r.URL.Path})
 	})
@@ -161,6 +166,49 @@ func TestRouterStreamsNDJSON(t *testing.T) {
 	}
 	if string(got) != body {
 		t.Fatalf("NDJSON body corrupted in transit: %d bytes arrived, %d sent", len(got), len(body))
+	}
+}
+
+// TestRouterForwardsBinaryUninspected: an x-tbs-bin frame body — CRC
+// framing, bytes outside ASCII, embedded zeros — reaches the key's owner
+// byte-for-byte with its Content-Type intact. The router must never
+// sniff, decode, or re-encode ingest bodies; binary clients depend on it.
+func TestRouterForwardsBinaryUninspected(t *testing.T) {
+	c := newTestCluster(t)
+	rows := make([][]float64, 300)
+	for i := range rows {
+		rows[i] = []float64{float64(i) / 8, -float64(i * 3)}
+	}
+	body := wire.AppendFrame(nil, rows[:128])
+	body = wire.AppendFrame(body, rows[128:])
+	key := "bin-stream"
+	owner := c.ring.Owner(key).Name
+	req, err := http.NewRequest(http.MethodPost, c.ts.URL+"/v1/streams/"+key+"/items?batch=128", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.BinContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	uri := "POST /v1/streams/" + key + "/items?batch=128"
+	got, ok := c.nodes[owner].body(uri)
+	if !ok {
+		t.Fatalf("owner %s never saw the binary ingest", owner)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("binary body corrupted in transit: %d bytes arrived, %d sent", len(got), len(body))
+	}
+	c.nodes[owner].mu.Lock()
+	ct := c.nodes[owner].ctypes[uri]
+	c.nodes[owner].mu.Unlock()
+	if ct != wire.BinContentType {
+		t.Fatalf("Content-Type arrived as %q, want %q", ct, wire.BinContentType)
 	}
 }
 

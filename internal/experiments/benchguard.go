@@ -185,6 +185,79 @@ func CompareRowOverhead(currentPath, id, baseRow, overheadRow string, maxOverhea
 	return []string{line + "  ok"}, nil
 }
 
+// RequireMinRates enforces absolute items/sec floors on rows of the
+// current run — the form a "≥ N× the frozen PR-N baseline" acceptance
+// gate takes once the committed bench file has itself been refreshed
+// past that baseline. No noise-floor skip applies: a row carrying an
+// absolute floor must be sized to measure reliably.
+func RequireMinRates(currentPath, id string, mins map[string]float64) ([]string, error) {
+	rates, err := benchRates(currentPath, id)
+	if err != nil {
+		return nil, err
+	}
+	var lines, failures []string
+	for _, row := range sortedMinKeys(mins) {
+		min := mins[row]
+		c, ok := rates[row]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("row %q missing from %s record", row, id))
+			continue
+		}
+		status := "ok"
+		if c.rate < min {
+			status = "BELOW FLOOR"
+			failures = append(failures, fmt.Sprintf("row %q: %.0f items/sec below required floor %.0f (%.1f%%)",
+				row, c.rate, min, 100*c.rate/min))
+		}
+		lines = append(lines, fmt.Sprintf("%-24s current %12.0f  floor %12.0f  %s", row, c.rate, min, status))
+	}
+	if len(failures) > 0 {
+		return lines, fmt.Errorf("benchguard: %d row(s) below absolute floor:\n  %s",
+			len(failures), strings.Join(failures, "\n  "))
+	}
+	return lines, nil
+}
+
+// RequireRowFactor enforces a minimum speedup of one row over another
+// WITHIN the current run (e.g. the binary wire format must stay ≥ 2× the
+// fast-path NDJSON row). Both rows share the machine and the moment, so
+// the factor gates real relative cost, not runner variance; no
+// noise-floor skip applies.
+func RequireRowFactor(currentPath, id, baseRow, row string, minFactor float64) ([]string, error) {
+	if minFactor <= 0 {
+		return nil, fmt.Errorf("benchguard: min factor must be positive, got %v", minFactor)
+	}
+	rates, err := benchRates(currentPath, id)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := rates[baseRow]
+	if !ok {
+		return nil, fmt.Errorf("benchguard: %s: no row %q in %s record", currentPath, baseRow, id)
+	}
+	c, ok := rates[row]
+	if !ok {
+		return nil, fmt.Errorf("benchguard: %s: no row %q in %s record", currentPath, row, id)
+	}
+	factor := c.rate / b.rate
+	line := fmt.Sprintf("%-24s vs %-24s factor %5.2fx (floor %.2fx)", row, baseRow, factor, minFactor)
+	if factor < minFactor {
+		return []string{line + "  BELOW FLOOR"},
+			fmt.Errorf("benchguard: %q is %.2fx of %q, required ≥ %.2fx (%.0f vs %.0f items/sec)",
+				row, factor, baseRow, minFactor, c.rate, b.rate)
+	}
+	return []string{line + "  ok"}, nil
+}
+
+func sortedMinKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 func sortedKeys(m map[string]pathRate) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {

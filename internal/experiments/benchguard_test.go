@@ -45,6 +45,49 @@ func TestBenchGuardPasses(t *testing.T) {
 	}
 }
 
+func TestRequireMinRates(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeBench(t, dir, "cur.json", "1000000", "16000000")
+	lines, err := RequireMinRates(cur, "ingest", map[string]float64{"http NDJSON engine": 15_360_000})
+	if err != nil {
+		t.Fatalf("floor met but gate failed: %v\n%v", err, lines)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "ok") {
+		t.Fatalf("report lines = %v", lines)
+	}
+	// Below the floor → error naming the row.
+	if _, err := RequireMinRates(cur, "ingest", map[string]float64{"http NDJSON engine": 20_000_000}); err == nil {
+		t.Fatal("rate below floor passed")
+	} else if !strings.Contains(err.Error(), "http NDJSON engine") {
+		t.Errorf("error does not name the row: %v", err)
+	}
+	// Missing row → error, not a silent pass.
+	if _, err := RequireMinRates(cur, "ingest", map[string]float64{"no such row": 1}); err == nil {
+		t.Fatal("missing row passed the floor gate")
+	}
+}
+
+func TestRequireRowFactor(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeBench(t, dir, "cur.json", "10000000", "25000000")
+	lines, err := RequireRowFactor(cur, "ingest", "http JSON array", "http NDJSON engine", 2.0)
+	if err != nil {
+		t.Fatalf("2.5x factor failed a 2.0x floor: %v\n%v", err, lines)
+	}
+	if _, err := RequireRowFactor(cur, "ingest", "http JSON array", "http NDJSON engine", 3.0); err == nil {
+		t.Fatal("2.5x factor passed a 3.0x floor")
+	}
+	if _, err := RequireRowFactor(cur, "ingest", "http JSON array", "no such row", 2.0); err == nil {
+		t.Fatal("missing numerator row passed")
+	}
+	if _, err := RequireRowFactor(cur, "ingest", "no such row", "http NDJSON engine", 2.0); err == nil {
+		t.Fatal("missing denominator row passed")
+	}
+	if _, err := RequireRowFactor(cur, "ingest", "http JSON array", "http NDJSON engine", 0); err == nil {
+		t.Fatal("non-positive factor accepted")
+	}
+}
+
 func TestBenchGuardFailsOnRegression(t *testing.T) {
 	dir := t.TempDir()
 	base := writeBench(t, dir, "base.json", "1000000", "3000000")

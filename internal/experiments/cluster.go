@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/tbs"
 )
 
@@ -45,7 +46,7 @@ func ClusterIngest(quick bool, seed uint64) (*Result, error) {
 		}
 		defer ts.Close()
 		defer stopClusterNode(node)
-		return clusterDrive(res, "direct NDJSON", 1, client, ts.URL, keys, rounds, body, itemsPerRequest)
+		return clusterDrive(res, "direct NDJSON", 1, client, ts.URL, keys, rounds, body, "application/x-ndjson", itemsPerRequest)
 	}()
 	if err != nil {
 		return nil, err
@@ -53,8 +54,11 @@ func ClusterIngest(quick bool, seed uint64) (*Result, error) {
 
 	// Routed path: three nodes behind a consistent-hash router, the same
 	// workload addressed to the router, which forwards each key to its
-	// ring owner.
-	routedRate, err := func() (float64, error) {
+	// ring owner. The same topology then carries x-tbs-bin frames — the
+	// router forwards request bodies byte-for-byte without inspecting
+	// them, so the binary format's wire savings survive the extra hop.
+	binBody := clusterBinBody(itemsPerRequest)
+	routedRate, routedBinRate, err := func() (float64, float64, error) {
 		names := []string{"n0", "n1", "n2"}
 		members := make([]cluster.Node, 0, len(names))
 		nodes := make([]*server.Server, 0, len(names))
@@ -66,7 +70,7 @@ func ClusterIngest(quick bool, seed uint64) (*Result, error) {
 		for i, name := range names {
 			node, ts, err := newClusterNode(seed + uint64(i))
 			if err != nil {
-				return 0, err
+				return 0, 0, err
 			}
 			defer ts.Close()
 			nodes = append(nodes, node)
@@ -74,7 +78,7 @@ func ClusterIngest(quick bool, seed uint64) (*Result, error) {
 		}
 		ring, err := cluster.NewRing(members, 64)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		router, err := cluster.NewRouter(cluster.RouterOptions{
 			Ring:          ring,
@@ -82,13 +86,21 @@ func ClusterIngest(quick bool, seed uint64) (*Result, error) {
 			FailThreshold: 3,
 		})
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		router.Start()
 		defer router.Stop()
 		rts := httptest.NewServer(router.Handler())
 		defer rts.Close()
-		return clusterDrive(res, "routed NDJSON", len(names), client, rts.URL, keys, rounds, body, itemsPerRequest)
+		nd, err := clusterDrive(res, "routed NDJSON", len(names), client, rts.URL, keys, rounds, body, "application/x-ndjson", itemsPerRequest)
+		if err != nil {
+			return 0, 0, err
+		}
+		bin, err := clusterDrive(res, "routed x-tbs-bin", len(names), client, rts.URL, keys, rounds, binBody, wire.BinContentType, itemsPerRequest)
+		if err != nil {
+			return 0, 0, err
+		}
+		return nd, bin, nil
 	}()
 	if err != nil {
 		return nil, err
@@ -96,8 +108,26 @@ func ClusterIngest(quick bool, seed uint64) (*Result, error) {
 
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("router overhead: routed runs at %.0f%% of direct items/sec", 100*routedRate/directRate),
-		fmt.Sprintf("%d keys spread by consistent hash; both paths measured over TCP loopback", len(keys)))
+		fmt.Sprintf("routed x-tbs-bin/NDJSON: %.2fx items/sec (bodies forwarded uninspected)", routedBinRate/routedRate),
+		fmt.Sprintf("%d keys spread by consistent hash; all paths measured over TCP loopback", len(keys)))
 	return res, nil
+}
+
+// clusterBinBody frames one-float value rows — the binary equivalent of
+// the fast-path workload — in 512-row frames so nodes take the decoder's
+// zero-copy retained path.
+func clusterBinBody(items int) []byte {
+	const rowsPerFrame = 512
+	rows := make([][]float64, items)
+	for i := 0; i < items; i++ {
+		rows[i] = []float64{float64((i*7919)%200000-100000) / 1000}
+	}
+	var bin []byte
+	for off := 0; off < len(rows); off += rowsPerFrame {
+		end := min(off+rowsPerFrame, len(rows))
+		bin = wire.AppendFrame(bin, rows[off:end])
+	}
+	return bin
 }
 
 func clusterNDJSONBody(items int) []byte {
@@ -130,7 +160,7 @@ func stopClusterNode(srv *server.Server) {
 
 // clusterDrive pushes rounds×keys NDJSON requests at baseURL, drains each
 // key's pipelined boundaries inside the timed window, and appends a row.
-func clusterDrive(res *Result, name string, nodes int, client *http.Client, baseURL string, keys []string, rounds int, body []byte, itemsPerRequest int) (float64, error) {
+func clusterDrive(res *Result, name string, nodes int, client *http.Client, baseURL string, keys []string, rounds int, body []byte, contentType string, itemsPerRequest int) (float64, error) {
 	post := func(path string, b []byte, contentType string) error {
 		req, err := http.NewRequest("POST", baseURL+path, bytes.NewReader(b))
 		if err != nil {
@@ -156,7 +186,7 @@ func clusterDrive(res *Result, name string, nodes int, client *http.Client, base
 	for r := 0; r < rounds; r++ {
 		for _, key := range keys {
 			path := fmt.Sprintf("/v1/streams/%s/items?batch=%d", key, itemsPerRequest)
-			if err := post(path, body, "application/x-ndjson"); err != nil {
+			if err := post(path, body, contentType); err != nil {
 				return 0, err
 			}
 		}

@@ -6,8 +6,8 @@ import (
 )
 
 // TestClusterIngestQuick runs the routed-vs-direct bench in quick mode
-// and checks its structural claims: both rows see the same item total,
-// both paths actually moved data, and the header carries the columns the
+// and checks its structural claims: all rows see the same item total,
+// every path actually moved data, and the header carries the columns the
 // benchguard gate keys on.
 func TestClusterIngestQuick(t *testing.T) {
 	if testing.Short() {
@@ -17,8 +17,8 @@ func TestClusterIngestQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 2 {
-		t.Fatalf("rows = %d, want 2 (direct, routed)", len(res.Rows))
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (direct, routed, routed bin)", len(res.Rows))
 	}
 	col := func(name string) int {
 		t.Helper()
@@ -31,12 +31,15 @@ func TestClusterIngestQuick(t *testing.T) {
 		return -1
 	}
 	pathCol, itemsCol, rateCol := col("path"), col("items"), col("items/sec")
-	direct, routed := res.Rows[0], res.Rows[1]
-	if direct[pathCol] != "direct NDJSON" || routed[pathCol] != "routed NDJSON" {
-		t.Fatalf("unexpected row order: %q, %q", direct[pathCol], routed[pathCol])
+	direct, routed, routedBin := res.Rows[0], res.Rows[1], res.Rows[2]
+	if direct[pathCol] != "direct NDJSON" || routed[pathCol] != "routed NDJSON" ||
+		routedBin[pathCol] != "routed x-tbs-bin" {
+		t.Fatalf("unexpected row order: %q, %q, %q",
+			direct[pathCol], routed[pathCol], routedBin[pathCol])
 	}
-	if direct[itemsCol] != routed[itemsCol] {
-		t.Errorf("workloads differ: direct %s items vs routed %s", direct[itemsCol], routed[itemsCol])
+	if direct[itemsCol] != routed[itemsCol] || direct[itemsCol] != routedBin[itemsCol] {
+		t.Errorf("workloads differ: direct %s items vs routed %s vs routed bin %s",
+			direct[itemsCol], routed[itemsCol], routedBin[itemsCol])
 	}
 	for _, row := range res.Rows {
 		rate, err := strconv.ParseFloat(row[rateCol], 64)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/internal/xrand"
 	"repro/tbs"
 )
@@ -70,6 +72,25 @@ func IngestPipeline(quick bool, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The 1BRC-style byte-level wire rows: canonical `{"v":N}` value rows
+	// — the restricted grammar the fast validator fully covers — first as
+	// NDJSON text (without and with the WAL journaling every chunk), then
+	// as the equivalent x-tbs-bin frames. Requests are larger than the
+	// general rows so each row's measured window clears the benchguard
+	// noise floor even on the quick CI run.
+	fastItems := 5000
+	fastRequests := runsFor(quick, 1200, 60)
+	fastBody, binBody := fastIngestBodies(fastItems)
+	fastRate, binRate, err := runPairedIngestRows(res, seed, fastRequests, fastItems, fastBody, binBody)
+	if err != nil {
+		return nil, err
+	}
+	fastWALRate, err := runIngestPath(res, "ndjson fast-path+wal", seed, fastRequests, fastItems,
+		fmt.Sprintf("/v1/streams/bench/items?batch=%d", fastItems),
+		"application/x-ndjson", fastBody, withThrowawayWAL)
+	if err != nil {
+		return nil, err
+	}
 	if err := runIngestCore(res, seed, requests, itemsPerRequest); err != nil {
 		return nil, err
 	}
@@ -77,7 +98,10 @@ func IngestPipeline(quick bool, seed uint64) (*Result, error) {
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("NDJSON/JSON speedup: %.2fx items/sec", ndjsonRate/jsonRate),
 		fmt.Sprintf("tracing-on/tracing-off NDJSON throughput: %.1f%%", 100*traceRate/ndjsonRate),
-		fmt.Sprintf("WAL-on/WAL-off NDJSON throughput: %.0f%%", 100*walRate/ndjsonRate))
+		fmt.Sprintf("WAL-on/WAL-off NDJSON throughput: %.0f%%", 100*walRate/ndjsonRate),
+		fmt.Sprintf("fast-path/general NDJSON speedup: %.2fx items/sec", fastRate/ndjsonRate),
+		fmt.Sprintf("WAL-on/WAL-off fast-path throughput: %.0f%%", 100*fastWALRate/fastRate),
+		fmt.Sprintf("x-tbs-bin/fast-path NDJSON speedup: %.2fx items/sec", binRate/fastRate))
 	return res, nil
 }
 
@@ -111,7 +135,136 @@ func ingestBodies(items int) (jsonBody, ndjsonBody []byte) {
 	return j.Bytes(), nd.Bytes()
 }
 
+// fastIngestBodies builds the same three-decimal sensor readings —
+// 1BRC-style fixed-point quantization in [-100.000, 99.999] — as
+// canonical NDJSON value rows and as x-tbs-bin frames, so the two
+// fast-path rows measure the same logical stream on both wire formats.
+// The binary body chunks rows into 512-row frames: small frames take
+// the decoder's zero-copy retained path, and a surviving sample row
+// then pins only a few KB of wire buffer rather than the whole request.
+func fastIngestBodies(items int) (ndjson, bin []byte) {
+	const rowsPerFrame = 512
+	rows := make([][]float64, items)
+	for i := 0; i < items; i++ {
+		v := float64((i*7919)%200000-100000) / 1000
+		rows[i] = []float64{v}
+		ndjson = wire.AppendRowJSON(ndjson, rows[i])
+		ndjson = append(ndjson, '\n')
+	}
+	for off := 0; off < len(rows); off += rowsPerFrame {
+		end := min(off+rowsPerFrame, len(rows))
+		bin = wire.AppendFrame(bin, rows[off:end])
+	}
+	return ndjson, bin
+}
+
 func ptr[T any](v T) *T { return &v }
+
+// runPairedIngestRows measures the two ratio-gated fast-path rows —
+// "ndjson fast-path" and "x-tbs-bin" — with interleaved timed windows
+// on one schedule. benchguard gates their within-run items/sec ratio,
+// and back-to-back rows make that ratio hostage to whatever the shared
+// runner was doing during one row's seconds: a neighbor's CPU burst or
+// a GC pacer mode landing on only one format skews the quotient by 2x.
+// Alternating format windows exposes both sides to the same conditions,
+// so the best-of-K pair compares like with like. The binary side sends
+// twice the requests per window because it clears items in roughly half
+// the wall time — windows stay comparable in duration, not item count.
+func runPairedIngestRows(res *Result, seed uint64, requests, itemsPerRequest int, ndjsonBody, binBody []byte) (fastRate, binRate float64, err error) {
+	const windows = 4
+	type side struct {
+		name, contentType string
+		body              []byte
+		requests          int
+		handler           http.Handler
+		best              time.Duration
+		allocs, bytes     uint64
+	}
+	sides := [2]*side{
+		{name: "ndjson fast-path", contentType: "application/x-ndjson", body: ndjsonBody, requests: requests},
+		{name: "x-tbs-bin", contentType: wire.BinContentType, body: binBody, requests: 2 * requests},
+	}
+	path := fmt.Sprintf("/v1/streams/bench/items?batch=%d", itemsPerRequest)
+	lambda, n := 0.07, 1000
+	for _, sd := range sides {
+		srv, serr := server.New(server.Options{
+			Sampler: tbs.Config{Scheme: "rtbs", Lambda: &lambda, MaxSize: &n, Seed: ptr(seed)},
+		})
+		if serr != nil {
+			return 0, 0, serr
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if serr := srv.Stop(ctx); err == nil {
+				err = serr
+			}
+		}()
+		sd.handler = srv.Handler()
+	}
+
+	window := func(sd *side, reqs int, timed bool) error {
+		var before, after runtime.MemStats
+		if timed {
+			runtime.ReadMemStats(&before)
+		}
+		start := time.Now()
+		for i := 0; i < reqs; i++ {
+			req := httptest.NewRequest("POST", path, bytes.NewReader(sd.body))
+			req.Header.Set("Content-Type", sd.contentType)
+			rec := httptest.NewRecorder()
+			sd.handler.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				return fmt.Errorf("ingest: %s: status %d: %s", sd.name, rec.Code, rec.Body.String())
+			}
+		}
+		// Synchronous drain: a FIFO barrier behind every pipelined batch
+		// boundary, so the clock never stops with work still in flight.
+		drain := httptest.NewRequest("POST", "/v1/streams/bench/advance", nil)
+		rec := httptest.NewRecorder()
+		sd.handler.ServeHTTP(rec, drain)
+		if rec.Code != 200 {
+			return fmt.Errorf("ingest: %s: drain status %d: %s", sd.name, rec.Code, rec.Body.String())
+		}
+		if !timed {
+			return nil
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if sd.best == 0 || elapsed < sd.best {
+			sd.best = elapsed
+		}
+		sd.allocs += after.Mallocs - before.Mallocs
+		sd.bytes += after.TotalAlloc - before.TotalAlloc
+		return nil
+	}
+	// Untimed warmup for both sides first (reservoir saturation, pool and
+	// pacer steady state), then the interleaved timed windows.
+	for _, sd := range sides {
+		if err := window(sd, max(sd.requests/5, 2), false); err != nil {
+			return 0, 0, err
+		}
+	}
+	for w := 0; w < windows; w++ {
+		for _, sd := range sides {
+			if err := window(sd, sd.requests, true); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	rates := [2]float64{}
+	for i, sd := range sides {
+		total := sd.requests * itemsPerRequest
+		rates[i] = float64(total) / sd.best.Seconds()
+		res.Rows = append(res.Rows, []string{
+			sd.name, fmt.Sprint(total), f1(sd.best.Seconds() * 1000),
+			f0(rates[i]),
+			f2(float64(sd.allocs) / float64(windows*total)),
+			f1(float64(sd.bytes) / float64(windows*total)),
+		})
+	}
+	return rates[0], rates[1], nil
+}
 
 // runIngestPath drives one wire format through a fresh server and appends
 // its row. mutate, when non-nil, adjusts the server options for the row
@@ -140,11 +293,7 @@ func runIngestPath(res *Result, name string, seed uint64, requests, itemsPerRequ
 	}()
 	handler := srv.Handler()
 
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < requests; i++ {
+	send := func(i int) error {
 		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
@@ -152,27 +301,61 @@ func runIngestPath(res *Result, name string, seed uint64, requests, itemsPerRequ
 		rec := httptest.NewRecorder()
 		handler.ServeHTTP(rec, req)
 		if rec.Code != 200 {
-			return 0, fmt.Errorf("ingest: %s: status %d: %s", name, rec.Code, rec.Body.String())
+			return fmt.Errorf("ingest: %s: request %d: status %d: %s", name, i, rec.Code, rec.Body.String())
+		}
+		return nil
+	}
+	// Untimed warmup: saturate the reservoir, grow the arenas and pools,
+	// and let the GC pacer find its steady-state heap goal, so the timed
+	// window measures sustained throughput rather than the cold-start
+	// ramp (on one core the pacer's early cycles otherwise eat 15-25% of
+	// a fresh process's first window in mark assists).
+	for i := 0; i < max(requests/5, 2); i++ {
+		if err := send(i); err != nil {
+			return 0, err
 		}
 	}
-	// Drain inside the timed window: the NDJSON path pipelines batch
-	// application through the engine, and a synchronous /advance is a
-	// FIFO barrier behind every queued boundary — without it the NDJSON
-	// row would stop the clock with work still in flight while the JSON
-	// row (advanceWait per request) pays for everything in-window.
-	drain := httptest.NewRequest("POST", "/v1/streams/bench/advance", nil)
-	rec := httptest.NewRecorder()
-	handler.ServeHTTP(rec, drain)
-	if rec.Code != 200 {
-		return 0, fmt.Errorf("ingest: %s: drain status %d: %s", name, rec.Code, rec.Body.String())
+
+	// Three timed windows, best one reported. A window here is only
+	// 100-500ms, and on a small runner a single GC mark phase or a
+	// scheduler hiccup landing inside it moves the result by double-digit
+	// percent; the best of three measures what the path sustains when it
+	// gets the machine, which is the quantity the benchguard gates are
+	// about. Each window ends with a synchronous /advance drain: the
+	// streaming paths pipeline batch application through the engine, and
+	// the drain is a FIFO barrier behind every queued boundary — without
+	// it a window would stop the clock with work still in flight while
+	// the JSON row (advanceWait per request) pays for everything
+	// in-window. Allocation counters span all three windows; per-item
+	// allocation does not vary window to window.
+	const windows = 3
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	best := time.Duration(0)
+	for w := 0; w < windows; w++ {
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			if err := send(i); err != nil {
+				return 0, err
+			}
+		}
+		drain := httptest.NewRequest("POST", "/v1/streams/bench/advance", nil)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, drain)
+		if rec.Code != 200 {
+			return 0, fmt.Errorf("ingest: %s: drain status %d: %s", name, rec.Code, rec.Body.String())
+		}
+		if elapsed := time.Since(start); best == 0 || elapsed < best {
+			best = elapsed
+		}
 	}
-	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 
 	total := requests * itemsPerRequest
-	itemsPerSec = float64(total) / elapsed.Seconds()
-	allocsPerItem := float64(after.Mallocs-before.Mallocs) / float64(total)
-	bytesPerItem := float64(after.TotalAlloc-before.TotalAlloc) / float64(total)
+	itemsPerSec = float64(total) / best.Seconds()
+	allocsPerItem := float64(after.Mallocs-before.Mallocs) / float64(windows*total)
+	bytesPerItem := float64(after.TotalAlloc-before.TotalAlloc) / float64(windows*total)
+	elapsed := best
 	res.Rows = append(res.Rows, []string{
 		name, fmt.Sprint(total), f1(elapsed.Seconds() * 1000),
 		f0(itemsPerSec), f2(allocsPerItem), f1(bytesPerItem),

@@ -211,8 +211,13 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 	if s.movedGuard(w, key) {
 		return
 	}
-	if isNDJSON(r.Header.Get("Content-Type")) {
+	ct := r.Header.Get("Content-Type")
+	if isNDJSON(ct) {
 		s.handleItemsNDJSON(w, r, key)
+		return
+	}
+	if isBin(ct) {
+		s.handleItemsBin(w, r, key)
 		return
 	}
 	tr := s.opts.Trace.StartFromRequest(r, obs.KindIngest, key)

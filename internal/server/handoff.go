@@ -57,9 +57,12 @@ type handoffEnvelope struct {
 // LSNs are meaningless in the target's LSN space, and the key rides the
 // URL. Order within the tail is LSN order.
 type wireRecord struct {
-	Type  uint8             `json:"type"`
-	Items []json.RawMessage `json:"items,omitempty"`
-	Data  []byte            `json:"data,omitempty"`
+	Type uint8 `json:"type"`
+	// Items are typed as server Items, not raw JSON: WAL records carry
+	// binary-ingested rows verbatim, and Item.MarshalJSON materializes
+	// them to text as the envelope is encoded.
+	Items []Item `json:"items,omitempty"`
+	Data  []byte `json:"data,omitempty"`
 }
 
 func toWireRecords(recs []wal.Record) []wireRecord {
@@ -67,9 +70,9 @@ func toWireRecords(recs []wal.Record) []wireRecord {
 	for i, r := range recs {
 		w := wireRecord{Type: uint8(r.Type), Data: r.Data}
 		if len(r.Items) > 0 {
-			w.Items = make([]json.RawMessage, len(r.Items))
+			w.Items = make([]Item, len(r.Items))
 			for j, it := range r.Items {
-				w.Items[j] = json.RawMessage(it)
+				w.Items[j] = Item(it)
 			}
 		}
 		out[i] = w

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
+
+// Item is one opaque stream element. Most items are raw JSON text,
+// exactly as they arrived on the wire; items ingested over the compact
+// binary framing are stored verbatim in wire item form instead — a
+// two-byte row header (first byte ≥ 0x80, which no JSON value can start
+// with) followed by little-endian float64s. The two forms are told apart
+// by the first byte alone (wire.IsBinItem).
+//
+// Item implements json.Marshaler, so every JSON boundary — /sample
+// responses, checkpoint envelopes (including the sampler snapshot deep
+// inside tbs), migration handoffs — materializes binary rows to their
+// canonical JSON text automatically. That is the point of the
+// representation: the sampler treats items as opaque bytes and discards
+// most of them, so deferring rendering to the consumers that actually
+// read an item means the hot binary ingest path never formats JSON at
+// all (see internal/wire/bin.go for the invariant).
+type Item []byte
+
+// MarshalJSON renders the item: JSON text verbatim, binary rows through
+// the canonical row renderer.
+func (it Item) MarshalJSON() ([]byte, error) {
+	if len(it) == 0 {
+		return []byte("null"), nil
+	}
+	if it[0] < 0x80 {
+		return it, nil
+	}
+	return wire.BinItemJSON(it)
+}
+
+// UnmarshalJSON stores the raw text, like json.RawMessage. Checkpoint
+// restore and the buffered JSON-array ingest path both come through
+// here, so restored and array-ingested items are always JSON text.
+func (it *Item) UnmarshalJSON(b []byte) error {
+	if it == nil {
+		return errors.New("server.Item: UnmarshalJSON on nil pointer")
+	}
+	*it = append((*it)[:0], b...)
+	return nil
+}

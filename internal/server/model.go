@@ -14,6 +14,7 @@ import (
 	"repro/internal/manage"
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/wire"
 	"repro/tbs"
 )
 
@@ -51,8 +52,23 @@ type labeledRow struct {
 }
 
 // parseRow extracts a labeled row from an opaque item; ok is false for
-// unlabeled or malformed items.
+// unlabeled or malformed items. Canonical rows decode on the byte-level
+// fast path; anything else (non-canonical key order, extra members,
+// out-of-range numbers) takes the reflective reference path, so the
+// accepted language and decoded values are unchanged.
 func parseRow(it Item) (x []float64, y float64, ok bool) {
+	if wire.IsBinItem(it) {
+		// Binary rows skip text entirely: the floats are right there. A
+		// one-float row is an unlabeled value, like {"v":N}.
+		vals, err := wire.BinItemFloats(it, nil)
+		if err != nil || len(vals) < 2 {
+			return nil, 0, false
+		}
+		return vals[:len(vals)-1], vals[len(vals)-1], true
+	}
+	if fx, fy, fok := wire.ParseLabeledRow(it, nil); fok {
+		return fx, fy, len(fx) > 0
+	}
 	var row labeledRow
 	if err := json.Unmarshal(it, &row); err != nil || len(row.X) == 0 || row.Y == nil {
 		return nil, 0, false

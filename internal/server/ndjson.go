@@ -1,50 +1,56 @@
 package server
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // This file is the wire-decode stage of the sharded ingest pipeline:
 // POST /v1/streams/{key}/items with Content-Type application/x-ndjson
 // streams one JSON value per line. Unlike the buffered JSON-array path it
-// never materializes the whole body, never reflects through
-// json.Unmarshal, and recycles its reader, line and batch buffers across
-// requests — per-item cost is a newline scan, a validity scan and one
-// arena copy. With ?batch=N the decoder closes an engine batch boundary
-// every N items, so shard workers apply earlier batches while later bytes
-// are still being read off the socket.
+// never materializes the whole body and never reflects through
+// json.Unmarshal: the wire.LineReader scans chunked reads for newlines
+// directly, wire.Validate judges each line with the hand-rolled subset
+// validator (falling back to json.Valid only for escapes and deep
+// nesting, so accepted inputs are byte-for-byte the same set), and the
+// reader, line and batch buffers recycle across requests — per-item cost
+// is a newline scan, a subset-validity scan and one arena copy, with
+// zero allocations at steady state. With ?batch=N the decoder closes an
+// engine batch boundary every N items, so shard workers apply earlier
+// batches while later bytes are still being read off the socket.
 
 // isNDJSON reports whether the Content-Type selects the streaming path.
 func isNDJSON(ct string) bool {
-	if i := strings.IndexByte(ct, ';'); i >= 0 {
-		ct = ct[:i]
-	}
-	ct = strings.TrimSpace(ct)
-	return strings.EqualFold(ct, "application/x-ndjson") ||
-		strings.EqualFold(ct, "application/ndjson")
+	return contentTypeIs(ct, "application/x-ndjson") ||
+		contentTypeIs(ct, "application/ndjson")
 }
 
 const (
-	// ndjsonReaderSize is the pooled bufio buffer; lines at most this long
-	// are decoded without any per-line copy beyond the arena intern.
-	ndjsonReaderSize = 64 << 10
-
 	// ndjsonChunkItems bounds how many decoded items accumulate before
 	// being appended to the stream's open batch, so one huge request
 	// turns into a few batched critical sections rather than one giant
 	// deferred append.
 	ndjsonChunkItems = 4096
+
+	// maxAlignedChunkItems caps how far the decode chunk stretches to meet
+	// a ?batch=N boundary exactly. When the chunk and the boundary
+	// coincide, every flush finds the stream's pending slice empty and the
+	// batch array transfers to the engine by adoption (see
+	// entry.appendMode) instead of an element-by-element copy.
+	maxAlignedChunkItems = 4 * ndjsonChunkItems
+
+	// maxPooledLineBuf is the retention bound for pooled line readers: a
+	// reader whose buffer grew past this on an oversized line is dropped
+	// rather than pinned in the pool.
+	maxPooledLineBuf = 4 * wire.DefaultLineBufSize
 
 	// arenaChunkBytes is the allocation unit for decoded item bytes: one
 	// allocation per chunk of items instead of one per item. Chunks are
@@ -59,15 +65,14 @@ const (
 
 // ndjsonScratch is the per-request recyclable state.
 type ndjsonScratch struct {
-	br    *bufio.Reader
+	lr    *wire.LineReader
 	batch []Item
-	long  []byte // spill buffer for lines longer than the reader buffer
 }
 
 var ndjsonPool = sync.Pool{
 	New: func() any {
 		return &ndjsonScratch{
-			br:    bufio.NewReaderSize(nil, ndjsonReaderSize),
+			lr:    wire.NewLineReader(0),
 			batch: make([]Item, 0, ndjsonChunkItems),
 		}
 	},
@@ -91,28 +96,24 @@ func (a *itemArena) intern(line []byte) Item {
 	return Item(a.cur[start:len(a.cur):len(a.cur)])
 }
 
-// readLine returns the next line (terminator included in err==nil case
-// stripped by the caller), spilling oversized lines into the scratch's
-// long buffer. The returned slice is valid only until the next call.
-func (sc *ndjsonScratch) readLine() ([]byte, error) {
-	sc.long = sc.long[:0]
-	for {
-		chunk, err := sc.br.ReadSlice('\n')
-		if err == bufio.ErrBufferFull {
-			sc.long = append(sc.long, chunk...)
-			continue
-		}
-		if len(sc.long) > 0 {
-			return append(sc.long, chunk...), err
-		}
-		return chunk, err
+// lineValid reports whether one trimmed line is valid JSON: the fast
+// subset validator answers directly for the shapes ingest traffic uses;
+// Unknown (escapes, extreme nesting) defers to the reference validator
+// so the accepted language is exactly encoding/json's.
+func lineValid(line []byte) bool {
+	switch wire.Validate(line) {
+	case wire.Valid:
+		return true
+	case wire.Invalid:
+		return false
 	}
+	return json.Valid(line)
 }
 
 // handleItemsNDJSON is the streaming half of handleItems. Items are
 // appended in chunks as they decode, so on a mid-stream error the earlier
 // lines HAVE been ingested; the structured error reports the offending
-// line and the accepted count.
+// 1-based line, its absolute byte offset, and the accepted count.
 func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key string) {
 	q := r.URL.Query()
 	boundaryEvery := 0
@@ -140,24 +141,27 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 
 	sc := ndjsonPool.Get().(*ndjsonScratch)
 	defer func() {
-		sc.br.Reset(nil)
+		sc.lr.Reset(nil)
 		sc.batch = sc.batch[:0]
-		ndjsonPool.Put(sc)
+		if sc.lr.BufCap() <= maxPooledLineBuf {
+			ndjsonPool.Put(sc)
+		}
 	}()
-	sc.br.Reset(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	sc.lr.Reset(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 
 	var (
 		arena      itemArena
 		added      int
 		boundaries uint64
 		lineNo     int
+		lineOff    int64
 		sinceAdv   int
 		pending    int
 		ingested   uint64
 		maxLSN     uint64 // newest journal record this request must sync before acking
 	)
 	chunkSize := ndjsonChunkItems
-	if boundaryEvery > 0 && boundaryEvery < chunkSize {
+	if boundaryEvery > 0 && boundaryEvery <= maxAlignedChunkItems {
 		chunkSize = boundaryEvery
 	}
 	// Stage attribution is chunk-grained, never per-line: a time.Now()
@@ -171,8 +175,9 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 		}
 		var err error
 		var lsn uint64
+		var adopted bool
 		t0 := time.Now()
-		pending, ingested, lsn, err = e.append(sc.batch, s.opts.MaxPendingItems)
+		pending, ingested, lsn, adopted, err = e.appendMode(sc.batch, s.opts.MaxPendingItems, true)
 		appendDur += time.Since(t0)
 		if err != nil {
 			return err
@@ -182,7 +187,15 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 		}
 		added += len(sc.batch)
 		sinceAdv += len(sc.batch)
-		sc.batch = sc.batch[:0]
+		if adopted {
+			// The engine took the array wholesale; draw a replacement from
+			// the recycle pool (stocked by applyBatch after each apply).
+			if sc.batch = acquireBatchSlice(); sc.batch == nil {
+				sc.batch = make([]Item, 0, chunkSize)
+			}
+		} else {
+			sc.batch = sc.batch[:0]
+		}
 		return nil
 	}
 	stagesDone := false
@@ -213,6 +226,7 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 		}
 		extra["added"] = added
 		extra["line"] = lineNo
+		extra["offset"] = lineOff
 		if msg == "" {
 			msg = err.Error()
 		}
@@ -220,18 +234,24 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 	}
 
 	for {
-		line, rerr := sc.readLine()
-		if rerr != nil && rerr != io.EOF {
+		line, off, rerr := sc.lr.Next()
+		if rerr != nil {
+			if rerr == io.EOF {
+				break
+			}
+			lineOff = sc.lr.Offset()
 			_ = appendChunk()
 			fail(rerr, "")
 			return
 		}
 		lineNo++
-		line = bytes.TrimSpace(line)
+		lineOff = off
+		line = wire.TrimSpace(line)
 		if len(line) > 0 {
-			if !json.Valid(line) {
+			if !lineValid(line) {
 				_ = appendChunk()
-				fail(errors.New("line is not valid JSON"), "line "+strconv.Itoa(lineNo)+" is not valid JSON")
+				fail(errors.New("line is not valid JSON"),
+					"line "+strconv.Itoa(lineNo)+" (byte offset "+strconv.FormatInt(off, 10)+") is not valid JSON")
 				return
 			}
 			sc.batch = append(sc.batch, arena.intern(line))
@@ -258,13 +278,23 @@ func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key s
 				}
 			}
 		}
-		if rerr == io.EOF {
-			break
-		}
 	}
 	if err := appendChunk(); err != nil {
 		fail(err, "")
 		return
+	}
+	// The final flush can complete a ?batch=N boundary too: with N larger
+	// than the chunk size the in-loop check never sees sinceAdv reach N,
+	// so without this a request of exactly N items would close no
+	// boundary at all and pending would grow without bound across
+	// requests.
+	if boundaryEvery > 0 && sinceAdv >= boundaryEvery {
+		if lsn := s.advanceAsync(e, nil); lsn > maxLSN {
+			maxLSN = lsn
+		}
+		boundaries++
+		sinceAdv = 0
+		pending = 0
 	}
 	s.metrics.ObserveIngest(added)
 	recordStages()

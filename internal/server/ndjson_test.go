@@ -82,16 +82,21 @@ func TestNDJSONInvalidLine(t *testing.T) {
 		t.Fatalf("status %d: %s", resp.StatusCode, data)
 	}
 	var out struct {
-		Error string `json:"error"`
-		Code  string `json:"code"`
-		Added int    `json:"added"`
-		Line  int    `json:"line"`
+		Error  string `json:"error"`
+		Code   string `json:"code"`
+		Added  int    `json:"added"`
+		Line   int    `json:"line"`
+		Offset int64  `json:"offset"`
 	}
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.Code != "bad_request" || out.Line != 3 || out.Added != 2 {
+	// "1\n2\n" is 4 bytes, so the broken third line starts at offset 4.
+	if out.Code != "bad_request" || out.Line != 3 || out.Offset != 4 || out.Added != 2 {
 		t.Fatalf("invalid-line error: %+v", out)
+	}
+	if !strings.Contains(out.Error, "line 3") || !strings.Contains(out.Error, "offset 4") {
+		t.Fatalf("error message %q lacks line/offset", out.Error)
 	}
 	var stats struct {
 		Pending int `json:"pending"`
@@ -99,6 +104,67 @@ func TestNDJSONInvalidLine(t *testing.T) {
 	h.do("GET", "/v1/streams/k/stats", nil, http.StatusOK, &stats)
 	if stats.Pending != 2 {
 		t.Fatalf("pending = %d after partial NDJSON ingest, want 2", stats.Pending)
+	}
+}
+
+// TestNDJSONMidStreamFailure: a malformed line after several accepted
+// pipelined batches reports the exact line and byte offset, while the
+// batches already closed stay applied.
+func TestNDJSONMidStreamFailure(t *testing.T) {
+	h := newHarness(t, Options{Sampler: rtbsConfig(1)})
+	// Five good lines (offsets 0,2,4,6,8), then a broken one at offset 10.
+	// With ?batch=2 the first four lines close two engine boundaries
+	// before the failure; the fifth is flushed by the error path.
+	resp, data := h.postNDJSON("/v1/streams/k/items?batch=2", "1\n2\n3\n4\n5\n{broken\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Code   string `json:"code"`
+		Added  int    `json:"added"`
+		Line   int    `json:"line"`
+		Offset int64  `json:"offset"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != "bad_request" || out.Added != 5 || out.Line != 6 || out.Offset != 10 {
+		t.Fatalf("mid-stream failure body: %+v, want added=5 line=6 offset=10", out)
+	}
+	var stats struct {
+		Pending  int    `json:"pending"`
+		Ingested uint64 `json:"ingested"`
+		Batches  uint64 `json:"batches"`
+	}
+	h.do("GET", "/v1/streams/k/stats", nil, http.StatusOK, &stats)
+	if stats.Ingested != 5 || stats.Batches != 2 || stats.Pending != 1 {
+		t.Fatalf("after mid-stream failure: %+v, want ingested=5 batches=2 pending=1", stats)
+	}
+}
+
+// TestNDJSONEscapeFallback: lines with escape sequences leave the fast
+// validator's subset and must still be judged exactly as encoding/json
+// does — legal escapes ingest, illegal ones 400 with position.
+func TestNDJSONEscapeFallback(t *testing.T) {
+	h := newHarness(t, Options{Sampler: rtbsConfig(1)})
+	resp, data := h.postNDJSON("/v1/streams/k/items", `"a\nb"`+"\n"+`{"k\t":1}`+"\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legal escapes: status %d: %s", resp.StatusCode, data)
+	}
+	resp, data = h.postNDJSON("/v1/streams/k/items", `"ok"`+"\n"+`"bad\q"`+"\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("illegal escape: status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Line   int   `json:"line"`
+		Offset int64 `json:"offset"`
+		Added  int   `json:"added"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Line != 2 || out.Offset != 5 || out.Added != 1 {
+		t.Fatalf("illegal escape body: %+v, want line=2 offset=5 added=1", out)
 	}
 }
 

@@ -16,8 +16,37 @@ import (
 	"repro/tbs"
 )
 
-// Item is the wire type of stream items: arbitrary JSON, kept opaque.
-type Item = json.RawMessage
+// batchPool recycles the []Item header arrays that carry items from a
+// stream's open batch through the engine into the sampler. A batch array
+// is garbage the moment applyBatch folds it in — every sampler copies
+// the item references it keeps and never aliases the array, and
+// checkpoints deep-copy under the entry lock — yet at fast-path ingest
+// rates freshly allocating it dominated the profile: a 5000-item request
+// retires a ~120KB pointer array per boundary, and the allocation,
+// zeroing and GC marking of those arrays cost about a third of hot-path
+// CPU. Released arrays are cleared before pooling so a pooled array
+// never pins retired item bytes.
+var batchPool sync.Pool // holds *[]Item
+
+// maxPooledBatchCap bounds the retained capacity: arrays grown by a
+// one-off giant batch go back to the GC instead of pinning the pool.
+const maxPooledBatchCap = 1 << 17
+
+func acquireBatchSlice() []Item {
+	if p, _ := batchPool.Get().(*[]Item); p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func releaseBatchSlice(b []Item) {
+	if cap(b) == 0 || cap(b) > maxPooledBatchCap {
+		return
+	}
+	b = b[:cap(b)]
+	clear(b)
+	batchPool.Put(&b)
+}
 
 // entry is the per-stream state: the sampler plus the open (not yet
 // advanced) batch and ingest counters. The mutex guards pending and the
@@ -127,34 +156,54 @@ func (e *entry) endMigration() {
 // rejected request journals nothing, and a journaling failure rejects the
 // request — the server never acknowledges what it could not log.
 func (e *entry) append(items []Item, maxPending int) (pending int, ingested uint64, lsn uint64, err error) {
+	pending, ingested, lsn, _, err = e.appendMode(items, maxPending, false)
+	return pending, ingested, lsn, err
+}
+
+// appendMode is append with an ownership option: with adopt=true and no
+// open batch, the caller DONATES its items array — the slice becomes
+// e.pending wholesale (adopted=true) and the caller must stop using it,
+// drawing a replacement from the batch pool. The streaming decoders size
+// their chunks to the ?batch=N boundary exactly so every boundary's
+// items transfer by adoption: zero header copies, and the array cycles
+// decoder → pending → engine → sampler → pool → decoder.
+func (e *entry) appendMode(items []Item, maxPending int, adopt bool) (pending int, ingested uint64, lsn uint64, adopted bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.deleted {
-		return 0, 0, 0, errStreamDeleted
+		return 0, 0, 0, false, errStreamDeleted
 	}
 	if e.migrating {
-		return len(e.pending), e.ingested, 0, errStreamMigrating
+		return len(e.pending), e.ingested, 0, false, errStreamMigrating
 	}
 	if maxPending > 0 && len(e.pending)+len(items) > maxPending {
 		if len(items) > maxPending {
 			// No amount of advancing makes one oversized request fit.
-			return len(e.pending), e.ingested, 0,
+			return len(e.pending), e.ingested, 0, false,
 				fmt.Errorf("%w: %d items, limit %d; split the request", errRequestTooLarge, len(items), maxPending)
 		}
-		return len(e.pending), e.ingested, 0,
+		return len(e.pending), e.ingested, 0, false,
 			fmt.Errorf("%w: holds %d items (limit %d); advance the stream or enable -batch-interval", errBatchFull, len(e.pending), maxPending)
 	}
 	if e.wal != nil {
 		lsn, err = wal.AppendItems(e.wal, e.key, items)
 		if err != nil {
-			return len(e.pending), e.ingested, 0, fmt.Errorf("%w: %v", errJournalFailed, err)
+			return len(e.pending), e.ingested, 0, false, fmt.Errorf("%w: %v", errJournalFailed, err)
 		}
 		e.walLSN = lsn
 	}
-	e.pending = append(e.pending, items...)
+	if adopt && e.pending == nil && cap(items) > 0 {
+		e.pending = items
+		adopted = true
+	} else {
+		if e.pending == nil {
+			e.pending = acquireBatchSlice()
+		}
+		e.pending = append(e.pending, items...)
+	}
 	e.ingested += uint64(len(items))
 	e.dirty = true
-	return len(e.pending), e.ingested, lsn, nil
+	return len(e.pending), e.ingested, lsn, adopted, nil
 }
 
 // replayAppend is append for WAL recovery: no limit (the original request
@@ -271,7 +320,12 @@ func (e *entry) applyBatch(batch []Item, btr *obs.Trace) (batchLen int, batches 
 	}
 	e.batches++
 	e.dirty = true
-	return len(batch), e.batches, elapsed
+	batchLen = len(batch)
+	// applyBatch is the batch's terminal consumer: the sampler above
+	// copied whatever item references it kept, so the array itself can
+	// recycle into the next open batch.
+	releaseBatchSlice(batch)
+	return batchLen, e.batches, elapsed
 }
 
 // counters returns the ingest bookkeeping without touching the sampler.

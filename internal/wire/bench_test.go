@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// All benchmarks here match `-bench=Wire` for the CI micro-bench smoke.
+
+func benchBody(lines int) []byte {
+	var sb strings.Builder
+	for i := 0; i < lines; i++ {
+		sb.WriteString(`{"v":`)
+		sb.Write(AppendFloat(nil, float64(i%1000)+0.125))
+		sb.WriteString("}\n")
+	}
+	return []byte(sb.String())
+}
+
+func BenchmarkWireValidate(b *testing.B) {
+	line := []byte(`{"sensor":12,"v":98.765,"tag":"s-12"}`)
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Validate(line) != Valid {
+			b.Fatal("verdict")
+		}
+	}
+}
+
+func BenchmarkWireJSONValidReference(b *testing.B) {
+	line := []byte(`{"sensor":12,"v":98.765,"tag":"s-12"}`)
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !json.Valid(line) {
+			b.Fatal("verdict")
+		}
+	}
+}
+
+func BenchmarkWireParseValueRow(b *testing.B) {
+	line := []byte(`{"v":98.765}`)
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ParseValueRow(line); !ok {
+			b.Fatal("declined")
+		}
+	}
+}
+
+func BenchmarkWireParseLabeledRow(b *testing.B) {
+	line := []byte(`{"x":[1.5,2.25,3.125,4.5],"y":0.25}`)
+	var x []float64
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		if x, _, ok = ParseLabeledRow(line, x); !ok {
+			b.Fatal("declined")
+		}
+	}
+}
+
+func BenchmarkWireLineScan(b *testing.B) {
+	body := benchBody(4096)
+	lr := NewLineReader(0)
+	src := bytes.NewReader(body)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src.Reset(body)
+		lr.Reset(src)
+		for {
+			line, _, err := lr.Next()
+			if err != nil {
+				break
+			}
+			if Validate(TrimSpace(line)) != Valid {
+				b.Fatal("verdict")
+			}
+		}
+	}
+}
+
+func BenchmarkWireBinDecode(b *testing.B) {
+	rows := make([][]float64, 4096)
+	for i := range rows {
+		rows[i] = []float64{float64(i) + 0.125}
+	}
+	data := AppendFrame(nil, rows)
+	br := NewBinReader()
+	src := bytes.NewReader(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src.Reset(data)
+		br.Reset(src)
+		for {
+			if _, err := br.NextRow(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkWireAppendFloat(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFloat(buf[:0], 98.765432)
+	}
+	_ = buf
+}
+
+func BenchmarkWireAppendRowJSON(b *testing.B) {
+	row := []float64{1.5, 2.25, 3.125, 0.25}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRowJSON(buf[:0], row)
+	}
+	_ = buf
+}

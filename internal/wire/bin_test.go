@@ -1,0 +1,272 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"testing"
+)
+
+func decodeAll(t *testing.T, data []byte) ([][]float64, error) {
+	t.Helper()
+	br := NewBinReader()
+	br.Reset(bytes.NewReader(data))
+	var rows [][]float64
+	for {
+		row, err := br.NextRow()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, append([]float64(nil), row...))
+	}
+}
+
+func TestBinRoundTrip(t *testing.T) {
+	want := [][]float64{
+		{1},
+		{-3.25},
+		{0.1, 0.2, 0.3},
+		{1, 2, 3, 4},
+		{math.Copysign(0, -1)},
+	}
+	// Split across two frames to exercise frame transitions.
+	data := AppendFrame(nil, want[:2])
+	data = AppendFrame(data, want[2:])
+	got, err := decodeAll(t, data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d: %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+				t.Fatalf("row %d[%d]: bits differ (%v vs %v)", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestBinTruncatedHeader(t *testing.T) {
+	data := AppendFrame(nil, [][]float64{{1}})
+	_, err := decodeAll(t, data[:5])
+	var be *BinError
+	if !errors.As(err, &be) || be.Frame != 1 || be.Offset != 0 {
+		t.Fatalf("want BinError frame=1 offset=0, got %v", err)
+	}
+}
+
+func TestBinTruncatedPayload(t *testing.T) {
+	data := AppendFrame(nil, [][]float64{{1, 2}})
+	_, err := decodeAll(t, data[:len(data)-3])
+	var be *BinError
+	if !errors.As(err, &be) || be.Frame != 1 {
+		t.Fatalf("want BinError frame=1, got %v", err)
+	}
+}
+
+func TestBinCRCMismatch(t *testing.T) {
+	data := AppendFrame(nil, [][]float64{{1, 2}})
+	data[len(data)-1] ^= 0xFF
+	_, err := decodeAll(t, data)
+	var be *BinError
+	if !errors.As(err, &be) {
+		t.Fatalf("want BinError on CRC mismatch, got %v", err)
+	}
+}
+
+func TestBinSecondFramePosition(t *testing.T) {
+	frame1 := AppendFrame(nil, [][]float64{{1}})
+	data := AppendFrame(frame1, [][]float64{{2}})
+	data[len(data)-1] ^= 0xFF // corrupt second frame only
+	rows, err := decodeAll(t, data)
+	var be *BinError
+	if !errors.As(err, &be) || be.Frame != 2 || be.Offset != int64(len(frame1)) {
+		t.Fatalf("want BinError frame=2 offset=%d, got rows=%d err=%v", len(frame1), len(rows), err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows before corrupt frame = %d, want 1", len(rows))
+	}
+}
+
+func TestBinRejectsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		data := AppendFrame(nil, [][]float64{{v}})
+		if _, err := decodeAll(t, data); err == nil {
+			t.Errorf("decode accepted non-finite %v", v)
+		}
+	}
+}
+
+func TestBinRejectsZeroWidthRow(t *testing.T) {
+	data := AppendFrame(nil, [][]float64{{}})
+	if _, err := decodeAll(t, data); err == nil {
+		t.Fatal("decode accepted zero-width row")
+	}
+}
+
+func TestBinRejectsEmptyFrame(t *testing.T) {
+	data := AppendFrame(nil, nil) // zero rows
+	if _, err := decodeAll(t, data); err == nil {
+		t.Fatal("decode accepted zero-row frame")
+	}
+}
+
+func TestBinRejectsOversizedLength(t *testing.T) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], MaxBinPayloadBytes+1)
+	_, err := decodeAll(t, hdr[:])
+	var be *BinError
+	if !errors.As(err, &be) {
+		t.Fatalf("want BinError on oversized length, got %v", err)
+	}
+}
+
+// errReader fails after yielding its prefix, simulating a body-limit
+// error that must surface verbatim (not wrapped as BinError).
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (e *errReader) Read(p []byte) (int, error) {
+	if len(e.data) == 0 {
+		return 0, e.err
+	}
+	n := copy(p, e.data)
+	e.data = e.data[:0]
+	return n, nil
+}
+
+func TestBinPropagatesReaderError(t *testing.T) {
+	sentinel := errors.New("body limit")
+	br := NewBinReader()
+	br.Reset(&errReader{data: AppendFrame(nil, [][]float64{{1}})[:4], err: sentinel})
+	_, err := br.NextRow()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel error, got %v", err)
+	}
+}
+
+// frameItemsAll drains a stream through NextFrameItems, recording each
+// frame's retained flag.
+func frameItemsAll(t *testing.T, data []byte) ([][]byte, []bool, error) {
+	t.Helper()
+	br := NewBinReader()
+	br.Reset(bytes.NewReader(data))
+	var items [][]byte
+	var flags []bool
+	for {
+		var retained bool
+		var err error
+		items, retained, err = NextFrameItems(br, items)
+		if err == io.EOF {
+			return items, flags, nil
+		}
+		flags = append(flags, retained)
+		if err != nil {
+			return items, flags, err
+		}
+	}
+}
+
+func TestNextFrameItemsRetainedOwnership(t *testing.T) {
+	rows := [][]float64{{1}, {2, 3}, {4, 5, 6}}
+	data := AppendFrame(nil, rows[:1])
+	data = AppendFrame(data, rows[1:])
+	items, flags, err := frameItemsAll(t, data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(items) != 3 || len(flags) != 2 {
+		t.Fatalf("items=%d flags=%v, want 3 items over 2 frames", len(items), flags)
+	}
+	for i, retained := range flags {
+		if !retained {
+			t.Fatalf("frame %d: retained=false for a small frame", i+1)
+		}
+	}
+	// Ownership transferred: items from frame 1 must still hold their
+	// original bytes after frame 2 was read into (what would otherwise
+	// be) the recycled payload buffer.
+	for i, row := range rows {
+		want := AppendFrame(nil, rows[i:i+1])[binHeaderSize+1:] // skip header + row-count varint
+		if !bytes.Equal(items[i], want) {
+			t.Fatalf("item %d = % x, want % x (row %v)", i, items[i], want, row)
+		}
+	}
+	// Each item must be self-describing from its first byte.
+	for i, it := range items {
+		if it[0] < 0x80 {
+			t.Fatalf("item %d first byte %#02x < 0x80", i, it[0])
+		}
+	}
+}
+
+func TestNextFrameItemsLargeFrameNotRetained(t *testing.T) {
+	// One frame whose payload exceeds MaxRetainedFrameBytes: rows must
+	// still decode, but retained=false tells the caller to copy.
+	wide := make([]float64, MaxBinRowFloats)
+	rows := make([][]float64, 0, MaxRetainedFrameBytes/(MaxBinRowFloats*8)+2)
+	for len(rows)*(BinRowHeaderSize+MaxBinRowFloats*8) <= MaxRetainedFrameBytes {
+		rows = append(rows, wide)
+	}
+	data := AppendFrame(nil, rows)
+	items, flags, err := frameItemsAll(t, data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(flags) != 1 || flags[0] {
+		t.Fatalf("flags=%v, want one non-retained frame", flags)
+	}
+	if len(items) != len(rows) {
+		t.Fatalf("items=%d, want %d", len(items), len(rows))
+	}
+}
+
+func TestNextFrameItemsMidFrameError(t *testing.T) {
+	// Two good rows, then a row whose header claims more floats than the
+	// payload holds. The good rows must be returned alongside the error.
+	good := AppendFrame(nil, [][]float64{{1}, {2}, {3}})
+	// Rewrite the last row's header to overrun: count 0x7f|0x80, 0x01 →
+	// 255 floats.
+	good[len(good)-10] = 0xff
+	good[len(good)-9] = 0x01
+	// Fix up the CRC so the frame itself is accepted.
+	binary.LittleEndian.PutUint32(good[4:], crc32Of(good[binHeaderSize:]))
+	items, _, err := frameItemsAll(t, good)
+	var be *BinError
+	if !errors.As(err, &be) || be.Frame != 1 {
+		t.Fatalf("want BinError frame=1, got %v", err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("good rows before the bad one = %d, want 2", len(items))
+	}
+}
+
+func crc32Of(p []byte) uint32 { return crc32.Checksum(p, binCRCTable) }
+
+func TestBinReaderReuse(t *testing.T) {
+	br := NewBinReader()
+	data := AppendFrame(nil, [][]float64{{1, 2, 3}})
+	for i := 0; i < 3; i++ {
+		br.Reset(bytes.NewReader(data))
+		row, err := br.NextRow()
+		if err != nil || len(row) != 3 {
+			t.Fatalf("iter %d: row=%v err=%v", i, row, err)
+		}
+		if _, err := br.NextRow(); err != io.EOF {
+			t.Fatalf("iter %d: want io.EOF, got %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package wire is the byte-level ingest wire layer: the 1BRC-style
+// replacement for encoding/json on the NDJSON hot path, plus the compact
+// application/x-tbs-bin binary framing for bulk loaders and node-to-node
+// forwarding.
+//
+// The package trades generality for speed on the restricted grammar that
+// real ingest traffic uses — flat JSON values, escape-free strings,
+// {"v":N} value rows and {"x":[…],"y":N} labeled rows — and falls back to
+// the encoding/json reference path the moment an input leaves that
+// subset, so observable semantics never change:
+//
+//   - LineReader scans chunked reads for newline-delimited records
+//     directly (no bufio.ReadSlice per line, no per-line copies), tracking
+//     the absolute byte offset of every line for error reporting.
+//   - Validate is a hand-rolled validator for the practical JSON subset;
+//     it answers Valid or Invalid only when its verdict provably matches
+//     json.Valid, and Unknown otherwise (escapes, deep nesting), in which
+//     case the caller consults json.Valid. A differential fuzz test holds
+//     the two in lockstep.
+//   - ParseFloat / ParseLabeledRow decode JSON numbers and labeled rows
+//     with hand-rolled int/float-from-bytes on the exactly-representable
+//     fast path (mantissa < 2⁵³, |exp10| ≤ 22 — the same fast path
+//     strconv itself uses, so results are bit-identical), reporting
+//     ok=false whenever the general parser must take over.
+//   - AppendFloat / AppendRowJSON render binary f64 rows as canonical
+//     JSON text, with a scaled-integer fast path (≤ 6 decimal places)
+//     whose output always round-trips to the identical bits.
+//   - BinReader / AppendFrame implement the x-tbs-bin framing: CRC-framed
+//     little-endian f64 rows reusing the write-ahead log's frame idioms.
+//
+// Every type holds its scratch internally and is reusable via Reset, so
+// steady-state decoding allocates nothing per line, per row or per frame.
+package wire

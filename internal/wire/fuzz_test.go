@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"strconv"
+	"testing"
+)
+
+// FuzzValidateDifferential holds the fast validator and the fast number
+// parsers in lockstep with the encoding/json + strconv reference path.
+// The seeded corpus (escapes, exponents, NaN/Inf spellings, truncated
+// lines) runs in a normal `go test`; `go test -fuzz=FuzzValidate`
+// explores beyond it.
+func FuzzValidateDifferential(f *testing.F) {
+	for _, tc := range validateCases {
+		f.Add([]byte(tc))
+	}
+	for _, tc := range numberCases {
+		f.Add([]byte(tc))
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ref := json.Valid(b)
+		switch Validate(b) {
+		case Valid:
+			if !ref {
+				t.Fatalf("Validate(%q) = Valid, json.Valid = false", b)
+			}
+		case Invalid:
+			if ref {
+				t.Fatalf("Validate(%q) = Invalid, json.Valid = true", b)
+			}
+		}
+
+		// Number decode: whenever the fast path answers, it must answer
+		// with strconv's exact bits.
+		if got, ok := ParseFloat(b); ok {
+			want, err := strconv.ParseFloat(string(b), 64)
+			if err != nil {
+				t.Fatalf("ParseFloat(%q) ok but strconv errs: %v", b, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("ParseFloat(%q): %x vs strconv %x", b, math.Float64bits(got), math.Float64bits(want))
+			}
+			// And formatting the value back must round-trip exactly.
+			s := AppendFloat(nil, got)
+			back, err := strconv.ParseFloat(string(s), 64)
+			if err != nil || math.Float64bits(back) != math.Float64bits(got) {
+				t.Fatalf("AppendFloat(%v) = %q does not round-trip (err %v)", got, s, err)
+			}
+		}
+
+		// Value rows: a fast-path answer must match the reference decode
+		// of the same bytes.
+		if v, ok := ParseValueRow(b); ok {
+			var ref struct {
+				V float64 `json:"v"`
+			}
+			if err := json.Unmarshal(b, &ref); err != nil {
+				t.Fatalf("ParseValueRow(%q) ok but reference errs: %v", b, err)
+			}
+			if math.Float64bits(v) != math.Float64bits(ref.V) {
+				t.Fatalf("ParseValueRow(%q): %v vs reference %v", b, v, ref.V)
+			}
+		}
+		if x, y, ok := ParseLabeledRow(b, nil); ok {
+			var ref struct {
+				X []float64 `json:"x"`
+				Y float64   `json:"y"`
+			}
+			if err := json.Unmarshal(b, &ref); err != nil {
+				t.Fatalf("ParseLabeledRow(%q) ok but reference errs: %v", b, err)
+			}
+			if len(x) != len(ref.X) || math.Float64bits(y) != math.Float64bits(ref.Y) {
+				t.Fatalf("ParseLabeledRow(%q): (%v,%v) vs reference (%v,%v)", b, x, y, ref.X, ref.Y)
+			}
+			for i := range x {
+				if math.Float64bits(x[i]) != math.Float64bits(ref.X[i]) {
+					t.Fatalf("ParseLabeledRow(%q): x[%d] %v vs %v", b, i, x[i], ref.X[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzBinReader feeds arbitrary bytes to the frame decoder: it must
+// never panic, every failure must be a structured *BinError, and every
+// decoded row must be finite and renderable as valid JSON.
+func FuzzBinReader(f *testing.F) {
+	f.Add(AppendFrame(nil, [][]float64{{1}, {0.1, 0.2, 0.3}}))
+	f.Add(AppendFrame(AppendFrame(nil, [][]float64{{42.125}}), [][]float64{{1, 2}}))
+	f.Add(AppendFrame(nil, [][]float64{{math.MaxFloat64, 5e-324}}))
+	f.Add(AppendFrame(nil, [][]float64{{1}})[:5]) // truncated header
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := NewBinReader()
+		br.Reset(bytes.NewReader(data))
+		var buf []byte
+		for {
+			row, err := br.NextRow()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				var be *BinError
+				if !errors.As(err, &be) {
+					t.Fatalf("non-structured decode error: %v", err)
+				}
+				if be.Frame < 1 || be.Offset < 0 || be.Offset > int64(len(data)) {
+					t.Fatalf("BinError position out of range: %+v", be)
+				}
+				return
+			}
+			if len(row) == 0 || len(row) > MaxBinRowFloats {
+				t.Fatalf("decoded row width %d out of range", len(row))
+			}
+			buf = AppendRowJSON(buf[:0], row)
+			if !json.Valid(buf) {
+				t.Fatalf("decoded row %v renders invalid JSON %q", row, buf)
+			}
+		}
+	})
+}

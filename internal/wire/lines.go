@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+)
+
+// DefaultLineBufSize is the LineReader's initial chunk size: big enough
+// that one read syscall covers thousands of typical lines, small enough
+// that a pool of readers stays cheap to retain.
+const DefaultLineBufSize = 128 << 10
+
+// maxZeroReads bounds consecutive io.Reader calls that return (0, nil)
+// before the reader gives up, mirroring bufio's no-progress guard.
+const maxZeroReads = 100
+
+// LineReader yields newline-delimited records out of chunked reads. It is
+// the streaming half of the fast NDJSON path: one buffer fill per chunk,
+// one vectorized IndexByte per line, zero copies (returned lines alias
+// the internal buffer and are valid only until the next Next call).
+//
+// The final line of the input is returned whether or not it carries a
+// trailing newline; the call after the last line reports io.EOF. Lines
+// longer than the buffer grow it geometrically — oversized buffers are
+// the caller's cue not to pool the reader again.
+type LineReader struct {
+	r     io.Reader
+	buf   []byte
+	start int   // next unconsumed byte
+	end   int   // end of buffered data
+	off   int64 // absolute stream offset of buf[start]
+	err   error // sticky read error (io.EOF included)
+}
+
+// NewLineReader builds a reader with the given buffer size (0 selects
+// DefaultLineBufSize). Call Reset before use.
+func NewLineReader(size int) *LineReader {
+	if size <= 0 {
+		size = DefaultLineBufSize
+	}
+	return &LineReader{buf: make([]byte, size)}
+}
+
+// Reset points the reader at a new stream and rewinds all state, so one
+// pooled LineReader serves many requests without reallocating.
+func (l *LineReader) Reset(r io.Reader) {
+	l.r = r
+	l.start, l.end = 0, 0
+	l.off = 0
+	l.err = nil
+}
+
+// BufCap reports the current buffer capacity — pools use it to drop
+// readers that grew past their retention bound on an oversized line.
+func (l *LineReader) BufCap() int { return cap(l.buf) }
+
+// Offset reports the absolute stream offset of the next unreturned byte
+// — the position where a mid-stream read error surfaced.
+func (l *LineReader) Offset() int64 { return l.off }
+
+// Next returns the next line (newline excluded) and the absolute byte
+// offset of its first byte. err is io.EOF once the input is exhausted,
+// or the underlying reader's error. The line aliases the internal buffer:
+// it is valid only until the next call.
+func (l *LineReader) Next() (line []byte, offset int64, err error) {
+	for {
+		if i := bytes.IndexByte(l.buf[l.start:l.end], '\n'); i >= 0 {
+			line = l.buf[l.start : l.start+i]
+			offset = l.off
+			l.start += i + 1
+			l.off += int64(i + 1)
+			return line, offset, nil
+		}
+		if l.err != nil {
+			if l.start < l.end {
+				// Final unterminated line.
+				line = l.buf[l.start:l.end]
+				offset = l.off
+				l.off += int64(len(line))
+				l.start = l.end
+				return line, offset, nil
+			}
+			return nil, l.off, l.err
+		}
+		if err := l.fill(); err != nil {
+			l.err = err
+		}
+	}
+}
+
+// fill compacts the unconsumed tail to the front, grows the buffer when a
+// line outruns it, and reads one chunk.
+func (l *LineReader) fill() error {
+	if l.start > 0 {
+		n := copy(l.buf, l.buf[l.start:l.end])
+		l.start, l.end = 0, n
+	}
+	if l.end == len(l.buf) {
+		grown := make([]byte, 2*len(l.buf))
+		copy(grown, l.buf[:l.end])
+		l.buf = grown
+	}
+	for i := 0; i < maxZeroReads; i++ {
+		n, err := l.r.Read(l.buf[l.end:])
+		l.end += n
+		if n > 0 || err != nil {
+			return err
+		}
+	}
+	return io.ErrNoProgress
+}
+
+// TrimSpace strips leading and trailing JSON whitespace (space, \t, \r,
+// \n) in place — the allocation-free subset of bytes.TrimSpace the line
+// loop needs (lines never contain \n, but clients do send \r\n).
+func TrimSpace(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
+}

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// chunkReader returns at most n bytes per Read to exercise refills.
+type chunkReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(p) > c.n {
+		p = p[:c.n]
+	}
+	return c.r.Read(p)
+}
+
+func TestLineReaderOffsetsAndFinalLine(t *testing.T) {
+	input := "alpha\nbeta\n\ngamma" // blank line + unterminated final line
+	wantLines := []string{"alpha", "beta", "", "gamma"}
+	wantOffs := []int64{0, 6, 11, 12}
+	for _, bufSize := range []int{3, 4, 7, 64, DefaultLineBufSize} {
+		for _, chunk := range []int{1, 2, 3, 1 << 20} {
+			lr := NewLineReader(bufSize)
+			lr.Reset(&chunkReader{r: strings.NewReader(input), n: chunk})
+			var lines []string
+			var offs []int64
+			for {
+				line, off, err := lr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("buf=%d chunk=%d: Next: %v", bufSize, chunk, err)
+				}
+				lines = append(lines, string(line))
+				offs = append(offs, off)
+			}
+			if strings.Join(lines, "|") != strings.Join(wantLines, "|") {
+				t.Fatalf("buf=%d chunk=%d: lines %q, want %q", bufSize, chunk, lines, wantLines)
+			}
+			for i := range offs {
+				if offs[i] != wantOffs[i] {
+					t.Fatalf("buf=%d chunk=%d: offset[%d] = %d, want %d", bufSize, chunk, i, offs[i], wantOffs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLineReaderLongLineGrowsBuffer(t *testing.T) {
+	long := strings.Repeat("x", 10_000)
+	lr := NewLineReader(16)
+	lr.Reset(strings.NewReader(long + "\nshort\n"))
+	line, off, err := lr.Next()
+	if err != nil || off != 0 || string(line) != long {
+		t.Fatalf("long line: off=%d err=%v len=%d", off, err, len(line))
+	}
+	line, off, err = lr.Next()
+	if err != nil || string(line) != "short" {
+		t.Fatalf("short after long: %q off=%d err=%v", line, off, err)
+	}
+	if off != int64(len(long)+1) {
+		t.Fatalf("short offset = %d, want %d", off, len(long)+1)
+	}
+	if lr.BufCap() < len(long) {
+		t.Fatalf("BufCap() = %d, want ≥ %d after growth", lr.BufCap(), len(long))
+	}
+}
+
+func TestLineReaderReset(t *testing.T) {
+	lr := NewLineReader(8)
+	for i := 0; i < 3; i++ {
+		lr.Reset(strings.NewReader("one\ntwo\n"))
+		for _, want := range []string{"one", "two"} {
+			line, _, err := lr.Next()
+			if err != nil || string(line) != want {
+				t.Fatalf("iter %d: got %q err=%v, want %q", i, line, err, want)
+			}
+		}
+		if _, _, err := lr.Next(); err != io.EOF {
+			t.Fatalf("iter %d: want io.EOF, got %v", i, err)
+		}
+	}
+}
+
+func TestLineReaderEmptyInput(t *testing.T) {
+	lr := NewLineReader(8)
+	lr.Reset(bytes.NewReader(nil))
+	if _, _, err := lr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF on empty input, got %v", err)
+	}
+}
+
+func TestTrimSpace(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", ""}, {"  ", ""}, {"a", "a"}, {" a\r", "a"},
+		{"\t{\"v\":1} \r", `{"v":1}`}, {"a b", "a b"},
+	} {
+		if got := string(TrimSpace([]byte(tc.in))); got != tc.want {
+			t.Errorf("TrimSpace(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

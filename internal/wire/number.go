@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"math"
+	"strconv"
+)
+
+// exactMantissa is the largest integer count guaranteed exactly
+// representable in a float64 (2⁵³); pow10 holds the powers of ten that
+// are themselves exact (10²² = 2²²·5²², and 5²² < 2⁵³).
+const exactMantissa = 1 << 53
+
+var pow10 = [...]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// ParseFloat decodes a JSON number from the whole of b with hand-rolled
+// digit accumulation, on the classic exactly-representable fast path
+// (mantissa < 2⁵³, |decimal exponent| ≤ 22): one integer build plus one
+// exact multiply or divide, each correctly rounded, so the result is
+// bit-identical to strconv.ParseFloat by IEEE-754 construction. ok=false
+// means "use the general parser" — the input is outside the fast range
+// or not a JSON number — never "the value is X".
+func ParseFloat(b []byte) (f float64, ok bool) {
+	i := 0
+	neg := false
+	if i < len(b) && b[i] == '-' {
+		neg = true
+		i++
+	}
+	if i >= len(b) {
+		return 0, false
+	}
+	var mant uint64
+	var nd int // digits accumulated into mant (including fraction zeros)
+	switch {
+	case b[i] == '0':
+		i++
+	case '1' <= b[i] && b[i] <= '9':
+		for i < len(b) && '0' <= b[i] && b[i] <= '9' {
+			mant = mant*10 + uint64(b[i]-'0')
+			nd++
+			i++
+		}
+	default:
+		return 0, false
+	}
+	exp10 := 0
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		for i < len(b) && '0' <= b[i] && b[i] <= '9' {
+			mant = mant*10 + uint64(b[i]-'0')
+			nd++
+			exp10--
+			i++
+		}
+	}
+	if nd > 19 {
+		// mant may have wrapped past uint64; out of fast range.
+		return 0, false
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		esign := 1
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			if b[i] == '-' {
+				esign = -1
+			}
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		ev := 0
+		for i < len(b) && '0' <= b[i] && b[i] <= '9' {
+			if ev = ev*10 + int(b[i]-'0'); ev > 1000 {
+				// Far outside the fast range either way; a clamp keeps the
+				// arithmetic safe and the verdict unchanged.
+				ev = 1000
+			}
+			i++
+		}
+		exp10 += esign * ev
+	}
+	if i != len(b) {
+		return 0, false
+	}
+	if mant >= exactMantissa || exp10 < -22 || exp10 > 22 {
+		return 0, false
+	}
+	f = float64(mant)
+	if exp10 > 0 {
+		f *= pow10[exp10]
+	} else if exp10 < 0 {
+		f /= pow10[-exp10]
+	}
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+// maxDecimalPlaces bounds AppendFloat's scaled-integer search: values
+// with at most this many decimal places render without strconv.
+const maxDecimalPlaces = 6
+
+// AppendFloat appends the canonical JSON rendering of a finite f. The
+// fast path covers integers and short decimals (≤ 6 places) via scaled
+// 64-bit integer formatting — the inverse of the 1BRC parse trick — and
+// its output always parses back to the identical bits (the candidate is
+// accepted only when the exact division float64(r)/10ᵏ reproduces f).
+// Everything else falls back to strconv's shortest round-trip form.
+// Callers must reject NaN/±Inf first; JSON cannot carry them.
+func AppendFloat(dst []byte, f float64) []byte {
+	if f == 0 {
+		if math.Signbit(f) {
+			return append(dst, '-', '0')
+		}
+		return append(dst, '0')
+	}
+	if f > -exactMantissa && f < exactMantissa {
+		if i := int64(f); float64(i) == f {
+			return appendScaled(dst, i, 0)
+		}
+		for k := 1; k <= maxDecimalPlaces; k++ {
+			scaled := f * pow10[k]
+			if scaled <= -exactMantissa || scaled >= exactMantissa {
+				break
+			}
+			r := int64(math.Round(scaled))
+			if float64(r)/pow10[k] == f {
+				return appendScaled(dst, r, k)
+			}
+		}
+	}
+	return strconv.AppendFloat(dst, f, 'g', -1, 64)
+}
+
+// digits10 counts decimal digits with well-predicted compares instead of
+// a multiply loop; values are bounded by exactMantissa (16 digits).
+func digits10(u uint64) int {
+	switch {
+	case u < 10:
+		return 1
+	case u < 100:
+		return 2
+	case u < 1_000:
+		return 3
+	case u < 10_000:
+		return 4
+	case u < 100_000:
+		return 5
+	case u < 1_000_000:
+		return 6
+	case u < 10_000_000:
+		return 7
+	case u < 100_000_000:
+		return 8
+	case u < 1_000_000_000:
+		return 9
+	case u < 10_000_000_000:
+		return 10
+	case u < 100_000_000_000:
+		return 11
+	case u < 1_000_000_000_000:
+		return 12
+	case u < 10_000_000_000_000:
+		return 13
+	case u < 100_000_000_000_000:
+		return 14
+	case u < 1_000_000_000_000_000:
+		return 15
+	}
+	return 16
+}
+
+// smallsString is the classic two-digits-at-a-time table: one division
+// emits two digits, halving the divisions on the hottest formatting loop.
+const smallsString = "00010203040506070809" +
+	"10111213141516171819" +
+	"20212223242526272829" +
+	"30313233343536373839" +
+	"40414243444546474849" +
+	"50515253545556575859" +
+	"60616263646566676869" +
+	"70717273747576777879" +
+	"80818283848586878889" +
+	"90919293949596979899"
+
+// appendScaled formats n·10⁻ᵏ as a plain decimal ("42.125" for n=42125,
+// k=3; k=0 is the integer case). The width is computed up front and the
+// digits written backwards in place, so the hot path does one slice
+// growth check and no intermediate buffer copy.
+func appendScaled(dst []byte, n int64, k int) []byte {
+	if n < 0 {
+		dst = append(dst, '-')
+		n = -n
+	}
+	u := uint64(n)
+	// Printed width: the integer part's digit count (at least the single
+	// '0'), plus the point and k fraction digits when k > 0.
+	intPart := u
+	for d := 0; d < k; d++ {
+		intPart /= 10
+	}
+	w := digits10(intPart)
+	if k > 0 {
+		w += 1 + k
+	}
+	if cap(dst)-len(dst) < w {
+		dst = append(dst, make([]byte, w)...)[:len(dst)]
+	}
+	dst = dst[:len(dst)+w]
+	i := len(dst)
+	for d := 0; d < k; d++ {
+		i--
+		dst[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if k > 0 {
+		i--
+		dst[i] = '.'
+	}
+	for u >= 100 {
+		q := u / 100
+		j := (u - q*100) * 2
+		i -= 2
+		dst[i] = smallsString[j]
+		dst[i+1] = smallsString[j+1]
+		u = q
+	}
+	if u >= 10 {
+		j := u * 2
+		i -= 2
+		dst[i] = smallsString[j]
+		dst[i+1] = smallsString[j+1]
+	} else if u > 0 || intPart == 0 {
+		i--
+		dst[i] = byte('0' + u)
+	}
+	return dst
+}

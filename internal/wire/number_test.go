@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+var numberCases = []string{
+	"0", "-0", "1", "-1", "42", "-42", "9007199254740991", "9007199254740992",
+	"3.25", "-3.25", "0.001", "123.456", "98.7654321", "-0.0",
+	"1e3", "1E3", "1e+3", "1e-3", "2.5e10", "-2.5e-10", "1e22", "1e23",
+	"1e-22", "1e-23", "0.1", "0.2", "0.3", "1.7976931348623157e308",
+	"5e-324", "1e999", "1e-999", "18446744073709551615",
+	"184467440737095516150", "0.000001", "123456789.123456789",
+}
+
+func TestParseFloatMatchesStrconv(t *testing.T) {
+	for _, tc := range numberCases {
+		got, ok := ParseFloat([]byte(tc))
+		if !ok {
+			continue // fallback path; nothing to compare
+		}
+		want, err := strconv.ParseFloat(tc, 64)
+		if err != nil {
+			t.Fatalf("ParseFloat(%q) ok but strconv errs: %v", tc, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("ParseFloat(%q) = %x, strconv = %x", tc, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestParseFloatRejectsNonNumbers(t *testing.T) {
+	for _, tc := range []string{"", "-", "+1", "01", "1.", ".5", "1e", "1e+", "NaN", "Inf", "1 ", " 1", "0x10", "1,5"} {
+		if _, ok := ParseFloat([]byte(tc)); ok {
+			t.Errorf("ParseFloat(%q) ok, want fallback/reject", tc)
+		}
+	}
+}
+
+func TestParseFloatFastRangeBails(t *testing.T) {
+	// Outside |exp10| ≤ 22 or mantissa ≥ 2⁵³ the fast path must decline,
+	// not guess.
+	for _, tc := range []string{"1e23", "1e-23", "9007199254740993", "123456789012345678901"} {
+		if _, ok := ParseFloat([]byte(tc)); ok {
+			t.Errorf("ParseFloat(%q) ok, want out-of-range bail", tc)
+		}
+	}
+}
+
+func TestAppendFloatRoundTrips(t *testing.T) {
+	vals := []float64{
+		0, math.Copysign(0, -1), 1, -1, 42.125, -42.125, 0.1, 0.2, 0.3,
+		98.765432, 1e15, -1e15, 1e300, 5e-324, 123456.789012,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 1.0 / 3.0,
+	}
+	for _, f := range vals {
+		s := string(AppendFloat(nil, f))
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("AppendFloat(%v) = %q: not parseable: %v", f, s, err)
+		}
+		if math.Float64bits(back) != math.Float64bits(f) {
+			t.Errorf("AppendFloat(%v) = %q, parses back to %v (bits differ)", f, s, back)
+		}
+		if v := Validate([]byte(s)); v != Valid {
+			t.Errorf("AppendFloat(%v) = %q: not Valid JSON number (verdict %d)", f, s, v)
+		}
+	}
+}
+
+func TestAppendFloatCanonicalForms(t *testing.T) {
+	for _, tc := range []struct {
+		f    float64
+		want string
+	}{
+		{0, "0"},
+		{math.Copysign(0, -1), "-0"},
+		{42, "42"},
+		{-7, "-7"},
+		{3.25, "3.25"},
+		{0.001, "0.001"},
+		{42.125, "42.125"},
+		{-0.5, "-0.5"},
+	} {
+		if got := string(AppendFloat(nil, tc.f)); got != tc.want {
+			t.Errorf("AppendFloat(%v) = %q, want %q", tc.f, got, tc.want)
+		}
+	}
+}

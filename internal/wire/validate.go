@@ -1,0 +1,219 @@
+package wire
+
+// Verdict is Validate's three-way answer. Unknown is not an error: it
+// means the input left the fast subset (an escape sequence, extreme
+// nesting) and the caller must consult the encoding/json reference
+// validator. Valid and Invalid are definitive — the differential fuzz
+// test holds them bit-for-bit in lockstep with json.Valid.
+type Verdict uint8
+
+const (
+	// Unknown: outside the fast subset; fall back to json.Valid.
+	Unknown Verdict = iota
+	// Valid: json.Valid would return true.
+	Valid
+	// Invalid: json.Valid would return false.
+	Invalid
+)
+
+// maxFastDepth bounds recursion. encoding/json accepts nesting to depth
+// 10000; anything deeper than this bound answers Unknown so the verdict
+// stays exact without a 10000-deep stack.
+const maxFastDepth = 64
+
+// Validate scans one JSON value with a hand-rolled validator for the
+// practical ingest subset: objects and arrays of numbers, escape-free
+// strings and literals — the shapes ingest traffic actually has. No
+// reflection, no per-byte state machine dispatch, no allocation.
+func Validate(b []byte) Verdict {
+	// Canonical value rows {"v":<number>} dominate ingest traffic:
+	// recognize the exact shape with one straight-line scan. Anything
+	// that fails the match (whitespace, a non-number value) falls
+	// through to the general walk, which gives the same exact answer.
+	if len(b) >= 7 && b[0] == '{' && b[1] == '"' && b[2] == 'v' && b[3] == '"' && b[4] == ':' {
+		if j, v := validateNumber(b, 5); v == Valid && j == len(b)-1 && b[j] == '}' {
+			return Valid
+		}
+	}
+	i, v := validateValue(b, skipSpace(b, 0), 0)
+	if v != Valid {
+		return v
+	}
+	if skipSpace(b, i) != len(b) {
+		// Trailing non-whitespace after a complete value.
+		return Invalid
+	}
+	return Valid
+}
+
+func skipSpace(b []byte, i int) int {
+	for i < len(b) {
+		if c := b[i]; c != ' ' && c != '\t' && c != '\r' && c != '\n' {
+			break
+		}
+		i++
+	}
+	return i
+}
+
+// validateValue consumes one value starting at i (no leading whitespace)
+// and returns the position after it.
+func validateValue(b []byte, i, depth int) (int, Verdict) {
+	if i >= len(b) {
+		return i, Invalid
+	}
+	switch c := b[i]; {
+	case c == '{':
+		return validateObject(b, i+1, depth+1)
+	case c == '[':
+		return validateArray(b, i+1, depth+1)
+	case c == '"':
+		return validateString(b, i+1)
+	case c == '-' || ('0' <= c && c <= '9'):
+		return validateNumber(b, i)
+	case c == 't':
+		return validateLiteral(b, i, "true")
+	case c == 'f':
+		return validateLiteral(b, i, "false")
+	case c == 'n':
+		return validateLiteral(b, i, "null")
+	}
+	return i, Invalid
+}
+
+func validateLiteral(b []byte, i int, lit string) (int, Verdict) {
+	if len(b)-i < len(lit) || string(b[i:i+len(lit)]) != lit {
+		return i, Invalid
+	}
+	return i + len(lit), Valid
+}
+
+// validateString consumes string content after the opening quote. Any
+// escape sequence bails to Unknown — correctness of \uXXXX handling
+// stays encoding/json's job.
+func validateString(b []byte, i int) (int, Verdict) {
+	for i < len(b) {
+		switch c := b[i]; {
+		case c == '"':
+			return i + 1, Valid
+		case c == '\\':
+			return i, Unknown
+		case c < 0x20:
+			// Raw control character: rejected by the JSON grammar.
+			return i, Invalid
+		}
+		// Bytes ≥ 0x20 including non-ASCII pass through verbatim, exactly
+		// as encoding/json's scanner treats them (it does not validate
+		// UTF-8 during Valid).
+		i++
+	}
+	return i, Invalid // unterminated
+}
+
+// validateNumber consumes -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+func validateNumber(b []byte, i int) (int, Verdict) {
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	switch {
+	case i >= len(b):
+		return i, Invalid
+	case b[i] == '0':
+		i++
+	case '1' <= b[i] && b[i] <= '9':
+		for i < len(b) && '0' <= b[i] && b[i] <= '9' {
+			i++
+		}
+	default:
+		return i, Invalid
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return i, Invalid
+		}
+		for i < len(b) && '0' <= b[i] && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return i, Invalid
+		}
+		for i < len(b) && '0' <= b[i] && b[i] <= '9' {
+			i++
+		}
+	}
+	return i, Valid
+}
+
+func validateObject(b []byte, i, depth int) (int, Verdict) {
+	if depth > maxFastDepth {
+		return i, Unknown
+	}
+	i = skipSpace(b, i)
+	if i < len(b) && b[i] == '}' {
+		return i + 1, Valid
+	}
+	for {
+		if i >= len(b) || b[i] != '"' {
+			return i, Invalid
+		}
+		var v Verdict
+		if i, v = validateString(b, i+1); v != Valid {
+			return i, v
+		}
+		i = skipSpace(b, i)
+		if i >= len(b) || b[i] != ':' {
+			return i, Invalid
+		}
+		i = skipSpace(b, i+1)
+		if i, v = validateValue(b, i, depth); v != Valid {
+			return i, v
+		}
+		i = skipSpace(b, i)
+		if i >= len(b) {
+			return i, Invalid
+		}
+		switch b[i] {
+		case '}':
+			return i + 1, Valid
+		case ',':
+			i = skipSpace(b, i+1)
+		default:
+			return i, Invalid
+		}
+	}
+}
+
+func validateArray(b []byte, i, depth int) (int, Verdict) {
+	if depth > maxFastDepth {
+		return i, Unknown
+	}
+	i = skipSpace(b, i)
+	if i < len(b) && b[i] == ']' {
+		return i + 1, Valid
+	}
+	for {
+		var v Verdict
+		if i, v = validateValue(b, i, depth); v != Valid {
+			return i, v
+		}
+		i = skipSpace(b, i)
+		if i >= len(b) {
+			return i, Invalid
+		}
+		switch b[i] {
+		case ']':
+			return i + 1, Valid
+		case ',':
+			i = skipSpace(b, i+1)
+		default:
+			return i, Invalid
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// validateCases is shared with the fuzz seed corpus: every shape the
+// fast validator must judge definitively, plus the ones that must bail.
+var validateCases = []string{
+	// Scalars.
+	`1`, `0`, `-0`, `-1`, `3.25`, `-3.25`, `0.001`, `1e3`, `1E+3`, `6.02e-23`,
+	`true`, `false`, `null`, `"plain"`, `""`, `"héllo"`,
+	// Canonical ingest rows.
+	`{"v":1}`, `{"v":-3.25}`, `{"v":1.0e2}`, ` { "v" : 7 } `,
+	`{"x":[1,2,3],"y":4}`, `{"x":[],"y":0}`, `{"x":[-1.5e2, 0.25],"y":-9}`,
+	// General objects/arrays.
+	`{}`, `[]`, `[1,2,3]`, `{"a":{"b":[true,null]}}`, `[[[[1]]]]`,
+	`{"sensor":12,"v":0.5,"tag":"s-1"}`,
+	// Invalid shapes.
+	``, ` `, `{`, `}`, `[1,`, `[1,]`, `{"a":}`, `{"a":1,}`, `{a:1}`, `{"a" 1}`,
+	`01`, `1.`, `.5`, `+1`, `1e`, `1e+`, `--1`, `1 2`, `"unterminated`,
+	`nul`, `tru`, `falsey`, `NaN`, `Infinity`, `-Infinity`, `nan`,
+	`{"v":NaN}`, `{"v":Infinity}`, `{"v":1}}`, `[1,2`, "\"ctrl\x01char\"",
+	// Truncations of valid inputs.
+	`{"v":`, `{"x":[1,2`, `{"x":[1],"y"`, `{"v`,
+	// Escapes and exotica: must be Unknown (fall back), never wrong.
+	`"a\nb"`, `"A"`, `"\\"`, `{"k\t":1}`, `{"a":"b\"c"}`, `"bad\q"`,
+}
+
+func TestValidateDifferential(t *testing.T) {
+	for _, tc := range validateCases {
+		b := []byte(tc)
+		got := Validate(b)
+		want := json.Valid(b)
+		switch got {
+		case Valid:
+			if !want {
+				t.Errorf("Validate(%q) = Valid, json.Valid = false", tc)
+			}
+		case Invalid:
+			if want {
+				t.Errorf("Validate(%q) = Invalid, json.Valid = true", tc)
+			}
+		}
+	}
+}
+
+func TestValidateEscapesAreUnknown(t *testing.T) {
+	for _, tc := range []string{`"a\nb"`, `{"k\t":1}`, `"bad\q"`} {
+		if got := Validate([]byte(tc)); got != Unknown {
+			t.Errorf("Validate(%q) = %d, want Unknown", tc, got)
+		}
+	}
+}
+
+func TestValidateDeepNestingIsUnknown(t *testing.T) {
+	deep := strings.Repeat("[", maxFastDepth+1) + strings.Repeat("]", maxFastDepth+1)
+	if got := Validate([]byte(deep)); got != Unknown {
+		t.Fatalf("Validate(deep) = %d, want Unknown", got)
+	}
+	shallow := strings.Repeat("[", maxFastDepth) + strings.Repeat("]", maxFastDepth)
+	if got := Validate([]byte(shallow)); got != Valid {
+		t.Fatalf("Validate(shallow) = %d, want Valid", got)
+	}
+}

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWireParseZeroAlloc enforces the tentpole's zero-allocation bound:
+// the full line loop — chunked scan, validation, row decode — must not
+// allocate at steady state. testing.AllocsPerRun warms the function up
+// once, which covers the first-use buffer growth.
+func TestWireParseZeroAlloc(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 512; i++ {
+		sb.WriteString(`{"v":`)
+		sb.Write(AppendFloat(nil, float64(i)+0.125))
+		sb.WriteString("}\n")
+		sb.WriteString(`{"x":[1.5,2.25,3.125],"y":`)
+		sb.Write(AppendFloat(nil, float64(i)))
+		sb.WriteString("}\n")
+	}
+	body := []byte(sb.String())
+
+	lr := NewLineReader(0)
+	src := bytes.NewReader(body)
+	var x []float64
+	allocs := testing.AllocsPerRun(20, func() {
+		src.Reset(body)
+		lr.Reset(src)
+		for {
+			line, _, err := lr.Next()
+			if err != nil {
+				break
+			}
+			line = TrimSpace(line)
+			if Validate(line) != Valid {
+				t.Fatal("unexpected verdict on canonical line")
+			}
+			if _, ok := ParseValueRow(line); ok {
+				continue
+			}
+			var lok bool
+			if x, _, lok = ParseLabeledRow(line, x); !lok {
+				t.Fatal("canonical labeled row declined")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("line parse loop allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestWireBinDecodeZeroAlloc: the binary row decoder is likewise
+// allocation-free once its scratch has grown.
+func TestWireBinDecodeZeroAlloc(t *testing.T) {
+	rows := make([][]float64, 256)
+	for i := range rows {
+		rows[i] = []float64{float64(i), float64(i) + 0.5, float64(i) * 1.25}
+	}
+	data := AppendFrame(nil, rows)
+	br := NewBinReader()
+	src := bytes.NewReader(data)
+	allocs := testing.AllocsPerRun(20, func() {
+		src.Reset(data)
+		br.Reset(src)
+		for {
+			if _, err := br.NextRow(); err != nil {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("binary decode loop allocates %.2f allocs/op, want 0", allocs)
+	}
+}
