@@ -1,0 +1,103 @@
+// Command docslint is the CI documentation gate: it walks every package
+// under the given roots (default ./internal/...) and fails when a package
+// has no package-level doc comment on any of its non-test files.
+//
+// The bar is deliberately minimal — one real doc comment per package, not
+// per identifier — because the package comment is the entry point godoc,
+// editors, and new contributors all read first, and it is the piece that
+// silently rots when a package is split or renamed.
+//
+// Usage (as CI runs it):
+//
+//	go run ./cmd/docslint ./internal
+//
+// Multiple roots may be given; each is walked recursively. Directories
+// named testdata and files ending in _test.go are ignored.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./internal"}
+	}
+	var missing []string
+	for _, root := range roots {
+		if err := lintRoot(root, &missing); err != nil {
+			fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintln(os.Stderr, "docslint: packages missing a package doc comment:")
+		for _, p := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("docslint: every package has a package doc comment")
+}
+
+// lintRoot walks one directory tree and appends each documented-package
+// violation to missing.
+func lintRoot(root string, missing *[]string) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") {
+			if path != root {
+				return filepath.SkipDir
+			}
+		}
+		ok, hasGo, err := packageDocumented(path)
+		if err != nil {
+			return err
+		}
+		if hasGo && !ok {
+			*missing = append(*missing, path)
+		}
+		return nil
+	})
+}
+
+// packageDocumented reports whether the directory holds non-test Go files
+// (hasGo) and whether at least one of them carries a package doc comment.
+func packageDocumented(dir string) (documented, hasGo bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		// ParseComments + PackageClauseOnly: just the header, so linting
+		// stays fast no matter how large the tree grows.
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if perr != nil {
+			return false, hasGo, fmt.Errorf("parse %s: %w", filepath.Join(dir, name), perr)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented = true
+		}
+	}
+	return documented, hasGo, nil
+}

@@ -69,6 +69,15 @@
 // log tail on top of the newest checkpoints — so even a kill -9 loses at
 // most the last un-fsynced group, not the traffic since the last
 // periodic checkpoint. Checkpoint passes double as WAL compaction.
+//
+// With -max-resident and/or -idle-after (memory tiering) the daemon keeps
+// only the hottest streams' state in memory: a background sweep hibernates
+// least-recently-used idle streams down to their checkpoint files, and a
+// request touching a hibernated stream rehydrates it transparently through
+// the crash-recovery path (checkpoint + WAL tail). This bounds RSS by the
+// working set rather than the total tenant count — a node can own millions
+// of streams while holding only -max-resident of them resident. See the
+// Operations section of README.md for capacity planning.
 package main
 
 import (
@@ -92,30 +101,32 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port)")
-		advertise  = flag.String("advertise", "", "URL peers use to reach this node, e.g. http://10.0.0.5:8377 (default: derived from -addr); identifies this node in handoff envelopes and logs")
-		configPath = flag.String("config", "", "JSON file holding the sampler config (overrides the scheme flags)")
-		scheme     = flag.String("scheme", "rtbs", "sampling scheme for every stream (see tbstream -schemes)")
-		lambda     = flag.Float64("lambda", 0.07, "decay rate per batch interval")
-		n          = flag.Int("n", 1000, "sample size bound / target per stream")
-		meanBatch  = flag.Float64("meanbatch", 100, "assumed mean batch size (T-TBS only)")
-		horizon    = flag.Float64("horizon", 10, "time-window horizon in batches (window schemes only)")
-		seed       = flag.Uint64("seed", 1, "base RNG seed; per-stream seeds are derived from it")
-		shards     = flag.Int("shards", 16, "lock stripes in the keyed registry and engine shard workers")
-		queue      = flag.Int("queue", 128, "bounded mailbox depth per engine worker (0 = apply batches inline, no engine)")
-		retrainW   = flag.Int("retrain-workers", 2, "background workers training managed models (0 = retrain inline at the batch boundary)")
-		batchIv    = flag.Duration("batch-interval", 0, "wall-clock batch boundary period for every stream (0 = explicit /advance only)")
-		ckptDir    = flag.String("checkpoint-dir", "", "directory for per-stream checkpoints (restore on boot, save periodically and on shutdown)")
-		ckptIv     = flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period")
-		walOn      = flag.Bool("wal", false, "journal every acknowledged operation to <checkpoint-dir>/wal and replay it on boot; a kill -9 then loses at most the last un-fsynced group instead of a checkpoint interval")
-		walFsync   = flag.String("wal-fsync", "group", "WAL durability policy: group (one fsync per concurrent batch of requests), always (fsync per record), off (OS page cache only)")
-		quarantine = flag.Bool("restore-quarantine", false, "boot past a corrupt checkpoint file by renaming it to *.corrupt instead of failing (default: strict fail)")
-		maxPending = flag.Int("max-pending", 1<<20, "max items in one stream's open batch (negative = unbounded)")
-		maxStreams = flag.Int("max-streams", 1<<16, "max live streams; creation beyond it gets 429 (negative = unbounded)")
-		logFormat  = flag.String("log-format", "text", "log output format: text or json")
-		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug also emits one line per traced request)")
-		debugAddr  = flag.String("debug-addr", "", "opt-in debug listener (pprof, runtime gauges, trace ring), e.g. 127.0.0.1:6060; empty disables")
-		traceRing  = flag.Int("trace-ring", obs.DefaultRingSize, "recent-trace ring capacity for /debug/trace/recent (0 disables tracing entirely)")
+		addr        = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port)")
+		advertise   = flag.String("advertise", "", "URL peers use to reach this node, e.g. http://10.0.0.5:8377 (default: derived from -addr); identifies this node in handoff envelopes and logs")
+		configPath  = flag.String("config", "", "JSON file holding the sampler config (overrides the scheme flags)")
+		scheme      = flag.String("scheme", "rtbs", "sampling scheme for every stream (see tbstream -schemes)")
+		lambda      = flag.Float64("lambda", 0.07, "decay rate per batch interval")
+		n           = flag.Int("n", 1000, "sample size bound / target per stream")
+		meanBatch   = flag.Float64("meanbatch", 100, "assumed mean batch size (T-TBS only)")
+		horizon     = flag.Float64("horizon", 10, "time-window horizon in batches (window schemes only)")
+		seed        = flag.Uint64("seed", 1, "base RNG seed; per-stream seeds are derived from it")
+		shards      = flag.Int("shards", 16, "lock stripes in the keyed registry and engine shard workers")
+		queue       = flag.Int("queue", 128, "bounded mailbox depth per engine worker (0 = apply batches inline, no engine)")
+		retrainW    = flag.Int("retrain-workers", 2, "background workers training managed models (0 = retrain inline at the batch boundary)")
+		batchIv     = flag.Duration("batch-interval", 0, "wall-clock batch boundary period for every stream (0 = explicit /advance only)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for per-stream checkpoints (restore on boot, save periodically and on shutdown)")
+		ckptIv      = flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period")
+		walOn       = flag.Bool("wal", false, "journal every acknowledged operation to <checkpoint-dir>/wal and replay it on boot; a kill -9 then loses at most the last un-fsynced group instead of a checkpoint interval")
+		walFsync    = flag.String("wal-fsync", "group", "WAL durability policy: group (one fsync per concurrent batch of requests), always (fsync per record), off (OS page cache only)")
+		quarantine  = flag.Bool("restore-quarantine", false, "boot past a corrupt checkpoint file by renaming it to *.corrupt instead of failing (default: strict fail)")
+		maxPending  = flag.Int("max-pending", 1<<20, "max items in one stream's open batch (negative = unbounded)")
+		maxStreams  = flag.Int("max-streams", 1<<16, "max live streams; creation beyond it gets 429 (negative = unbounded)")
+		maxResident = flag.Int("max-resident", 0, "max streams resident in memory; beyond it the least-recently-used idle streams hibernate to their checkpoint files and rehydrate on touch (0 = unbounded; requires -checkpoint-dir)")
+		idleAfter   = flag.Duration("idle-after", 0, "hibernate any stream untouched for this long, regardless of -max-resident (0 = never; requires -checkpoint-dir)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug also emits one line per traced request)")
+		debugAddr   = flag.String("debug-addr", "", "opt-in debug listener (pprof, runtime gauges, trace ring), e.g. 127.0.0.1:6060; empty disables")
+		traceRing   = flag.Int("trace-ring", obs.DefaultRingSize, "recent-trace ring capacity for /debug/trace/recent (0 disables tracing entirely)")
 	)
 	flag.Parse()
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -170,6 +181,8 @@ func main() {
 		RestoreQuarantine:  *quarantine,
 		MaxPendingItems:    *maxPending,
 		MaxStreams:         *maxStreams,
+		MaxResident:        *maxResident,
+		IdleAfter:          *idleAfter,
 		Logger:             logger,
 		Trace:              tracer,
 	})

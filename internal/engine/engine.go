@@ -17,6 +17,12 @@
 // occupy a shard worker — model retrains dispatched at batch boundaries
 // train there and atomically swap the deployed model when done, so the
 // apply path never waits on a training run it did not itself order.
+//
+// The engine is deliberately ignorant of what a task does: the server
+// layer closes over its registry entries, and lifecycle operations that
+// need a quiesced stream (checkpoint capture, handoff freeze, hibernation
+// eviction) drain a key's mailbox through the same submission path rather
+// than reaching into the queues.
 package engine
 
 import (

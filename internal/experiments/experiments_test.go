@@ -340,8 +340,8 @@ func TestTTBSLawResult(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	specs := Registry()
-	if len(specs) != 25 {
-		t.Fatalf("registry has %d specs, want 25", len(specs))
+	if len(specs) != 26 {
+		t.Fatalf("registry has %d specs, want 26", len(specs))
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {

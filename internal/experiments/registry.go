@@ -89,6 +89,7 @@ func Registry() []Spec {
 			return TTBSLaw(runsFor(quick, 5000, 500), seed)
 		}},
 		{"cluster", "clustered ingest: direct node vs router-forwarded NDJSON", ClusterIngest},
+		{"hibernate", "memory tiering: warm-path overhead and cold-hit hydration latency", Hibernate},
 		{"ingest", "ingest pipeline: JSON vs NDJSON+engine vs core hot path", IngestPipeline},
 		{"serve-drift", "online model management through the tbsd HTTP path: always vs drift retraining", ServeDrift},
 		{"wal", "WAL append throughput: fsync policies and group commit", WALAppend},

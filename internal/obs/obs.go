@@ -11,6 +11,14 @@
 // taken once per finished trace — never per stage. A nil *Tracer (and
 // the nil *Trace it hands out) disables everything: every method is
 // nil-safe, so instrumented code carries no conditionals.
+//
+// Trace kinds cover the daemon's request-shaped work: "ingest" and
+// "boundary" for the sampling pipeline, "forward" for router-proxied
+// requests, and "hydrate" for memory-tiering cold hits (stages
+// read_ckpt → restore → replay → install), so a latency regression in
+// any path is attributable to its stage from /metrics alone. The ring
+// (GET /debug/trace/recent) keeps the most recent spans per kind for
+// incident forensics without a second telemetry system.
 package obs
 
 import (
@@ -45,6 +53,9 @@ const (
 	// KindAdopt covers the target side of a stream migration:
 	// restore → replay → persist.
 	KindAdopt
+	// KindHydrate covers one cold-miss rehydration of a hibernated
+	// stream: read_ckpt → restore → replay → install.
+	KindHydrate
 
 	numKinds
 )
@@ -94,7 +105,15 @@ const (
 	StagePersist
 )
 
-var kindNames = [numKinds]string{"ingest", "boundary", "forward", "handoff", "adopt"}
+// Hydrate stage indices (KindHydrate, cold-miss rehydration).
+const (
+	StageReadCkpt = iota
+	StageHydrateRestore
+	StageHydrateReplay
+	StageInstall
+)
+
+var kindNames = [numKinds]string{"ingest", "boundary", "forward", "handoff", "adopt", "hydrate"}
 
 var stageNames = [numKinds][]string{
 	KindIngest:   {"parse", "engine_enqueue", "shard_apply", "wal_append", "fsync_wait", "ack"},
@@ -102,6 +121,7 @@ var stageNames = [numKinds][]string{
 	KindForward:  {"route", "forward", "copy"},
 	KindHandoff:  {"freeze", "capture", "ship", "commit"},
 	KindAdopt:    {"restore", "replay", "persist"},
+	KindHydrate:  {"read_ckpt", "restore", "replay", "install"},
 }
 
 func (k Kind) String() string {
@@ -416,7 +436,8 @@ func viewOf(r Record) traceView {
 }
 
 // ServeRecent serves the trace ring as JSON, newest first. Filters:
-// ?key= (exact stream key), ?kind= (ingest|boundary|forward|handoff|adopt),
+// ?key= (exact stream key), ?kind=
+// (ingest|boundary|forward|handoff|adopt|hydrate),
 // ?min_dur= (a Go duration like 5ms — only traces at least that long),
 // ?limit= (cap the answer). A nil tracer serves an empty, disabled
 // listing rather than 404, so the route is always probeable.

@@ -77,15 +77,16 @@ func (s *Server) handleItemsBin(w http.ResponseWriter, r *http.Request, key stri
 	finalAdvance := q.Get("advance") == "1" || q.Get("advance") == "true"
 
 	tr := s.opts.Trace.StartFromRequest(r, obs.KindIngest, key)
-	e, err := s.reg.getOrCreate(key)
+	e, err := s.acquireStream(key)
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
-		if !errors.Is(err, errTooManyStreams) {
+		if code == "bad_request" {
 			status, code = http.StatusInternalServerError, "internal"
 		}
 		respond(tr, w, status, errorBody(code, err.Error(), extra))
 		return
 	}
+	defer e.unpin()
 
 	sc := binPool.Get().(*binScratch)
 	defer func() {

@@ -87,6 +87,11 @@ func (s *Server) checkpointAll() error {
 	var firstErr error
 	written := 0
 	for _, e := range entries {
+		if e.hibernated.Load() {
+			// A stub's entire state is already its checkpoint file; there is
+			// nothing in memory to capture (and flushing would be a no-op).
+			continue
+		}
 		// Apply the stream's queued batches first, so the captured snapshot
 		// never reflects a closed-but-unapplied boundary (the batch items
 		// would be in neither the pending list nor the sampler state).
@@ -119,6 +124,12 @@ func (s *Server) checkpointAll() error {
 	s.compactWAL()
 	return firstErr
 }
+
+// CheckpointNow runs one full checkpoint pass (and the WAL compaction
+// that follows it) immediately, in the caller's goroutine. Deterministic
+// hook for tests, tooling and benchmarks; the background checkpointer
+// drives the same pass on its interval.
+func (s *Server) CheckpointNow() error { return s.checkpointAll() }
 
 // restoreAll drives boot-time recovery: load every snapshot checkpoint,
 // then replay the WAL tail on top, converging to the exact pre-crash
@@ -269,6 +280,10 @@ func (s *Server) entryFromState(st checkpointState) (*entry, error) {
 		batches:        st.Batches,
 		walLSN:         st.WalLSN,
 		durableLSN:     st.WalLSN,
+		// Boot restore and hydration read the envelope from the checkpoint
+		// file; adoption persists one before the entry serves. In every
+		// case a file backs the entry by the time it could hibernate.
+		persisted: true,
 	}
 	if st.Model != nil {
 		mm, err := restoreManagedModel(st.Model, s.runBackground, s.metrics)

@@ -145,6 +145,10 @@ func (s *Server) ingestFailure(err error) (status int, code string, extra map[st
 		return http.StatusServiceUnavailable, "stream_migrating", nil
 	case errors.Is(err, errJournalFailed):
 		return http.StatusInternalServerError, "wal_unavailable", nil
+	case errors.Is(err, errHydrateFailed):
+		// Rehydrating the hibernated stream from its checkpoint + WAL tail
+		// failed; the stub is intact, so a retry re-attempts hydration.
+		return http.StatusInternalServerError, "hydrate_failed", nil
 	default:
 		return http.StatusBadRequest, "bad_request", nil
 	}
@@ -229,15 +233,16 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 		respond(tr, w, status, errorBody(code, err.Error(), extra))
 		return
 	}
-	e, err := s.reg.getOrCreate(key)
+	e, err := s.acquireStream(key)
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
-		if !errors.Is(err, errTooManyStreams) {
+		if code == "bad_request" {
 			status, code = http.StatusInternalServerError, "internal"
 		}
 		respond(tr, w, status, errorBody(code, err.Error(), extra))
 		return
 	}
+	defer e.unpin()
 	appendStart := time.Now()
 	pending, ingested, lsn, err := e.append(req.items, s.opts.MaxPendingItems)
 	tr.StageSince(obs.StageWALAppend, appendStart)
@@ -293,15 +298,16 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if s.movedGuard(w, key) {
 		return
 	}
-	e, err := s.reg.getOrCreate(key)
+	e, err := s.acquireStream(key)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, errTooManyStreams) {
-			status = http.StatusTooManyRequests
+		status, code, extra := s.ingestFailure(err)
+		if code == "bad_request" {
+			status, code = http.StatusInternalServerError, "internal"
 		}
-		writeError(w, status, "%v", err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
 		return
 	}
+	defer e.unpin()
 	tr := s.opts.Trace.StartFromRequest(r, obs.KindIngest, key)
 	n, batches, elapsed, lsn, err := s.advanceWait(e, tr)
 	if err != nil {
@@ -339,7 +345,12 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	e := s.reg.lookup(key)
+	e, err := s.acquireExisting(key)
+	if err != nil {
+		status, code, extra := s.ingestFailure(err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		return
+	}
 	if e == nil {
 		if s.movedGuard(w, key) {
 			return
@@ -347,6 +358,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", key)
 		return
 	}
+	defer e.unpin()
 	// Read-your-writes: apply any queued batch boundaries first, so a
 	// sample taken right after an acknowledged advance reflects it.
 	s.flushStream(e)
@@ -396,7 +408,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	e := s.reg.lookup(key)
+	e, err := s.acquireExisting(key)
+	if err != nil {
+		status, code, extra := s.ingestFailure(err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		return
+	}
 	if e == nil {
 		if s.movedGuard(w, key) {
 			return
@@ -404,6 +421,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", key)
 		return
 	}
+	defer e.unpin()
 	// Stats follow the same read-your-writes rule as /sample: queued
 	// boundaries are applied before the counters and clock are read.
 	s.flushStream(e)
@@ -473,6 +491,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		st := s.wal.Stats()
 		walSt = &st
 	}
-	_ = s.metrics.WriteTo(w, s.reg.count(), s.reg.perShardCounts(), eng, walSt)
+	_ = s.metrics.WriteTo(w, s.reg.count(), int(s.reg.resident.Load()), s.reg.perShardCounts(), eng, walSt)
 	_ = s.opts.Trace.WriteMetrics(w, "tbsd")
 }

@@ -144,7 +144,16 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	// the file unlink must not interleave with a pass rewriting the file.
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	e := s.reg.lookup(key)
+	// Pin + hydrate before freezing: a hibernated stream hands off its
+	// full rebuilt state, and the pin keeps the hibernator from evicting
+	// the entry between hydration and the freeze (frozen entries are
+	// never evicted, so the pin only needs to bridge that gap).
+	e, err := s.acquireExisting(key)
+	if err != nil {
+		status, code, extra := s.ingestFailure(err)
+		respond(tr, w, status, errorBody(code, err.Error(), extra))
+		return
+	}
 	if e == nil {
 		if !s.movedGuard(w, key) {
 			writeError(w, http.StatusNotFound, "unknown stream %q", key)
@@ -152,8 +161,9 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		tr.Finish(http.StatusNotFound)
 		return
 	}
+	defer e.unpin()
 	freezeStart := time.Now()
-	err := e.beginMigration()
+	err = e.beginMigration()
 	tr.StageSince(obs.StageFreeze, freezeStart)
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
@@ -383,6 +393,9 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	tr.StageSince(obs.StagePersist, persistStart)
 	s.moved.Delete(key)
 	s.metrics.ObserveHandoffIn()
+	// Adoption added a resident stream outside the create path; trim
+	// promptly if it pushed the node over its resident bound.
+	s.maybeKickHibernator()
 	pending, ingested, batches := e.counters()
 	s.opts.Logger.Info("adopt: stream adopted",
 		"key", key, "from", env.From, "items", ingested, "batches", batches,

@@ -47,6 +47,12 @@ type Metrics struct {
 	handoffsIn    atomic.Uint64 // streams this node adopted
 	handoffErrors atomic.Uint64
 	ready         atomic.Bool
+
+	hibernations      atomic.Uint64 // streams evicted to checkpoint-backed stubs
+	hibernationErrors atomic.Uint64
+	hydrations        atomic.Uint64 // cold-miss rehydrations back to resident
+	hydrationErrors   atomic.Uint64
+	hydrationLat      metrics.LatencyStats
 }
 
 // SetReady flips the /readyz gate: true once restore completed and the
@@ -129,18 +135,36 @@ func (m *Metrics) SetRestored(n int) {
 	m.restoredStreams.Store(int64(n))
 }
 
+// ObserveHibernation records one stream evicted to a stub.
+func (m *Metrics) ObserveHibernation() { m.hibernations.Add(1) }
+
+// ObserveHibernationError records one failed eviction attempt (the stream
+// stays resident).
+func (m *Metrics) ObserveHibernationError() { m.hibernationErrors.Add(1) }
+
+// ObserveHydration records one cold-miss rehydration and its end-to-end
+// latency (checkpoint read + restore + WAL tail replay + install).
+func (m *Metrics) ObserveHydration(d time.Duration, err error) {
+	if err != nil {
+		m.hydrationErrors.Add(1)
+		return
+	}
+	m.hydrations.Add(1)
+	m.hydrationLat.Observe(d)
+}
+
 // WriteTo renders the counters in Prometheus text format. Registry-shape
 // gauges (stream and shard counts) and the engine's queue snapshot are
 // passed in by the caller so Metrics stays a pure accumulator; eng may be
 // nil when the engine is disabled. Rendering snapshots state first and
 // performs the response write lock-free, so a slow scraper cannot stall
 // the ingest/advance hot paths.
-func (m *Metrics) WriteTo(w io.Writer, streams int, perShard []int, eng *engine.Stats, walSt *wal.Stats) error {
-	_, err := w.Write(m.render(streams, perShard, eng, walSt))
+func (m *Metrics) WriteTo(w io.Writer, streams, resident int, perShard []int, eng *engine.Stats, walSt *wal.Stats) error {
+	_, err := w.Write(m.render(streams, resident, perShard, eng, walSt))
 	return err
 }
 
-func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats, walSt *wal.Stats) []byte {
+func (m *Metrics) render(streams, resident int, perShard []int, eng *engine.Stats, walSt *wal.Stats) []byte {
 	var b []byte
 	line := func(format string, args ...any) {
 		b = fmt.Appendf(b, format+"\n", args...)
@@ -157,6 +181,12 @@ func (m *Metrics) render(streams int, perShard []int, eng *engine.Stats, walSt *
 
 	line("tbsd_ready %d", boolGauge(m.ready.Load()))
 	line("tbsd_streams %d", streams)
+	line("tbsd_streams_resident %d", resident)
+	line("tbsd_hibernations_total %d", m.hibernations.Load())
+	line("tbsd_hibernation_errors_total %d", m.hibernationErrors.Load())
+	line("tbsd_hydrations_total %d", m.hydrations.Load())
+	line("tbsd_hydration_errors_total %d", m.hydrationErrors.Load())
+	lat("tbsd_hydration_latency_seconds", &m.hydrationLat)
 	line("tbsd_deleted_streams_total %d", m.deletedStreams.Load())
 	line("tbsd_handoffs_out_total %d", m.handoffsOut.Load())
 	line("tbsd_handoffs_in_total %d", m.handoffsIn.Load())

@@ -50,15 +50,16 @@ func (s *Server) handleModelAttach(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody("bad_model_spec", err.Error(), nil))
 		return
 	}
-	e, err := s.reg.getOrCreate(key)
+	e, err := s.acquireStream(key)
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)
-		if !errors.Is(err, errTooManyStreams) {
+		if code == "bad_request" {
 			status, code = http.StatusInternalServerError, "internal"
 		}
 		writeJSON(w, status, errorBody(code, err.Error(), extra))
 		return
 	}
+	defer e.unpin()
 	mm, err := newManagedModel(spec, s.runBackground, s.metrics)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody("bad_model_spec", err.Error(), nil))
@@ -78,9 +79,16 @@ func (s *Server) handleModelAttach(w http.ResponseWriter, r *http.Request) {
 }
 
 // modelFor resolves the stream and its managed model, writing the error
-// response when either is missing.
+// response when either is missing. On ok the returned entry is pinned
+// (and hydrated if it was hibernated) — the caller must e.unpin(); on
+// !ok no pin is held.
 func (s *Server) modelFor(w http.ResponseWriter, key string) (*entry, *managedModel, bool) {
-	e := s.reg.lookup(key)
+	e, err := s.acquireExisting(key)
+	if err != nil {
+		status, code, extra := s.ingestFailure(err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		return nil, nil, false
+	}
 	if e == nil {
 		if !s.movedGuard(w, key) {
 			writeError(w, http.StatusNotFound, "unknown stream %q", key)
@@ -89,6 +97,7 @@ func (s *Server) modelFor(w http.ResponseWriter, key string) (*entry, *managedMo
 	}
 	mm := e.model.Load()
 	if mm == nil {
+		e.unpin()
 		writeJSON(w, http.StatusNotFound,
 			errorBody("no_model", fmt.Sprintf("stream %q has no model attached", key), nil))
 		return nil, nil, false
@@ -106,6 +115,7 @@ func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer e.unpin()
 	s.flushStream(e)
 	writeJSON(w, http.StatusOK, map[string]any{"key": key, "spec": mm.spec, "stats": mm.stats()})
 }
@@ -116,13 +126,19 @@ func (s *Server) handleModelDetach(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	e := s.reg.lookup(key)
+	e, err := s.acquireExisting(key)
+	if err != nil {
+		status, code, extra := s.ingestFailure(err)
+		writeJSON(w, status, errorBody(code, err.Error(), extra))
+		return
+	}
 	if e == nil {
 		if !s.movedGuard(w, key) {
 			writeError(w, http.StatusNotFound, "unknown stream %q", key)
 		}
 		return
 	}
+	defer e.unpin()
 	had, lsn, err := e.detachModel()
 	if err == nil {
 		err = s.syncWAL(lsn)
@@ -148,6 +164,7 @@ func (s *Server) handleModelStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer e.unpin()
 	s.flushStream(e)
 	st := mm.stats()
 	writeJSON(w, http.StatusOK, map[string]any{"key": key, "stats": st})
@@ -198,10 +215,11 @@ func (s *Server) handleModelPredict(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	_, mm, ok := s.modelFor(w, key)
+	e, mm, ok := s.modelFor(w, key)
 	if !ok {
 		return
 	}
+	defer e.unpin()
 	req, err := decodePredict(r, w)
 	if err != nil {
 		status, code, extra := s.ingestFailure(err)

@@ -99,7 +99,47 @@ type entry struct {
 	// and min(durableLSN) across streams is the WAL compaction point.
 	walLSN     uint64
 	durableLSN uint64
+
+	// persisted records that a checkpoint file currently exists on disk
+	// for this stream (set by every successful checkpoint write, and at
+	// restore/hydrate, which read one). Guarded by mu. Hibernation of a
+	// clean-but-never-persisted entry must write the file first — the
+	// file is a hibernated stream's entire state.
+	persisted bool
+
+	// pins counts in-flight requests using the entry. A handler pins
+	// before ensureResident and unpins when done; the hibernator never
+	// evicts a pinned entry (see hibernateEntry for the fence that makes
+	// the lock-free pin/check ordering safe), so post-ensureResident code
+	// reads sampler/sampleMutating/model exactly as it always has.
+	pins atomic.Int32
+
+	// lastTouch is the LRU clock: unix nanos of the last client-driven
+	// pin. Atomic so the hibernator's scan never takes entry locks.
+	lastTouch atomic.Int64
+
+	// hibernated marks the entry as a cold stub: sampler, open batch and
+	// model evicted, the state durable in the checkpoint file, only key +
+	// WAL positions retained. Transitions happen under mu; the atomic
+	// lets the hot paths and the hibernator's scan read it lock-free.
+	hibernated atomic.Bool
+
+	// hyd is the in-flight hydration, non-nil while one request rebuilds
+	// the entry from disk; concurrent cold hits on the same key wait on
+	// its done channel instead of hydrating again. Guarded by mu.
+	hyd *hydration
 }
+
+// pin marks the entry in use by a request and stamps the LRU clock. Must
+// precede ensureResident: the pin is what keeps the entry resident for
+// the duration of the request.
+func (e *entry) pin() {
+	e.pins.Add(1)
+	e.lastTouch.Store(time.Now().UnixNano())
+}
+
+// unpin releases a pin taken by pin.
+func (e *entry) unpin() { e.pins.Add(-1) }
 
 // errRequestTooLarge marks an ingest request that can never fit the
 // open-batch limit no matter how often the stream advances; handlers map
@@ -228,12 +268,14 @@ func (e *entry) setWalLSN(lsn uint64) {
 }
 
 // setDurableLSN records that the stream's newest on-disk checkpoint
-// covers every record up to lsn.
+// covers every record up to lsn. Called only after a successful
+// checkpoint write, so it doubles as the persisted marker.
 func (e *entry) setDurableLSN(lsn uint64) {
 	e.mu.Lock()
 	if lsn > e.durableLSN {
 		e.durableLSN = lsn
 	}
+	e.persisted = true
 	e.mu.Unlock()
 }
 
@@ -261,6 +303,12 @@ func (e *entry) closeBatch() (batch []Item, ok bool, lsn uint64, jerr error) {
 	defer e.mu.Unlock()
 	if e.migrating {
 		return nil, false, 0, errStreamMigrating
+	}
+	if e.hibernated.Load() {
+		// A hibernated stream's decay clock pauses: the ticker skips it
+		// (nothing to journal, nothing to advance) and an explicit
+		// /advance rehydrates through ensureResident before reaching here.
+		return nil, false, 0, nil
 	}
 	if e.wal != nil && !e.deleted {
 		if lsn, jerr = e.wal.AppendRecord(wal.TypeBatchBoundary, e.key, nil); jerr == nil {
@@ -352,7 +400,9 @@ func (e *entry) markDirty() {
 func (e *entry) checkpoint() (st checkpointState, wasDirty bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.dirty || e.deleted {
+	if !e.dirty || e.deleted || e.hibernated.Load() {
+		// A hibernated stub has no sampler to capture; its state is the
+		// checkpoint file itself, written at eviction.
 		return checkpointState{}, false, nil
 	}
 	if st, err = e.stateLocked(); err != nil {
@@ -371,6 +421,11 @@ func (e *entry) captureState() (checkpointState, error) {
 	defer e.mu.Unlock()
 	if e.deleted {
 		return checkpointState{}, errStreamDeleted
+	}
+	if e.hibernated.Load() {
+		// Callers (handoff) hydrate before capturing; reaching a stub here
+		// is a protocol bug, not a capturable state.
+		return checkpointState{}, errors.New("server: cannot capture a hibernated stream")
 	}
 	return e.stateLocked()
 }
@@ -526,7 +581,12 @@ type registry struct {
 	baseSeed   uint64
 	maxStreams int
 	total      atomic.Int64
-	shards     []*shard
+	// resident counts entries whose state is in memory (total minus
+	// hibernated stubs) — the number memory tiering bounds. Incremented
+	// on create/restore/hydrate, decremented on eviction and on removal
+	// of a resident entry.
+	resident atomic.Int64
+	shards   []*shard
 
 	// wal, once set by enableWAL, is handed to every entry created from
 	// then on. It is written exactly once, after boot replay and before
@@ -619,6 +679,7 @@ func (r *registry) getOrCreateAt(key string, capExempt bool) (*entry, error) {
 	cs := tbs.NewConcurrent(s)
 	e = &entry{key: key, sampler: cs, sampleMutating: tbs.SampleMutates[Item](cs), wal: r.wal}
 	sh.entries[key] = e
+	r.resident.Add(1)
 	return e, nil
 }
 
@@ -633,6 +694,13 @@ func (r *registry) remove(key string) *entry {
 	if e != nil {
 		delete(sh.entries, key)
 		r.total.Add(-1)
+		// A hibernated stub was already subtracted from the resident count
+		// at eviction. The read is safe against a racing eviction: every
+		// remove caller either marks the entry deleted under e.mu first
+		// (eviction then skips it) or runs before the hibernator exists.
+		if !e.hibernated.Load() {
+			r.resident.Add(-1)
+		}
 	}
 	return e
 }
@@ -665,6 +733,7 @@ func (r *registry) insertRestored(e *entry) error {
 	}
 	sh.entries[e.key] = e
 	r.total.Add(1)
+	r.resident.Add(1)
 	return nil
 }
 

@@ -102,6 +102,24 @@ type Options struct {
 	// strands an existing checkpoint directory.
 	MaxStreams int
 
+	// MaxResident, when positive, bounds how many streams keep their
+	// state (sampler, open batch, model bytes) in memory: beyond it the
+	// hibernator evicts the least-recently-touched idle streams down to
+	// stubs backed by their checkpoint files, and a request touching a
+	// cold key rehydrates it lazily through the restore path. Requires
+	// CheckpointDir. Live streams beyond MaxResident still count against
+	// MaxStreams — tiering bounds memory, not tenancy.
+	MaxResident int
+
+	// IdleAfter, when positive, hibernates any stream untouched for this
+	// long regardless of the resident count. Requires CheckpointDir.
+	IdleAfter time.Duration
+
+	// HibernateInterval is the hibernator's sweep period (default 1s;
+	// ignored unless MaxResident or IdleAfter enables tiering). Crossing
+	// MaxResident also kicks a sweep immediately.
+	HibernateInterval time.Duration
+
 	// Logger receives operational log lines; nil discards them. Request
 	// lines (one per traced request, at debug level) come from Trace's
 	// logger, not this one, so the two can be split.
@@ -143,6 +161,9 @@ func (o *Options) setDefaults() {
 	if o.MaxStreams == 0 {
 		o.MaxStreams = 1 << 16
 	}
+	if o.HibernateInterval <= 0 {
+		o.HibernateInterval = time.Second
+	}
 	if o.Logger == nil {
 		o.Logger = obs.NopLogger()
 	}
@@ -166,6 +187,14 @@ type Server struct {
 	wg        sync.WaitGroup
 	ckptMu    sync.Mutex // serializes whole checkpoint passes (and stream deletes/handoffs)
 
+	// hibKick nudges the hibernator out of its sweep interval when the
+	// resident count crosses MaxResident (buffered, coalescing).
+	hibKick chan struct{}
+	// hibMu serializes whole hibernation sweeps: two concurrent passes
+	// would each snapshot the same over-bound population and jointly
+	// evict twice the excess, overshooting far below MaxResident.
+	hibMu sync.Mutex
+
 	// moved records streams handed off to another node: key → target base
 	// URL. Requests for a moved key answer 421 with the new home instead
 	// of silently recreating the stream here. In-memory only — after a
@@ -180,6 +209,9 @@ type Server struct {
 // configured, restores every stream found there.
 func New(opts Options) (*Server, error) {
 	opts.setDefaults()
+	if (opts.MaxResident > 0 || opts.IdleAfter > 0) && opts.CheckpointDir == "" {
+		return nil, errors.New("server: MaxResident/IdleAfter require CheckpointDir (the checkpoint file is a hibernated stream's entire state)")
+	}
 	reg, err := newRegistry(opts.Sampler, opts.Shards, opts.MaxStreams)
 	if err != nil {
 		return nil, err
@@ -189,6 +221,7 @@ func New(opts Options) (*Server, error) {
 		reg:     reg,
 		metrics: &Metrics{},
 		stop:    make(chan struct{}),
+		hibKick: make(chan struct{}, 1),
 	}
 	if opts.QueueDepth > 0 {
 		bg := opts.RetrainWorkers
@@ -261,6 +294,10 @@ func (s *Server) Start() {
 		if s.opts.CheckpointDir != "" {
 			s.wg.Add(1)
 			go s.runCheckpointer()
+		}
+		if s.tieringEnabled() {
+			s.wg.Add(1)
+			go s.runHibernator()
 		}
 		s.metrics.SetReady(true)
 	})
@@ -433,6 +470,11 @@ func (s *Server) runBackground(fn func()) error {
 // one slow stream no longer serializes the whole pass.
 func (s *Server) AdvanceAll() {
 	for _, e := range s.reg.all() {
+		if e.hibernated.Load() {
+			// A hibernated stream's decay clock pauses; closeBatch would
+			// refuse anyway, this just skips the lock on every stub.
+			continue
+		}
 		s.advanceAsync(e, nil)
 	}
 	if s.eng != nil {

@@ -51,6 +51,15 @@ func (s *Server) noteJournalErr(err error) {
 // past. Driven by checkpointAll after each pass; a stream that has never
 // been checkpointed (durableLSN 0) pins the whole log until its first
 // pass, which is exactly the conservative choice.
+//
+// A fully-durable stream — its snapshot covers its newest journaled
+// record (durableLSN ≥ walLSN) — is excluded from the watermark: no live
+// record of it exists above ANY truncation point, so its (possibly
+// ancient) durable LSN must not pin the log. Without this exclusion an
+// idle long-durable tenant pins every later tenant's traffic forever,
+// and with memory tiering the cost compounds: cold-miss rehydration
+// replays TailForKey over whatever the log retains, so a pinned log
+// turns every cold hit into a full-log scan.
 func (s *Server) compactWAL() {
 	if s.wal == nil {
 		return
@@ -58,8 +67,11 @@ func (s *Server) compactWAL() {
 	min := s.wal.LastLSN() // no streams at all ⇒ everything is compactable
 	for _, e := range s.reg.all() {
 		e.mu.Lock()
-		d := e.durableLSN
+		d, w := e.durableLSN, e.walLSN
 		e.mu.Unlock()
+		if d >= w {
+			continue
+		}
 		if d < min {
 			min = d
 		}

@@ -20,7 +20,16 @@
 // file and releases every waiter whose record the sync covered. The
 // snapshot checkpointer is the log's compaction step: once a stream's
 // state through LSN n is durably checkpointed, segments wholly below the
-// minimum such n across streams are deleted.
+// minimum such n across streams are deleted (streams with no live
+// records — snapshot already covering their newest journaled LSN — are
+// excluded from that minimum, so idle tenants cannot pin the log).
+//
+// Besides boot-time Replay, the log serves targeted tails: TailForKey
+// collects one stream's records after a given LSN, skipping sealed
+// segments wholly below the cutoff. Stream handoff ships such a tail to
+// the adopting node, and memory tiering replays one on every cold-hit
+// rehydration — which is why compaction hygiene directly bounds cold-hit
+// latency.
 package wal
 
 import (
@@ -365,18 +374,31 @@ func (l *Log) Replay(fn func(Record) error) error {
 // TailForKey returns every record for key with LSN > afterLSN, in LSN
 // order — the migration export: a stream handoff ships the stream's
 // checkpoint envelope plus this tail, so the target can replay anything
-// the envelope's WalLSN does not cover. It scans the segments like Replay
-// but may run on a live log; a torn or half-written frame at the very
-// tail (a concurrent append in flight) ends the scan cleanly, which is
-// safe because the caller has frozen the exported stream — records still
-// being written belong to other keys.
+// the envelope's WalLSN does not cover. Stream rehydration replays the
+// same tail on a cold hit, so the scan skips whole segments the afterLSN
+// already covers — for a freshly-checkpointed stream only the records
+// appended since its eviction are decoded, not the entire log. It scans
+// like Replay but may run on a live log; a torn or half-written frame at
+// the very tail (a concurrent append in flight) ends the scan cleanly,
+// which is safe because the caller has frozen the exported stream —
+// records still being written belong to other keys.
 func (l *Log) TailForKey(key string, afterLSN uint64) ([]Record, error) {
 	l.mu.Lock()
 	segs := append([]segment(nil), l.segments...)
+	newest := l.nextLSN - 1
 	l.mu.Unlock()
+	if afterLSN >= newest {
+		// The caller has already seen every record in the log.
+		return nil, nil
+	}
 	var out []Record
 	for i, seg := range segs {
 		lastSeg := i == len(segs)-1
+		if !lastSeg && segs[i+1].first <= afterLSN+1 {
+			// A sealed segment's records end where the next begins; all of
+			// this one's LSNs are ≤ afterLSN, so nothing in it can match.
+			continue
+		}
 		f, err := os.Open(seg.path)
 		if err != nil {
 			return nil, err
@@ -637,6 +659,26 @@ func (l *Log) TruncateBefore(lsn uint64) (int, error) {
 		// A segment's records end where the next segment begins.
 		if l.segments[1].first > lsn {
 			break
+		}
+		if err := os.Remove(l.segments[0].path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return removed, err
+		}
+		l.segments = l.segments[1:]
+		removed++
+		l.truncated++
+	}
+	// When even the active segment is wholly below the watermark, seal it
+	// and drop it too: otherwise a long-lived active segment (64MB by
+	// default) pins every compacted record on disk, and tail scans —
+	// handoff export, cold-miss rehydration — keep re-decoding traffic
+	// that every checkpoint has already made redundant.
+	if len(l.segments) == 1 && l.f != nil && l.poisoned == nil &&
+		l.nextLSN > l.segments[0].first && l.nextLSN <= lsn {
+		if err := l.rotateLocked(); err != nil {
+			// Same contract as a rotation failing under append: the log's
+			// file state is no longer coherent, so stop journaling here.
+			l.poison(err)
+			return removed, err
 		}
 		if err := os.Remove(l.segments[0].path); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return removed, err
