@@ -1,0 +1,93 @@
+// Command tbsvet runs the project's static analyzers (internal/analysis)
+// over the module, go-vet style. It loads packages with `go list`, type
+// checks them from source, runs every registered analyzer, prints each
+// diagnostic as file:line:col: analyzer: message, and exits nonzero when
+// anything is reported.
+//
+// Usage:
+//
+//	go run ./cmd/tbsvet ./...
+//	go run ./cmd/tbsvet -analyzers zeroalloc,poolpair ./internal/...
+//
+// The analyzers and the invariants they enforce are documented in the
+// ARCHITECTURE.md Invariants section and in each analyzer's package doc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/metriclint"
+	"repro/internal/analysis/poolpair"
+	"repro/internal/analysis/walbeforeack"
+	"repro/internal/analysis/zeroalloc"
+)
+
+// all registers every tbsvet analyzer.
+var all = []*analysis.Analyzer{
+	atomicfield.Analyzer,
+	metriclint.Analyzer,
+	poolpair.Analyzer,
+	walbeforeack.Analyzer,
+	zeroalloc.Analyzer,
+}
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	selected := all
+	if *names != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, n := range strings.Split(*names, ",") {
+			n = strings.TrimSpace(n)
+			a, ok := byName[n]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tbsvet: unknown analyzer %q (have:", n)
+				for _, a := range all {
+					fmt.Fprintf(os.Stderr, " %s", a.Name)
+				}
+				fmt.Fprintln(os.Stderr, ")")
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbsvet:", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader(wd)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbsvet:", err)
+		os.Exit(2)
+	}
+
+	diags, err := analysis.RunAnalyzers(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbsvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

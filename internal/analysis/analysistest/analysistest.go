@@ -1,0 +1,126 @@
+// Package analysistest runs an analyzer over seeded testdata packages
+// and checks its diagnostics against // want comments, mirroring the
+// x/tools harness of the same name so the analyzer tests read like any
+// other Go analyzer suite.
+//
+// A testdata package lives in <testdata>/src/<name>/ and is loaded with
+// Loader.CheckDir (the directories are deliberately invisible to `go
+// list ./...` so the seeded violations never fail the real tbsvet run).
+// Expectations are written on the offending line:
+//
+//	v := pool.Get().([]byte) // want `no matching Put`
+//
+// Each want pattern is an anchored-nowhere regexp that must match the
+// message of a diagnostic reported on that line; every diagnostic must
+// be claimed by a want and every want must claim a diagnostic. A file
+// with no want comments asserts the analyzer stays silent over it —
+// that is how the would-be-false-positive packages pin the analyzer's
+// negative space.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expectation: a pattern that must match a diagnostic at
+// file:line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRE pulls the quoted patterns out of a want comment. Both `...`
+// and "..." quoting are accepted.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads each named package from testdataDir/src, runs the analyzer,
+// and reports any mismatch between diagnostics and want comments as
+// test errors.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(testdataDir)
+	for _, name := range pkgNames {
+		pkg, err := loader.CheckDir(filepath.Join(testdataDir, "src", name))
+		if err != nil {
+			t.Errorf("%s: load: %v", name, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: run: %v", name, err)
+			continue
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		for _, d := range diags {
+			pos := d.Pos
+			if !claim(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic at %s:%d: %s", name, filepath.Base(pos.Filename), pos.Line, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q", name, filepath.Base(w.file), w.line, w.pattern)
+			}
+		}
+	}
+}
+
+// collectWants parses // want comments out of every file in the package.
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(text, -1)
+				if len(matches) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", filepath.Base(pos.Filename), pos.Line)
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", filepath.Base(pos.Filename), pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// claim marks the first unmatched want at file:line whose pattern
+// matches the message.
+func claim(wants []*want, file string, line int, message string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.pattern.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

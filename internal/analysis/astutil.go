@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WalkStack traverses root in depth-first order, calling fn with each
+// node and the stack of its ancestors (outermost first, not including n
+// itself). Returning false skips the node's children.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// HasDirective reports whether the comment group carries the given
+// machine-readable directive (written //tbs:name, no space after the
+// slashes, per Go directive convention — such lines are excluded from
+// godoc output automatically).
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := c.Text
+		if text == "//"+directive || strings.HasPrefix(text, "//"+directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves the function or method a call invokes, or nil for
+// indirect calls, conversions and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether the call invokes a package-level function of
+// the package with the given path (e.g. "fmt") — methods don't match.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string) bool {
+	f := CalleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath
+}
+
+// UsedObject resolves an identifier expression (possibly parenthesized)
+// to the object it uses, or nil.
+func UsedObject(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.Uses[id]
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Package atomicfield implements the tbsvet analyzer guarding mixed
+// atomic/plain access: a struct field whose address is ever passed to a
+// sync/atomic function (atomic.AddInt64(&x.f, ...) and friends) is an
+// atomic field, and every other access to it must also be atomic. A
+// plain read tears on 32-bit platforms and races everywhere; a plain
+// write silently loses concurrent increments.
+//
+// The modern typed atomics (atomic.Int64 etc., which the tree uses
+// throughout) make this mistake impossible — the field's methods are
+// the only access path. This analyzer exists for the legacy pattern so
+// it cannot creep back in: any field still accessed through the
+// address-taking functions gets its plain accesses flagged.
+//
+// Plain accesses are tolerated only in construction contexts, where the
+// value is not yet shared: composite literals, and functions whose name
+// starts with New/new or is init.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed with sync/atomic functions must never be accessed plainly outside construction",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: collect fields used atomically — any &x.f argument to a
+	// sync/atomic package function.
+	atomicFields := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !analysis.IsPkgFunc(info, call, "sync/atomic") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fld := addressedField(info, arg); fld != nil {
+					atomicFields[fld] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain selector accesses of those fields.
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !atomicFields[fld] {
+				return true
+			}
+			if isAtomicUse(info, stack) || inConstruction(stack) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access of field %s, which is elsewhere accessed with sync/atomic — use atomic ops everywhere (or the typed atomic.* wrappers)",
+				fld.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedField resolves &x.f (possibly parenthesized) to the struct
+// field's object.
+func addressedField(info *types.Info, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// isAtomicUse reports whether the selector on top of the stack is the
+// &x.f operand of a sync/atomic call: stack ends ... CallExpr UnaryExpr
+// (modulo parens).
+func isAtomicUse(info *types.Info, stack []ast.Node) bool {
+	i := len(stack) - 1
+	for ; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	u, ok := stack[i].(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	_ = u
+	for i--; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	return ok && analysis.IsPkgFunc(info, call, "sync/atomic")
+}
+
+// inConstruction reports whether the access happens where the value is
+// not yet shared: inside a composite literal, or in a constructor-named
+// function.
+func inConstruction(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.FuncDecl:
+			name := n.Name.Name
+			if name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package atomicfield_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, filepath.Join(".", "testdata"), atomicfield.Analyzer,
+		"atomicfieldbad", "atomicfieldok")
+}

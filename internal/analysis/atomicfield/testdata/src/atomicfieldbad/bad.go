@@ -1,0 +1,31 @@
+// Package atomicfieldbad seeds mixed atomic/plain field access — the
+// legacy-pattern race the analyzer exists to keep out of the tree.
+package atomicfieldbad
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	other int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// A plain read of an atomically-updated field tears on 32-bit and races
+// everywhere.
+func (c *counter) read() int64 {
+	return c.n // want `plain access of field n`
+}
+
+// A plain write silently loses concurrent increments.
+func (c *counter) reset() {
+	c.n = 0 // want `plain access of field n`
+}
+
+// Fields never touched atomically are unconstrained.
+func (c *counter) otherOK() int64 {
+	c.other++
+	return c.other
+}

@@ -1,0 +1,29 @@
+// Package atomicfieldok pins atomicfield's negative space: consistent
+// atomic use, typed atomics, and construction-time plain writes all
+// stay silent.
+package atomicfieldok
+
+import "sync/atomic"
+
+type counter struct {
+	legacy int64
+	typed  atomic.Int64
+}
+
+// Consistent sync/atomic access of a legacy field is fine everywhere.
+func (c *counter) incLegacy() { atomic.AddInt64(&c.legacy, 1) }
+
+func (c *counter) readLegacy() int64 { return atomic.LoadInt64(&c.legacy) }
+
+// Typed atomics are the modern pattern: the field's methods are the
+// only access path, so the analyzer has nothing to track.
+func (c *counter) incTyped() { c.typed.Add(1) }
+
+func (c *counter) readTyped() int64 { return c.typed.Load() }
+
+// Construction-time plain writes happen before the value is shared.
+func NewCounter(start int64) *counter {
+	c := &counter{legacy: start}
+	c.legacy = start
+	return c
+}

@@ -1,0 +1,20 @@
+// Package analysis is the project's static-analysis framework: the
+// minimal subset of the golang.org/x/tools/go/analysis contract (an
+// Analyzer with a Run function over a type-checked Pass, reporting
+// position-anchored Diagnostics) plus a package loader that builds the
+// type information itself.
+//
+// The vendored x/tools framework is deliberately not a dependency: the
+// module is standard-library-only, and everything the five tbsvet
+// analyzers need — parsed files, go/types info, and a way to walk them —
+// is reconstructable from `go list -json` metadata and the go/* packages.
+// The API mirrors x/tools shapes (Analyzer.Name/Doc/Run, Pass.Report,
+// analysistest-style `// want` testing) so the suite could be rebased
+// onto the real framework without touching analyzer logic.
+//
+// Analyzers live in subpackages (zeroalloc, walbeforeack, poolpair,
+// metriclint, atomicfield); cmd/tbsvet is the multichecker driver that
+// runs all of them over a package pattern and fails the build on any
+// diagnostic. See ARCHITECTURE.md's Invariants section for the mapping
+// from invariant to enforcing analyzer.
+package analysis

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Effect is a MustFlow event's impact on the tracked condition.
+type Effect int
+
+const (
+	// EffectNone leaves the condition unchanged.
+	EffectNone Effect = iota
+	// EffectSet makes the condition true on this path.
+	EffectSet
+	// EffectClear makes the condition false on this path.
+	EffectClear
+)
+
+// MustFlow is a conservative forward must-analysis over one function
+// body, without building a real CFG: the tracked state is "the Set event
+// has happened on every control-flow path reaching this point".
+//
+// Conservatisms (all err toward state=false, i.e. toward reporting):
+//   - branches meet with AND over their non-terminating exits;
+//   - a loop body is assumed to run zero times, so state after a loop is
+//     the state before it;
+//   - break/continue/goto terminate their straight-line path;
+//   - function-literal bodies are not entered (a Set inside a non-defer
+//     closure does not count), except that DeferEffect may inspect a
+//     deferred closure and promote it to a Set for everything after the
+//     defer statement.
+type MustFlow struct {
+	// Effect classifies a call's impact on the tracked condition.
+	Effect func(*ast.CallExpr) Effect
+	// DeferEffect classifies a deferred call (the CallExpr of the defer
+	// statement, which may invoke a function literal). A Set takes hold
+	// from the defer statement onward — the deferred call is guaranteed
+	// to run on every subsequent exit.
+	DeferEffect func(*ast.CallExpr) Effect
+	// OnCall, if set, observes every call with the state holding just
+	// before the enclosing statement executes.
+	OnCall func(*ast.CallExpr, bool)
+	// OnExit, if set, observes every function exit — each return
+	// statement, and the body's end when it falls through — with the
+	// state at that point.
+	OnExit func(ast.Node, bool)
+}
+
+// Walk runs the analysis over a function body with the condition
+// initially true (vacuous until the first Clear) — the shape paired
+// Clear/Set events (acquire/release) want.
+func (m *MustFlow) Walk(body *ast.BlockStmt) { m.WalkFrom(body, true) }
+
+// WalkFrom runs the analysis with an explicit initial state; pass false
+// when the condition must be established by a Set before the first
+// checked event (the WAL-sync-before-ack shape).
+func (m *MustFlow) WalkFrom(body *ast.BlockStmt, initial bool) {
+	if body == nil {
+		return
+	}
+	state, terminated := m.walkStmts(body.List, initial)
+	if !terminated && m.OnExit != nil {
+		m.OnExit(body, state)
+	}
+}
+
+// walkStmts processes a statement sequence, returning the state at its
+// fall-through end and whether every path out of it terminated (return,
+// branch, panic-like exit is not modeled — only return/branch).
+func (m *MustFlow) walkStmts(stmts []ast.Stmt, state bool) (bool, bool) {
+	for _, s := range stmts {
+		var term bool
+		state, term = m.walkStmt(s, state)
+		if term {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+func (m *MustFlow) walkStmt(s ast.Stmt, state bool) (after bool, terminated bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return m.walkStmts(s.List, state)
+
+	case *ast.ReturnStmt:
+		state = m.scanExprs(state, s.Results...)
+		if m.OnExit != nil {
+			m.OnExit(s, state)
+		}
+		return state, true
+
+	case *ast.BranchStmt:
+		// break/continue/goto: drop out of the straight-line walk. The
+		// jump target re-joins with whatever state the enclosing
+		// construct's conservative rules assign.
+		return state, true
+
+	case *ast.DeferStmt:
+		state = m.scanExprs(state, s.Call)
+		if m.DeferEffect != nil {
+			switch m.DeferEffect(s.Call) {
+			case EffectSet:
+				state = true
+			case EffectClear:
+				state = false
+			}
+		}
+		return state, false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state, _ = m.walkStmt(s.Init, state)
+		}
+		state = m.scanExprs(state, s.Cond)
+		thenState, thenTerm := m.walkStmts(s.Body.List, state)
+		elseState, elseTerm := state, false
+		if s.Else != nil {
+			elseState, elseTerm = m.walkStmt(s.Else, state)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return state, true
+		case thenTerm:
+			return elseState, false
+		case elseTerm:
+			return thenState, false
+		default:
+			return thenState && elseState, false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state, _ = m.walkStmt(s.Init, state)
+		}
+		inner := state
+		inner = m.scanExprs(inner, s.Cond)
+		inner, _ = m.walkStmts(s.Body.List, inner)
+		if s.Post != nil {
+			m.walkStmt(s.Post, inner)
+		}
+		// Zero-iteration assumption: state after the loop is the state
+		// before it.
+		return state, false
+
+	case *ast.RangeStmt:
+		state = m.scanExprs(state, s.X)
+		m.walkStmts(s.Body.List, state)
+		return state, false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			state, _ = m.walkStmt(s.Init, state)
+		}
+		state = m.scanExprs(state, s.Tag)
+		return m.walkCases(s.Body.List, state)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			state, _ = m.walkStmt(s.Init, state)
+		}
+		state, _ = m.walkStmt(s.Assign, state)
+		return m.walkCases(s.Body.List, state)
+
+	case *ast.SelectStmt:
+		return m.walkCases(s.Body.List, state)
+
+	case *ast.LabeledStmt:
+		return m.walkStmt(s.Stmt, state)
+
+	case *ast.GoStmt:
+		return m.scanExprs(state, s.Call), false
+
+	case *ast.EmptyStmt:
+		return state, false
+
+	default:
+		// Straight-line statements: assignments, expression statements,
+		// declarations, inc/dec, sends. Scan for calls.
+		return m.scanExprs(state, stmtExprs(s)...), false
+	}
+}
+
+// walkCases meets the bodies of switch/select clauses. A missing default
+// clause means the whole construct can fall through untouched, so the
+// entry state joins the meet.
+func (m *MustFlow) walkCases(clauses []ast.Stmt, state bool) (bool, bool) {
+	meet := true
+	anyOpen := false
+	hasDefault := false
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			state = m.scanExprs(state, c.List...)
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				_, _ = m.walkStmt(c.Comm, state)
+			}
+			body = c.Body
+		}
+		st, term := m.walkStmts(body, state)
+		if !term {
+			meet = meet && st
+			anyOpen = true
+		}
+	}
+	if !hasDefault {
+		meet = meet && state
+		anyOpen = true
+	}
+	if !anyOpen {
+		return state, true
+	}
+	return meet, false
+}
+
+// scanExprs visits every call in the expressions (not descending into
+// function literals), reports each through OnCall with the entry state,
+// then applies their effects.
+func (m *MustFlow) scanExprs(state bool, exprs ...ast.Expr) bool {
+	entry := state
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m.OnCall != nil {
+				m.OnCall(call, entry)
+			}
+			if m.Effect != nil {
+				switch m.Effect(call) {
+				case EffectSet:
+					state = true
+				case EffectClear:
+					state = false
+				}
+			}
+			return true
+		})
+	}
+	return state
+}
+
+// stmtExprs extracts the expressions of a straight-line statement.
+func stmtExprs(s ast.Stmt) []ast.Expr {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return []ast.Expr{s.X}
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, s.Rhs...), s.Lhs...)
+	case *ast.IncDecStmt:
+		return []ast.Expr{s.X}
+	case *ast.SendStmt:
+		return []ast.Expr{s.Chan, s.Value}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		var out []ast.Expr
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				out = append(out, vs.Values...)
+			}
+		}
+		return out
+	}
+	return nil
+}

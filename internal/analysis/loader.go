@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader loads packages by shelling out to `go list -deps -json` for
+// metadata and type-checking every package from source in dependency
+// order. It exists because the x/tools loaders are not available to a
+// standard-library-only module; it handles exactly what tbsvet needs —
+// non-test files of module and standard-library packages, no cgo, no
+// vendoring.
+type Loader struct {
+	// Dir is the directory go list runs in (the module root, or any
+	// directory inside it). Empty means the current directory.
+	Dir string
+
+	fset  *token.FileSet
+	meta  map[string]*listPackage // go list metadata by import path
+	typed map[string]*types.Package
+	built map[string]*Package // fully parsed+checked, by import path
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:   dir,
+		fset:  token.NewFileSet(),
+		meta:  make(map[string]*listPackage),
+		typed: make(map[string]*types.Package),
+		built: make(map[string]*Package),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves the patterns (./... style) and returns the matched
+// packages — dependencies are type-checked but not returned.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	order, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range order {
+		lp := l.meta[path]
+		if lp.DepOnly || lp.Standard {
+			if _, err := l.check(path); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		pkg, err := l.build(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// list runs go list and records metadata, returning the emission order
+// (dependencies before dependents).
+func (l *Loader) list(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Imports,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	// CGO off: go list then reports the pure-Go fallback file sets for
+	// std packages like net, which is what a from-source type-check needs.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var order []string
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if lp.Error != nil && !lp.Standard {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if _, ok := l.meta[lp.ImportPath]; !ok {
+			p := lp
+			l.meta[lp.ImportPath] = &p
+		}
+		order = append(order, lp.ImportPath)
+	}
+	return order, nil
+}
+
+// check type-checks the package (and, via the importer, its
+// dependencies) and returns its *types.Package.
+func (l *Loader) check(path string) (*types.Package, error) {
+	if pkg, ok := l.typed[path]; ok {
+		return pkg, nil
+	}
+	if path == "unsafe" {
+		l.typed[path] = types.Unsafe
+		return types.Unsafe, nil
+	}
+	lp, ok := l.meta[path]
+	if !ok {
+		// A path reached outside the original pattern set (testdata
+		// imports, for example): list it on demand.
+		if _, err := l.list([]string{path}); err != nil {
+			return nil, err
+		}
+		if lp, ok = l.meta[path]; !ok {
+			return nil, fmt.Errorf("loader: unknown package %q", path)
+		}
+	}
+	files, err := l.parseDir(lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := l.typeCheck(path, files, lp.Standard)
+	if err != nil {
+		return nil, err
+	}
+	l.typed[path] = pkg
+	l.built[path] = &Package{
+		PkgPath: path, Dir: lp.Dir, Fset: l.fset,
+		Files: files, Types: pkg, TypesInfo: info,
+	}
+	return pkg, nil
+}
+
+// build returns the fully loaded Package for a module path.
+func (l *Loader) build(path string) (*Package, error) {
+	if _, err := l.check(path); err != nil {
+		return nil, err
+	}
+	return l.built[path], nil
+}
+
+// parseDir parses the named files of one directory with comments.
+func (l *Loader) parseDir(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typeCheck runs go/types over the files. Errors in standard-library
+// packages are tolerated (assembly-backed declarations, linknames);
+// errors in module packages are fatal — the analyzers need sound types.
+func (l *Loader) typeCheck(path string, files []*ast.File, std bool) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if !std {
+		if firstErr != nil {
+			return nil, nil, fmt.Errorf("type-checking %s: %v", path, firstErr)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("type-checking %s: %v", path, err)
+		}
+	}
+	return pkg, info, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// loaderImporter adapts the Loader to the go/types importer interfaces.
+type loaderImporter Loader
+
+var _ types.ImporterFrom = (*loaderImporter)(nil)
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return (*Loader)(li).check(path)
+}
+
+func (li *loaderImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	return (*Loader)(li).check(path)
+}
+
+// CheckDir parses and type-checks a single directory outside the go list
+// universe — the analysistest harness uses it for testdata packages,
+// whose directories are invisible to `go list ./...`. Imports resolve
+// through the loader (standard library and module packages alike). The
+// package is named by its directory basename.
+func (l *Loader) CheckDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") || strings.HasSuffix(de.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	files, err := l.parseDir(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Base(dir)
+	pkg, info, err := l.typeCheck(path, files, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath: path, Dir: dir, Fset: l.fset,
+		Files: files, Types: pkg, TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,14 @@
+package metriclint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metriclint"
+)
+
+func TestMetricLint(t *testing.T) {
+	analysistest.Run(t, filepath.Join(".", "testdata"), metriclint.Analyzer,
+		"metriclintbad", "metriclintok")
+}

@@ -1,0 +1,300 @@
+// Package poolpair implements the tbsvet analyzer enforcing the
+// codebase's sync.Pool discipline (the internal/wire zero-copy
+// ownership rules): a value taken with Pool.Get must reach a Pool.Put
+// on every non-panic path out of the function, and must not escape
+// through a retained alias (a store into a struct field, map, slice
+// element, global, or a channel send).
+//
+// Recognized idioms that stay silent:
+//   - Put on every explicit path (error-path Put + success-path Put);
+//   - a deferred Put, including a Put inside a deferred closure — even a
+//     conditional one (dropping an oversized buffer back to the GC
+//     instead of pooling it is deliberate retention bounding);
+//   - ownership transfer: a function that returns the pooled value (or
+//     a derivation of it) on some path is an acquire-wrapper — its
+//     callers own the release (e.g. a Tracer handing out pooled spans
+//     finished elsewhere, or acquire/release slice helpers);
+//   - borrowing: passing the pooled value (or a derived expression) to
+//     another call is not an escape — callees borrow, per the ownership
+//     rules.
+//
+// The analysis tracks only values bound straight off the Get — `v :=
+// p.Get().(*T)` — by their variable object; a Get whose result is
+// consumed inline by another call is treated as a transfer to that
+// call. A Get whose result is discarded entirely is always a bug.
+package poolpair
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the poolpair analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc:  "sync.Pool.Get must pair with Put on all non-panic paths; pooled values must not escape",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// poolMethod reports whether the call is sync.Pool's Get or Put.
+func poolMethod(info *types.Info, call *ast.CallExpr) (name string, ok bool) {
+	f := analysis.CalleeFunc(info, call)
+	if f == nil || (f.Name() != "Get" && f.Name() != "Put") {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "Pool" {
+		return "", false
+	}
+	return f.Name(), true
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Pass 1: find every Get and how its result is bound.
+	type tracked struct {
+		get *ast.CallExpr
+		obj types.Object // variable holding the result, nil if untracked
+	}
+	var gets []tracked
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are separate lifetimes; defers handled below
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := poolMethod(info, call)
+		if !ok || name != "Get" {
+			return true
+		}
+		obj, dropped := bindingOf(info, call, stack)
+		if dropped {
+			pass.Reportf(call.Pos(), "result of sync.Pool.Get is discarded — the pooled value can never be returned with Put")
+			return true
+		}
+		if obj != nil {
+			gets = append(gets, tracked{get: call, obj: obj})
+		}
+		return true
+	})
+
+	for _, tr := range gets {
+		checkGet(pass, fd, tr.get, tr.obj)
+	}
+}
+
+// bindingOf resolves the variable the Get result lands in. dropped means
+// the result is thrown away outright (a bare statement). A nil object
+// with dropped=false means the value flows somewhere the analyzer treats
+// as a transfer (inline call argument, direct return).
+func bindingOf(info *types.Info, call *ast.CallExpr, stack []ast.Node) (obj types.Object, dropped bool) {
+	// Walk out of any wrapping type assertion / parens.
+	i := len(stack) - 1
+	for ; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.TypeAssertExpr, *ast.ParenExpr:
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return nil, false
+	}
+	switch parent := stack[i].(type) {
+	case *ast.ExprStmt:
+		return nil, true
+	case *ast.AssignStmt:
+		// v := pool.Get().(*T)   or   v, ok := pool.Get().(*T)
+		// The Get (or its assertion) is one RHS; map to the LHS ident.
+		for ri, rhs := range parent.Rhs {
+			if !containsNode(rhs, call) {
+				continue
+			}
+			var lhs ast.Expr
+			if len(parent.Rhs) == len(parent.Lhs) {
+				lhs = parent.Lhs[ri]
+			} else if len(parent.Rhs) == 1 && len(parent.Lhs) > 0 {
+				lhs = parent.Lhs[0] // v, ok := ...
+			}
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if o := info.Defs[id]; o != nil {
+					return o, false
+				}
+				return info.Uses[id], false
+			}
+			// Assigned somewhere non-local straight off the Get.
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkGet enforces pairing and escape rules for one tracked Get.
+func checkGet(pass *analysis.Pass, fd *ast.FuncDecl, get *ast.CallExpr, obj types.Object) {
+	info := pass.TypesInfo
+
+	// Ownership transfer: any return mentioning the variable hands the
+	// pooled value out; the pairing obligation moves to the callers.
+	transferred := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			// A scalar derived from the value (len, cap, a flag) cannot
+			// carry the buffer out — only reference-typed results hand
+			// ownership to the caller.
+			if t := info.TypeOf(res); t != nil {
+				if _, basic := t.Underlying().(*types.Basic); basic {
+					continue
+				}
+			}
+			if usesObject(info, res, obj) {
+				transferred = true
+			}
+		}
+		return !transferred
+	})
+
+	// Escape: the variable stored into a non-local location or sent on a
+	// channel is a retained alias.
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isObjectExpr(info, rhs, obj) || i >= len(n.Lhs) {
+					continue
+				}
+				switch n.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					pass.Reportf(n.Pos(), "pooled value %s escapes: stored outside the function before being returned with Put", obj.Name())
+				case *ast.Ident:
+					if v := analysis.UsedObject(info, n.Lhs[i]); v != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+						pass.Reportf(n.Pos(), "pooled value %s escapes: stored in package variable %s", obj.Name(), v.Name())
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if isObjectExpr(info, n.Value, obj) {
+				pass.Reportf(n.Pos(), "pooled value %s escapes: sent on a channel before being returned with Put", obj.Name())
+			}
+		}
+		return true
+	})
+
+	if transferred {
+		return
+	}
+
+	// Pairing: from the Get onward, a Put(obj) must have happened at
+	// every exit. State starts true (vacuous), the Get clears it, a Put
+	// (including one inside a deferred closure) sets it.
+	isPut := func(call *ast.CallExpr) bool {
+		name, ok := poolMethod(info, call)
+		if !ok || name != "Put" {
+			return false
+		}
+		return len(call.Args) == 1 && usesObject(info, call.Args[0], obj)
+	}
+	flow := &analysis.MustFlow{
+		Effect: func(call *ast.CallExpr) analysis.Effect {
+			if call == get {
+				return analysis.EffectClear
+			}
+			if isPut(call) {
+				return analysis.EffectSet
+			}
+			return analysis.EffectNone
+		},
+		DeferEffect: func(call *ast.CallExpr) analysis.Effect {
+			found := false
+			ast.Inspect(call, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok && isPut(c) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return analysis.EffectSet
+			}
+			return analysis.EffectNone
+		},
+		OnExit: func(at ast.Node, put bool) {
+			if put {
+				return
+			}
+			reportAt := at.Pos()
+			if _, ok := at.(*ast.BlockStmt); ok {
+				reportAt = at.End() // the body's fall-through closing brace
+			}
+			pos := pass.Fset.Position(get.Pos())
+			pass.Reportf(reportAt, "sync.Pool.Get at line %d has no matching Put on this path", pos.Line)
+		},
+	}
+	flow.Walk(fd.Body)
+}
+
+// usesObject reports whether the expression mentions the object
+// anywhere (v, &v, *v, v[i], derivations all count).
+func usesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isObjectExpr reports whether the expression IS the object (possibly
+// parenthesized or address-taken) — not a derivation like (*v)[:0].
+func isObjectExpr(info *types.Info, e ast.Expr, obj types.Object) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}

@@ -1,0 +1,14 @@
+package poolpair_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolpair"
+)
+
+func TestPoolPair(t *testing.T) {
+	analysistest.Run(t, filepath.Join(".", "testdata"), poolpair.Analyzer,
+		"poolpairbad", "poolpairok")
+}

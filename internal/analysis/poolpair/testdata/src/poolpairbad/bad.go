@@ -1,0 +1,60 @@
+// Package poolpairbad seeds pool misuse: leaked Gets, dropped Gets, and
+// escaping pooled values.
+package poolpairbad
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// No Put anywhere: the buffer leaks from the pool on every call.
+func leakAlways() int {
+	buf := pool.Get().(*[]byte) // what the report points back at
+	return len(*buf)            // want `sync.Pool.Get at line 11 has no matching Put on this path`
+}
+
+// Put on the success path only: the early error return leaks.
+func leakOnError(fail bool) error {
+	buf := pool.Get().(*[]byte)
+	if fail {
+		return errFailed // want `no matching Put on this path`
+	}
+	pool.Put(buf)
+	return nil
+}
+
+// The Get result is thrown away outright.
+func dropped() {
+	pool.Get() // want `result of sync.Pool.Get is discarded`
+}
+
+type holder struct{ buf *[]byte }
+
+// Storing the pooled value in a struct field retains an alias that
+// outlives the Put.
+func escapeField(h *holder) {
+	buf := pool.Get().(*[]byte)
+	h.buf = buf // want `escapes: stored outside the function`
+	pool.Put(buf)
+}
+
+var global *[]byte
+
+// Parking the pooled value in a global is the same bug.
+func escapeGlobal() {
+	buf := pool.Get().(*[]byte)
+	global = buf // want `escapes: stored in package variable global`
+	pool.Put(buf)
+}
+
+// A channel send hands the alias to another goroutine.
+func escapeChan(ch chan *[]byte) {
+	buf := pool.Get().(*[]byte)
+	ch <- buf // want `escapes: sent on a channel`
+	pool.Put(buf)
+}
+
+var errFailed = errorString("failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

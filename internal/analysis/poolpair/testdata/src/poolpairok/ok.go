@@ -1,0 +1,103 @@
+// Package poolpairok pins poolpair's negative space: the pooling idioms
+// from internal/server, internal/obs, and internal/cluster that must
+// stay silent. Each function mirrors a shape found in the real tree.
+package poolpairok
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// Linear Get/Put (the cluster copy-buffer shape).
+func linear() int {
+	buf := pool.Get().(*[]byte)
+	n := len(*buf)
+	pool.Put(buf)
+	return n
+}
+
+// A deferred Put covers every exit.
+func deferred(fail bool) error {
+	buf := pool.Get().(*[]byte)
+	defer pool.Put(buf)
+	if fail {
+		return errFailed
+	}
+	return nil
+}
+
+// A conditional Put inside a deferred closure: dropping oversized
+// buffers instead of pooling them is deliberate retention bounding
+// (the NDJSON scanner-pool shape).
+func deferredConditional(fail bool) error {
+	buf := pool.Get().(*[]byte)
+	defer func() {
+		if cap(*buf) <= 1<<16 {
+			pool.Put(buf)
+		}
+	}()
+	if fail {
+		return errFailed
+	}
+	return nil
+}
+
+// Put on every explicit path (the WAL encode-buffer shape: the poisoned
+// error path recycles too).
+func putAllPaths(fail bool) error {
+	buf := pool.Get().(*[]byte)
+	if fail {
+		pool.Put(buf)
+		return errFailed
+	}
+	use(*buf)
+	pool.Put(buf)
+	return nil
+}
+
+// Ownership transfer: an acquire wrapper returns the pooled value, so
+// its callers own the release (the registry batch-slice shape).
+func acquire() *[]byte {
+	buf := pool.Get().(*[]byte)
+	*buf = (*buf)[:0]
+	return buf
+}
+
+// The paired release: a bare Put with no Get in sight.
+func release(buf *[]byte) {
+	pool.Put(buf)
+}
+
+// Transfer on one path, Put on the other: still an acquire wrapper
+// (the tracer-pool shape — a disabled tracer recycles immediately).
+func acquireOrRecycle(enabled bool) *[]byte {
+	buf := pool.Get().(*[]byte)
+	if !enabled {
+		pool.Put(buf)
+		return nil
+	}
+	return buf
+}
+
+// Callees borrow: passing the pooled value to another function is not
+// an escape.
+func borrowing() {
+	buf := pool.Get().(*[]byte)
+	use(*buf)
+	fill(buf)
+	pool.Put(buf)
+}
+
+// The comma-ok assertion form binds the same way.
+func commaOK() {
+	buf, _ := pool.Get().(*[]byte)
+	pool.Put(buf)
+}
+
+func use(b []byte)   {}
+func fill(b *[]byte) {}
+
+var errFailed = errorString("failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

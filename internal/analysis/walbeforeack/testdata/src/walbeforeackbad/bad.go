@@ -1,0 +1,50 @@
+// Package walbeforeackbad seeds handlers that acknowledge before the
+// WAL group-commit sync.
+package walbeforeackbad
+
+import "net/http"
+
+type srv struct{}
+
+func (s *srv) syncWAL(lsn uint64) error { return nil }
+
+func respond(tr, w any, status int, v any) {}
+
+func writeJSON(w any, status int, v any) {}
+
+// The classic bug: respond first, make durable second.
+//
+//tbs:walbeforeack
+func (s *srv) ackThenSync(w any, lsn uint64) {
+	respond(nil, w, http.StatusOK, "done") // want `success response \(status 200\) written before the WAL group-commit sync`
+	_ = s.syncWAL(lsn)
+}
+
+// Sync on one branch only: the else path acks without durability.
+//
+//tbs:walbeforeack
+func (s *srv) syncOneBranch(w any, fast bool, lsn uint64) {
+	if !fast {
+		_ = s.syncWAL(lsn)
+	}
+	writeJSON(w, 200, "done") // want `success response \(status 200\) written before`
+}
+
+// A sync inside a loop body may run zero times; the conservative
+// zero-iteration rule treats the ack after it as unprotected.
+//
+//tbs:walbeforeack
+func (s *srv) syncInLoop(w any, lsns []uint64) {
+	for _, lsn := range lsns {
+		_ = s.syncWAL(lsn)
+	}
+	respond(nil, w, http.StatusOK, "done") // want `written before the WAL group-commit sync`
+}
+
+// 201 is a success status too.
+//
+//tbs:walbeforeack
+func (s *srv) createdBeforeSync(w any, lsn uint64) {
+	writeJSON(w, http.StatusCreated, "made") // want `success response \(status 201\) written before`
+	_ = s.syncWAL(lsn)
+}

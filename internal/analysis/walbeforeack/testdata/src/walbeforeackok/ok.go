@@ -1,0 +1,85 @@
+// Package walbeforeackok pins walbeforeack's negative space: the
+// handler shapes from internal/server that must stay silent.
+package walbeforeackok
+
+import (
+	"errors"
+	"net/http"
+)
+
+type srv struct{}
+
+func (s *srv) syncWAL(lsn uint64) error { return nil }
+
+func respond(tr, w any, status int, v any) {}
+
+func writeJSON(w any, status int, v any) {}
+
+// An unannotated handler may ack whenever it likes.
+func (s *srv) unannotated(w any, lsn uint64) {
+	respond(nil, w, http.StatusOK, "done")
+	_ = s.syncWAL(lsn)
+}
+
+// The canonical handler: journal, group-commit, then ack.
+//
+//tbs:walbeforeack
+func (s *srv) syncThenAck(w any, lsn uint64) {
+	if err := s.syncWAL(lsn); err != nil {
+		respond(nil, w, http.StatusInternalServerError, err)
+		return
+	}
+	respond(nil, w, http.StatusOK, "done")
+}
+
+// Failing a request before durability is always legal: error statuses
+// are not acknowledgements.
+//
+//tbs:walbeforeack
+func (s *srv) errorFirst(w any, ok bool, lsn uint64) {
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, "nope")
+		return
+	}
+	_ = s.syncWAL(lsn)
+	writeJSON(w, http.StatusOK, "done")
+}
+
+// A non-constant status is an error-path helper (the NDJSON fail
+// closure shape), not a success ack.
+//
+//tbs:walbeforeack
+func (s *srv) dynamicStatus(w any, status int, lsn uint64) {
+	respond(nil, w, status, "who knows")
+	_ = s.syncWAL(lsn)
+	respond(nil, w, http.StatusOK, "done")
+}
+
+// Both branches sync before the shared ack.
+//
+//tbs:walbeforeack
+func (s *srv) bothBranchesSync(w any, fast bool, lsn uint64) {
+	if fast {
+		_ = s.syncWAL(lsn)
+	} else {
+		if err := s.syncWAL(lsn + 1); err != nil {
+			respond(nil, w, http.StatusServiceUnavailable, err)
+			return
+		}
+	}
+	respond(nil, w, http.StatusOK, "done")
+}
+
+// The sync result feeding the error check is the usual real shape.
+//
+//tbs:walbeforeack
+func (s *srv) syncErrHandled(w any, lsn uint64) {
+	err := s.syncWAL(lsn)
+	if errors.Is(err, errClosed) {
+		writeJSON(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, "done")
+}
+
+var errClosed = errors.New("closed")

@@ -1,0 +1,103 @@
+// Package walbeforeack implements the tbsvet analyzer enforcing
+// invariant 1 of ARCHITECTURE.md on annotated HTTP handlers: the
+// success response is the acknowledgement, so it must not be written
+// until the operation's journal records have been made durable by the
+// group-commit sync. A handler annotated //tbs:walbeforeack may only
+// reach a 2xx response write (a respond/writeJSON call whose status
+// argument is a constant in [200,300)) on paths where a syncWAL call
+// has already executed.
+//
+// The check is a conservative forward must-analysis (analysis.MustFlow)
+// rather than a full CFG dominance computation: branches meet with AND,
+// loops are assumed to run zero times, and closures are opaque. Error
+// responses (non-constant or non-2xx status arguments) are ignored —
+// failing a request before durability is always legal.
+package walbeforeack
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"repro/internal/analysis"
+)
+
+// Directive is the annotation that opts a handler into the check.
+const Directive = "tbs:walbeforeack"
+
+// syncNames are the callee names that count as the durability barrier.
+var syncNames = map[string]bool{"syncWAL": true}
+
+// ackNames maps acknowledgement callees to the index of their status
+// argument.
+var ackNames = map[string]int{
+	"writeJSON": 1, // writeJSON(w, status, v)
+	"respond":   2, // respond(tr, w, status, v)
+}
+
+// Analyzer is the walbeforeack analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "walbeforeack",
+	Doc:  "//tbs:walbeforeack handlers must group-commit-sync the WAL before writing a success response",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, Directive) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	flow := &analysis.MustFlow{
+		Effect: func(call *ast.CallExpr) analysis.Effect {
+			if f := analysis.CalleeFunc(pass.TypesInfo, call); f != nil && syncNames[f.Name()] {
+				return analysis.EffectSet
+			}
+			return analysis.EffectNone
+		},
+		OnCall: func(call *ast.CallExpr, synced bool) {
+			if synced {
+				return
+			}
+			status, ok := successStatus(pass, call)
+			if !ok {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"success response (status %d) written before the WAL group-commit sync in //%s handler %s",
+				status, Directive, fd.Name.Name)
+		},
+	}
+	// The tracked condition starts false: nothing is durable when the
+	// handler is entered.
+	flow.WalkFrom(fd.Body, false)
+}
+
+// successStatus reports whether the call writes a success response, and
+// with which constant status.
+func successStatus(pass *analysis.Pass, call *ast.CallExpr) (int64, bool) {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	if f == nil {
+		return 0, false
+	}
+	argIdx, ok := ackNames[f.Name()]
+	if !ok || argIdx >= len(call.Args) {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[argIdx]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	status, ok := constant.Int64Val(tv.Value)
+	if !ok || status < 200 || status >= 300 {
+		return 0, false
+	}
+	return status, true
+}

@@ -1,0 +1,14 @@
+package walbeforeack_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walbeforeack"
+)
+
+func TestWalBeforeAck(t *testing.T) {
+	analysistest.Run(t, filepath.Join(".", "testdata"), walbeforeack.Analyzer,
+		"walbeforeackbad", "walbeforeackok")
+}

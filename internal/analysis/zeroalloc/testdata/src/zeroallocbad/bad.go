@@ -1,0 +1,72 @@
+// Package zeroallocbad seeds one of every allocation class zeroalloc
+// must flag inside an annotated function.
+package zeroallocbad
+
+import "fmt"
+
+var sink any
+
+//tbs:zeroalloc
+func badFmt(b []byte, v int) []byte {
+	return fmt.Appendf(b, "%d", v) // want `call to fmt.Appendf allocates`
+}
+
+//tbs:zeroalloc
+func badMake(n int) int {
+	s := make([]byte, n) // want `make allocates`
+	return len(s)
+}
+
+//tbs:zeroalloc
+func badNew() int {
+	p := new(int) // want `new allocates`
+	return *p
+}
+
+//tbs:zeroalloc
+func badStringConv(b []byte) int {
+	return len(string(b)) // want `conversion string allocates`
+}
+
+//tbs:zeroalloc
+func badBytesConv(s string) int {
+	return len([]byte(s)) // want `allocates`
+}
+
+//tbs:zeroalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//tbs:zeroalloc
+func badMapLit() int {
+	m := map[string]int{"a": 1} // want `map literal allocates`
+	return len(m)
+}
+
+//tbs:zeroalloc
+func badEscapingLit() *[2]int {
+	return &[2]int{1, 2} // want `address-taken composite literal escapes`
+}
+
+//tbs:zeroalloc
+func badClosure(n int) func() int {
+	return func() int { return n } // want `function literal captures "n"`
+}
+
+//tbs:zeroalloc
+func badGo(f func()) {
+	go f() // want `go statement allocates`
+}
+
+//tbs:zeroalloc
+func badBoxing(v int) {
+	sink = v // want `assigned to interface boxes int`
+}
+
+//tbs:zeroalloc
+func badBoxingArg(v float64) {
+	takesAny(v) // want `passed as interface argument boxes float64`
+}
+
+func takesAny(any) {}

@@ -1,0 +1,87 @@
+// Package zeroallocok pins zeroalloc's negative space: every function
+// here mirrors a real hot-path idiom from internal/core, internal/wal,
+// or internal/wire and must stay silent. Each case began life as a
+// would-be false positive during the analyzer's bring-up.
+package zeroallocok
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// Unannotated functions may allocate freely — the check is opt-in.
+func unannotated() []byte {
+	return []byte(fmt.Sprintf("%d", 42))
+}
+
+// Amortized growth via append is the zero-steady-state mechanism, not a
+// violation.
+//
+//tbs:zeroalloc
+func appendGrowth(dst []byte, src []byte) []byte {
+	dst = append(dst, src...)
+	dst = append(dst, 0x0a)
+	return dst
+}
+
+// strconv append-style formatting does not allocate.
+//
+//tbs:zeroalloc
+func strconvAppend(dst []byte, v float64, n int64) []byte {
+	dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+	dst = strconv.AppendInt(dst, n, 10)
+	return dst
+}
+
+// sync.Pool recycling is the other zero-steady-state mechanism.
+//
+//tbs:zeroalloc
+func poolRecycle(p *sync.Pool) int {
+	buf := p.Get().(*[]byte)
+	n := len(*buf)
+	p.Put(buf)
+	return n
+}
+
+// Constant string concatenation folds at compile time.
+//
+//tbs:zeroalloc
+func constConcat() string {
+	const prefix = "tbsd_"
+	return prefix + "up"
+}
+
+// A non-escaping composite literal stays on the stack.
+//
+//tbs:zeroalloc
+func stackLit(v int) int {
+	pair := [2]int{v, v + 1}
+	return pair[0] + pair[1]
+}
+
+// Pointer-shaped values box into interfaces without allocating.
+//
+//tbs:zeroalloc
+func pointerBoxing(p *int) any {
+	return p
+}
+
+// A capture-free literal compiles to a static function value.
+//
+//tbs:zeroalloc
+func captureFree() func(int) int {
+	return func(x int) int { return x * 2 }
+}
+
+// Indexing, slicing, and arithmetic on existing buffers are free; so is
+// passing a slice through a variadic ... call.
+//
+//tbs:zeroalloc
+func sliceJuggling(b []byte, extra []any) (int, int) {
+	head := b[:4]
+	tail := b[4:]
+	return len(head) + len(tail), variadic(extra...)
+}
+
+func variadic(vs ...any) int { return len(vs) }

@@ -1,0 +1,306 @@
+// Package zeroalloc implements the tbsvet analyzer enforcing the
+// //tbs:zeroalloc annotation: a function so marked is a steady-state
+// hot-path root (sampler append-path realization, WAL record encode,
+// wire parsing) and must contain no allocation sites. It is the
+// lint-time complement of the runtime gates in zeroalloc_test.go — those
+// catch a regression after the fact with an allocation count, this one
+// points at the offending expression.
+//
+// Flagged constructs:
+//   - calls into package fmt (every fmt call allocates);
+//   - string↔[]byte/[]rune conversions and string(rune);
+//   - non-constant string concatenation;
+//   - make, new, and go statements;
+//   - composite literals in escaping positions (address-taken, returned,
+//     passed as a call argument, assigned to a non-local), and map
+//     literals anywhere;
+//   - function literals that capture enclosing variables (capture-free
+//     literals compile to static functions and stay silent);
+//   - interface boxing: a concrete non-pointer-shaped value passed to an
+//     interface parameter, assigned to an interface variable, returned
+//     as an interface result, or converted to an interface type.
+//
+// The check is per-function and not transitive: a call to an
+// unannotated helper is not followed. Annotate the helper too if it is
+// part of the contract (as the core/wal/wire hot paths do). Amortized
+// growth via append and sync.Pool recycling are allowed by design —
+// they are how these paths reach zero steady-state allocations.
+package zeroalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Directive is the annotation that opts a function into the check.
+const Directive = "tbs:zeroalloc"
+
+// Analyzer is the zeroalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "zeroalloc",
+	Doc:  "//tbs:zeroalloc functions must contain no allocation sites",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, Directive) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, fd, n)
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) && info.Types[n].Value == nil {
+				pass.Reportf(n.OpPos, "string concatenation allocates in //%s function %s", Directive, fd.Name.Name)
+			}
+
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, fd, n, stack)
+
+		case *ast.FuncLit:
+			if capt := firstCapture(info, fd, n); capt != "" {
+				pass.Reportf(n.Pos(), "function literal captures %q and allocates a closure in //%s function %s", capt, Directive, fd.Name.Name)
+			}
+			// Do not descend: the literal runs outside the annotated
+			// steady-state path (or is already reported).
+			return false
+
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates in //%s function %s", Directive, fd.Name.Name)
+
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // x, y := f() — boxing through calls is checked at the call
+				}
+				checkBoxing(pass, fd, info.TypeOf(lhs), n.Rhs[i], "assigned to interface")
+			}
+
+		case *ast.ReturnStmt:
+			sig, _ := info.TypeOf(fd.Name).(*types.Signature)
+			if sig == nil || len(n.Results) != sig.Results().Len() {
+				return true
+			}
+			for i, res := range n.Results {
+				checkBoxing(pass, fd, sig.Results().At(i).Type(), res, "returned as interface")
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags fmt calls, make/new, allocating conversions, and
+// boxing of concrete arguments into interface parameters.
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Conversions: T(x) where the callee is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkConversion(pass, fd, tv.Type, call)
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in //%s function %s", Directive, fd.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in //%s function %s", Directive, fd.Name.Name)
+			}
+			return
+		}
+	}
+
+	if analysis.IsPkgFunc(info, call, "fmt") {
+		pass.Reportf(call.Pos(), "call to %s allocates in //%s function %s", callName(call), Directive, fd.Name.Name)
+		return
+	}
+
+	// Interface boxing at the call boundary.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			slice, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			param = slice.Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, fd, param, arg, "passed as interface argument")
+	}
+}
+
+// checkConversion flags string↔bytes conversions and conversions that
+// box into an interface.
+func checkConversion(pass *analysis.Pass, fd *ast.FuncDecl, dst types.Type, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	switch {
+	case isString(dst) && !isString(src):
+		// Constant conversions fold away.
+		if info.Types[call].Value == nil {
+			pass.Reportf(call.Pos(), "conversion %s allocates in //%s function %s", callName(call), Directive, fd.Name.Name)
+		}
+	case isByteOrRuneSlice(dst) && isString(src):
+		pass.Reportf(call.Pos(), "conversion %s allocates in //%s function %s", callName(call), Directive, fd.Name.Name)
+	case types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) && !pointerShaped(src):
+		pass.Reportf(call.Pos(), "conversion to interface boxes %s in //%s function %s", src, Directive, fd.Name.Name)
+	}
+}
+
+// checkCompositeLit flags map literals anywhere and slice/struct
+// literals in escaping positions.
+func checkCompositeLit(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.CompositeLit, stack []ast.Node) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(lit.Pos(), "map literal allocates in //%s function %s", Directive, fd.Name.Name)
+		return
+	}
+	if len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			pass.Reportf(lit.Pos(), "address-taken composite literal escapes in //%s function %s", Directive, fd.Name.Name)
+		}
+	case *ast.ReturnStmt:
+		pass.Reportf(lit.Pos(), "returned composite literal escapes in //%s function %s", Directive, fd.Name.Name)
+	case *ast.CallExpr:
+		// As an argument (not as the callee of a conversion).
+		if tv, ok := pass.TypesInfo.Types[p.Fun]; ok && tv.IsType() {
+			return
+		}
+		for _, arg := range p.Args {
+			if arg == ast.Expr(lit) {
+				pass.Reportf(lit.Pos(), "composite literal passed as call argument escapes in //%s function %s", Directive, fd.Name.Name)
+			}
+		}
+	}
+}
+
+// checkBoxing reports a concrete, non-pointer-shaped value reaching an
+// interface-typed slot.
+func checkBoxing(pass *analysis.Pass, fd *ast.FuncDecl, dst types.Type, val ast.Expr, what string) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[val]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type.Underlying()) || pointerShaped(tv.Type) {
+		return
+	}
+	// Untyped constants that fit a pointer word (nil handled above):
+	// still boxed — only small integers hit the runtime cache, so stay
+	// conservative and flag them all.
+	pass.Reportf(val.Pos(), "%s boxes %s and allocates in //%s function %s", what, tv.Type, Directive, fd.Name.Name)
+}
+
+// pointerShaped reports whether values of t fit an interface's data word
+// without allocating.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// firstCapture returns the name of one variable the literal captures
+// from the enclosing function, or "" if it is capture-free.
+func firstCapture(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		// Declared inside the enclosing function but outside the literal?
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	case *ast.ArrayType:
+		return types.ExprString(call.Fun) + "(...)"
+	}
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,14 @@
+package zeroalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/zeroalloc"
+)
+
+func TestZeroalloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join(".", "testdata"), zeroalloc.Analyzer,
+		"zeroallocbad", "zeroallocok")
+}
