@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 )
 
 // Effect is a MustFlow event's impact on the tracked condition.
@@ -29,6 +30,21 @@ const (
 //     closure does not count), except that DeferEffect may inspect a
 //     deferred closure and promote it to a Set for everything after the
 //     defer statement.
+//
+// One refinement tracks nil-guard correlation, for the common
+//
+//	if err == nil { err = syncWAL(lsn) }
+//	if err != nil { respond(error); return }
+//	respond(ok)
+//
+// shape: the first if records "err == nil implies the condition holds"
+// (sound because the then branch's fall-through state is the only way
+// out with err possibly nil), and the second — whose body terminates
+// every non-nil path — then promotes the state to true. The guard is
+// keyed by identifier name, dropped on any reassignment, and confined
+// to the statement list where it was established (descending into any
+// branch or loop body snapshots and restores the guard set, so a guard
+// taken inside one branch can never leak past its join).
 type MustFlow struct {
 	// Effect classifies a call's impact on the tracked condition.
 	Effect func(*ast.CallExpr) Effect
@@ -44,6 +60,10 @@ type MustFlow struct {
 	// statement, and the body's end when it falls through — with the
 	// state at that point.
 	OnExit func(ast.Node, bool)
+
+	// guards tracks live nil-guard correlations: name → "name == nil
+	// implies the tracked condition holds". See the type comment.
+	guards map[string]bool
 }
 
 // Walk runs the analysis over a function body with the condition
@@ -58,6 +78,7 @@ func (m *MustFlow) WalkFrom(body *ast.BlockStmt, initial bool) {
 	if body == nil {
 		return
 	}
+	m.guards = make(map[string]bool)
 	state, terminated := m.walkStmts(body.List, initial)
 	if !terminated && m.OnExit != nil {
 		m.OnExit(body, state)
@@ -113,10 +134,26 @@ func (m *MustFlow) walkStmt(s ast.Stmt, state bool) (after bool, terminated bool
 			state, _ = m.walkStmt(s.Init, state)
 		}
 		state = m.scanExprs(state, s.Cond)
+		save := m.snapGuards()
 		thenState, thenTerm := m.walkStmts(s.Body.List, state)
+		m.guards = save
 		elseState, elseTerm := state, false
 		if s.Else != nil {
+			save = m.snapGuards()
 			elseState, elseTerm = m.walkStmt(s.Else, state)
+			m.guards = save
+		}
+		// Nil-guard establishment: if x == nil { ...Set... } with no
+		// else. x == nil can only survive the statement through the then
+		// branch's fall-through, so its state bounds the correlation.
+		if name, ok := nilCompare(s.Cond, token.EQL); ok && s.Else == nil && !thenTerm && thenState {
+			m.guards[name] = true
+		}
+		// Nil-guard discharge: if x != nil { ...every path terminates }
+		// with a live guard — all surviving paths have x == nil, which
+		// implies the condition.
+		if name, ok := nilCompare(s.Cond, token.NEQ); ok && s.Else == nil && thenTerm && m.guards[name] {
+			return true, false
 		}
 		switch {
 		case thenTerm && elseTerm:
@@ -133,19 +170,23 @@ func (m *MustFlow) walkStmt(s ast.Stmt, state bool) (after bool, terminated bool
 		if s.Init != nil {
 			state, _ = m.walkStmt(s.Init, state)
 		}
+		save := m.snapGuards()
 		inner := state
 		inner = m.scanExprs(inner, s.Cond)
 		inner, _ = m.walkStmts(s.Body.List, inner)
 		if s.Post != nil {
 			m.walkStmt(s.Post, inner)
 		}
+		m.guards = save
 		// Zero-iteration assumption: state after the loop is the state
 		// before it.
 		return state, false
 
 	case *ast.RangeStmt:
 		state = m.scanExprs(state, s.X)
+		save := m.snapGuards()
 		m.walkStmts(s.Body.List, state)
+		m.guards = save
 		return state, false
 
 	case *ast.SwitchStmt:
@@ -176,9 +217,51 @@ func (m *MustFlow) walkStmt(s ast.Stmt, state bool) (after bool, terminated bool
 
 	default:
 		// Straight-line statements: assignments, expression statements,
-		// declarations, inc/dec, sends. Scan for calls.
+		// declarations, inc/dec, sends. Scan for calls. A reassignment
+		// kills any nil-guard on the variable.
+		if as, ok := s.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					delete(m.guards, id.Name)
+				}
+			}
+		}
 		return m.scanExprs(state, stmtExprs(s)...), false
 	}
+}
+
+func (m *MustFlow) snapGuards() map[string]bool {
+	save := make(map[string]bool, len(m.guards))
+	for k, v := range m.guards {
+		save[k] = v
+	}
+	return save
+}
+
+// nilCompare matches `x <op> nil` / `nil <op> x` with x a plain
+// identifier, returning x's name.
+func nilCompare(cond ast.Expr, op token.Token) (string, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != op {
+		return "", false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNilIdent(y) {
+		if id, ok := x.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	if isNilIdent(x) {
+		if id, ok := y.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
 }
 
 // walkCases meets the bodies of switch/select clauses. A missing default
@@ -205,7 +288,9 @@ func (m *MustFlow) walkCases(clauses []ast.Stmt, state bool) (bool, bool) {
 			}
 			body = c.Body
 		}
+		save := m.snapGuards()
 		st, term := m.walkStmts(body, state)
+		m.guards = save
 		if !term {
 			meet = meet && st
 			anyOpen = true

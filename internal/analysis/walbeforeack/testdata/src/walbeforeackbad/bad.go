@@ -41,6 +41,44 @@ func (s *srv) syncInLoop(w any, lsns []uint64) {
 	respond(nil, w, http.StatusOK, "done") // want `written before the WAL group-commit sync`
 }
 
+// A guard that is reassigned before the bailout no longer proves the
+// sync ran: the correlation must be dropped on reassignment.
+//
+//tbs:walbeforeack
+func (s *srv) guardKilledByReassign(w any, lsn uint64) {
+	err := doWork()
+	if err == nil {
+		err = s.syncWAL(lsn)
+	}
+	err = doWork() // overwrites the sync result
+	if err != nil {
+		writeJSON(w, 500, err)
+		return
+	}
+	writeJSON(w, 200, "done") // want `success response \(status 200\) written before`
+}
+
+// A guard established inside one branch must not leak past the join:
+// the untaken branch reaches the bailout with err possibly nil and the
+// WAL never synced.
+//
+//tbs:walbeforeack
+func (s *srv) guardScopedToBranch(w any, cond bool, lsn uint64) {
+	err := doWork()
+	if cond {
+		if err == nil {
+			err = s.syncWAL(lsn)
+		}
+	}
+	if err != nil {
+		writeJSON(w, 500, err)
+		return
+	}
+	writeJSON(w, 200, "done") // want `success response \(status 200\) written before`
+}
+
+func doWork() error { return nil }
+
 // 201 is a success status too.
 //
 //tbs:walbeforeack

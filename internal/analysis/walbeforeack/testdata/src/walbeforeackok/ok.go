@@ -70,6 +70,25 @@ func (s *srv) bothBranchesSync(w any, fast bool, lsn uint64) {
 	respond(nil, w, http.StatusOK, "done")
 }
 
+// The model-handler shape: sync under an err == nil guard, then a
+// single err != nil bailout covering both the operation and the sync.
+// The nil-guard correlation must keep this silent.
+//
+//tbs:walbeforeack
+func (s *srv) guardedSync(w any, lsn uint64) {
+	err := doWork()
+	if err == nil {
+		err = s.syncWAL(lsn)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, "done")
+}
+
+func doWork() error { return nil }
+
 // The sync result feeding the error check is the usual real shape.
 //
 //tbs:walbeforeack

@@ -74,6 +74,41 @@ func captureFree() func(int) int {
 	return func(x int) int { return x * 2 }
 }
 
+// A make guarded by a cap() check is a one-time amortized allocation
+// against a retained buffer (the wire BinReader row-decode shape).
+//
+//tbs:zeroalloc
+func capGuardedMake(vals *[]float64, n int) []float64 {
+	if cap(*vals) < n {
+		*vals = make([]float64, n)
+	}
+	return (*vals)[:n]
+}
+
+// The in-place width-reservation variant (the wire appendScaled shape).
+//
+//tbs:zeroalloc
+func capGuardedExtend(dst []byte, w int) []byte {
+	if cap(dst)-len(dst) < w {
+		dst = append(dst, make([]byte, w)...)[:len(dst)]
+	}
+	return dst[:len(dst)+w]
+}
+
+// Boxing confined to an error return is a cold input-rejection path
+// (the wire errf shape). The formatting itself lives in the unannotated
+// helper.
+//
+//tbs:zeroalloc
+func errorPathBoxing(b []byte) ([]byte, error) {
+	if len(b) < 8 {
+		return nil, errf("truncated row: %d bytes", len(b))
+	}
+	return b[:8], nil
+}
+
+func errf(format string, args ...any) error { return nil }
+
 // Indexing, slicing, and arithmetic on existing buffers are free; so is
 // passing a slice through a variadic ... call.
 //

@@ -22,9 +22,15 @@
 //
 // The check is per-function and not transitive: a call to an
 // unannotated helper is not followed. Annotate the helper too if it is
-// part of the contract (as the core/wal/wire hot paths do). Amortized
-// growth via append and sync.Pool recycling are allowed by design —
-// they are how these paths reach zero steady-state allocations.
+// part of the contract (as the core/wal/wire hot paths do). Three idioms
+// are allowed by design because they are how these paths reach zero
+// steady-state allocations:
+//   - amortized growth via append and sync.Pool recycling;
+//   - a make guarded by a cap() check (if cap(buf) < n { buf = make... })
+//     — the retained buffer makes the allocation one-time;
+//   - interface boxing confined to an error return (return nil,
+//     errf("...", n)) — the path rejects the input and is cold. The fmt
+//     rule still applies: formatting belongs in an unannotated helper.
 package zeroalloc
 
 import (
@@ -63,7 +69,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkCall(pass, fd, n)
+			checkCall(pass, fd, n, stack)
 
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && isString(info.TypeOf(n)) && info.Types[n].Value == nil {
@@ -107,7 +113,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 
 // checkCall flags fmt calls, make/new, allocating conversions, and
 // boxing of concrete arguments into interface parameters.
-func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
 	info := pass.TypesInfo
 
 	// Conversions: T(x) where the callee is a type.
@@ -120,7 +126,9 @@ func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
-				pass.Reportf(call.Pos(), "make allocates in //%s function %s", Directive, fd.Name.Name)
+				if !capGuarded(info, stack) {
+					pass.Reportf(call.Pos(), "make allocates in //%s function %s", Directive, fd.Name.Name)
+				}
 			case "new":
 				pass.Reportf(call.Pos(), "new allocates in //%s function %s", Directive, fd.Name.Name)
 			}
@@ -133,7 +141,11 @@ func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 		return
 	}
 
-	// Interface boxing at the call boundary.
+	// Interface boxing at the call boundary. Boxing confined to an
+	// error return is cold and tolerated.
+	if errorReturn(info, stack) {
+		return
+	}
 	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return
@@ -232,6 +244,57 @@ func checkBoxing(pass *analysis.Pass, fd *ast.FuncDecl, dst types.Type, val ast.
 	// still boxed — only small integers hit the runtime cache, so stay
 	// conservative and flag them all.
 	pass.Reportf(val.Pos(), "%s boxes %s and allocates in //%s function %s", what, tv.Type, Directive, fd.Name.Name)
+}
+
+// capGuarded reports whether the node sits inside the body of an if
+// whose condition consults cap() — the amortized one-time-allocation
+// idiom (if cap(buf) < n { buf = make(...) }).
+func capGuarded(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok || ifStmt.Cond == nil {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "cap" {
+					guarded = true
+				}
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// errorReturn reports whether the node is part of a return statement
+// whose final result is a non-nil error — a cold input-rejection path.
+func errorReturn(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ret, ok := stack[i].(*ast.ReturnStmt)
+		if !ok {
+			continue
+		}
+		if len(ret.Results) == 0 {
+			return false
+		}
+		last := ret.Results[len(ret.Results)-1]
+		tv, ok := info.Types[last]
+		if !ok || tv.IsNil() || tv.Type == nil {
+			return false
+		}
+		named, ok := tv.Type.(*types.Named)
+		return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+	}
+	return false
 }
 
 // pointerShaped reports whether values of t fit an interface's data word

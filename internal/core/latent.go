@@ -60,6 +60,8 @@ func (l *Latent[T]) Realize(rng *xrand.RNG) []T {
 // allocating once the buffer has grown to the sample footprint — the
 // append-side half of the zero-allocation ingest path. It consumes exactly
 // the same RNG draws as Realize.
+//
+//tbs:zeroalloc
 func (l *Latent[T]) AppendRealize(rng *xrand.RNG, dst []T) []T {
 	dst = append(dst, l.full...)
 	if len(l.partial) == 1 && rng.Bernoulli(frac(l.weight)) {
@@ -71,6 +73,8 @@ func (l *Latent[T]) AppendRealize(rng *xrand.RNG, dst []T) []T {
 // appendFull adds items to A with weight 1 each, increasing C by len(items).
 // It implements the "accept all items in Bₜ" steps of Algorithm 2 (lines 9
 // and 20).
+//
+//tbs:zeroalloc
 func (l *Latent[T]) appendFull(items []T) {
 	l.full = append(l.full, items...)
 	l.weight += float64(len(items))
@@ -78,6 +82,8 @@ func (l *Latent[T]) appendFull(items []T) {
 
 // swap1 moves a random full item to π and moves the current partial item
 // (if any) into A — the Swap1(A, π) subroutine of Algorithm 3.
+//
+//tbs:zeroalloc
 func (l *Latent[T]) swap1(rng *xrand.RNG) {
 	if len(l.full) == 0 {
 		return
@@ -97,6 +103,8 @@ func (l *Latent[T]) swap1(rng *xrand.RNG) {
 
 // move1 moves a random full item to π, replacing the current partial item —
 // the Move1(A, π) subroutine of Algorithm 3.
+//
+//tbs:zeroalloc
 func (l *Latent[T]) move1(rng *xrand.RNG) {
 	if len(l.full) == 0 {
 		return

@@ -129,6 +129,8 @@ func (s *RTBS[T]) Sample() []T { return s.latent.Realize(s.rng) }
 
 // AppendSample realizes the current sample into a caller-owned buffer; see
 // core.AppendSampler. It consumes the same RNG draws as Sample.
+//
+//tbs:zeroalloc
 func (s *RTBS[T]) AppendSample(dst []T) []T { return s.latent.AppendRealize(s.rng, dst) }
 
 // Latent exposes the internal latent sample for read-only inspection

@@ -93,6 +93,8 @@ func (s *TTBS[T]) Sample() []T {
 }
 
 // AppendSample appends the current sample to dst; see core.AppendSampler.
+//
+//tbs:zeroalloc
 func (s *TTBS[T]) AppendSample(dst []T) []T { return append(dst, s.sample...) }
 
 // Size returns the exact current sample size Cₜ.

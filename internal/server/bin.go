@@ -62,6 +62,8 @@ var binPool = sync.Pool{
 // acknowledgement. Malformed streams answer a structured 400 naming the
 // 1-based frame, the frame's absolute byte offset, the 1-based row and
 // the accepted count.
+//
+//tbs:walbeforeack
 func (s *Server) handleItemsBin(w http.ResponseWriter, r *http.Request, key string) {
 	q := r.URL.Query()
 	boundaryEvery := 0

@@ -207,6 +207,8 @@ func decodeIngest(r *http.Request) (ingestRequest, error) {
 // request is appended in batched critical sections, so a bulk POST is a
 // few batched hot-path operations, not N. With ?advance=true the batch is
 // closed afterwards.
+//
+//tbs:walbeforeack
 func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 	key, ok := streamKey(w, r)
 	if !ok {
@@ -290,6 +292,8 @@ func (s *Server) handleItems(w http.ResponseWriter, r *http.Request) {
 // items is legal and still moves the decay clock; advancing an unknown
 // stream creates it, so pure time-decay streams can be driven without a
 // prior ingest.
+//
+//tbs:walbeforeack
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	key, ok := streamKey(w, r)
 	if !ok {

@@ -25,6 +25,8 @@ import (
 // handleModelAttach installs a managed model on the stream, creating the
 // stream if needed. Re-attaching replaces the model and resets its policy
 // clock and counters.
+//
+//tbs:walbeforeack
 func (s *Server) handleModelAttach(w http.ResponseWriter, r *http.Request) {
 	key, ok := streamKey(w, r)
 	if !ok {
@@ -121,6 +123,8 @@ func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleModelDetach removes the stream's managed model.
+//
+//tbs:walbeforeack
 func (s *Server) handleModelDetach(w http.ResponseWriter, r *http.Request) {
 	key, ok := streamKey(w, r)
 	if !ok {

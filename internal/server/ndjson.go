@@ -114,6 +114,8 @@ func lineValid(line []byte) bool {
 // appended in chunks as they decode, so on a mid-stream error the earlier
 // lines HAVE been ingested; the structured error reports the offending
 // 1-based line, its absolute byte offset, and the accepted count.
+//
+//tbs:walbeforeack
 func (s *Server) handleItemsNDJSON(w http.ResponseWriter, r *http.Request, key string) {
 	q := r.URL.Query()
 	boundaryEvery := 0

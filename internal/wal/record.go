@@ -102,12 +102,16 @@ var encBufPool = sync.Pool{
 
 // appendFrameHeader reserves space for the frame header; the caller fills
 // it with finishFrame once the payload is complete.
+//
+//tbs:zeroalloc
 func appendFrameHeader(buf []byte) []byte {
 	return append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
 }
 
 // finishFrame writes the length and CRC over the payload that follows the
 // header at offset start.
+//
+//tbs:zeroalloc
 func finishFrame(buf []byte, start int) []byte {
 	payload := buf[start+frameHeaderSize:]
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
@@ -116,6 +120,8 @@ func finishFrame(buf []byte, start int) []byte {
 }
 
 // appendPayloadHeader encodes the fields every record shares.
+//
+//tbs:zeroalloc
 func appendPayloadHeader(buf []byte, lsn uint64, t Type, key string) []byte {
 	buf = binary.AppendUvarint(buf, lsn)
 	buf = append(buf, byte(t))

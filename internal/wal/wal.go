@@ -441,6 +441,8 @@ func (l *Log) TailForKey(key string, afterLSN uint64) ([]Record, error) {
 // AppendItems journals one item-append record. The generic item type
 // (anything backed by []byte, e.g. json.RawMessage) lets the server pass
 // its batch slices without a per-call conversion allocation.
+//
+//tbs:zeroalloc
 func AppendItems[T ~[]byte](l *Log, key string, items []T) (uint64, error) {
 	bufp := encBufPool.Get().(*[]byte)
 	buf := appendFrameHeader((*bufp)[:0])
@@ -473,6 +475,8 @@ func AppendItems[T ~[]byte](l *Log, key string, items []T) (uint64, error) {
 
 // AppendRecord journals one record of any non-item type with an opaque
 // body.
+//
+//tbs:zeroalloc
 func (l *Log) AppendRecord(t Type, key string, data []byte) (uint64, error) {
 	bufp := encBufPool.Get().(*[]byte)
 	buf := appendFrameHeader((*bufp)[:0])

@@ -126,6 +126,8 @@ func (br *BinReader) FrameOffset() int64 { return br.frameOff }
 // clean end of stream, a *BinError for malformed input, or the
 // underlying reader's error verbatim (so body-limit errors keep their
 // type for HTTP status mapping).
+//
+//tbs:zeroalloc
 func (br *BinReader) NextRow() ([]float64, error) {
 	raw, err := br.NextRowBytes()
 	if err != nil {
@@ -146,6 +148,8 @@ func (br *BinReader) NextRow() ([]float64, error) {
 // floats as their raw 8n little-endian bytes, aliasing the frame buffer
 // (valid only until the next call). Non-finite floats are rejected here,
 // so every returned row renders to valid JSON.
+//
+//tbs:zeroalloc
 func (br *BinReader) NextRowBytes() ([]byte, error) {
 	for br.rowsLeft == 0 {
 		if err := br.readFrame(); err != nil {
@@ -163,6 +167,8 @@ func (br *BinReader) NextRowBytes() ([]byte, error) {
 // nextItem consumes one row and returns it in item form — the canonical
 // two-byte header plus the float bytes, aliasing the frame buffer. The
 // caller has already accounted rowsLeft.
+//
+//tbs:zeroalloc
 func (br *BinReader) nextItem() ([]byte, error) {
 	if len(br.payload)-br.pos < BinRowHeaderSize {
 		return nil, br.errf("truncated row header")

@@ -62,6 +62,8 @@ func (l *LineReader) Offset() int64 { return l.off }
 // offset of its first byte. err is io.EOF once the input is exhausted,
 // or the underlying reader's error. The line aliases the internal buffer:
 // it is valid only until the next call.
+//
+//tbs:zeroalloc
 func (l *LineReader) Next() (line []byte, offset int64, err error) {
 	for {
 		if i := bytes.IndexByte(l.buf[l.start:l.end], '\n'); i >= 0 {
@@ -113,6 +115,8 @@ func (l *LineReader) fill() error {
 // TrimSpace strips leading and trailing JSON whitespace (space, \t, \r,
 // \n) in place — the allocation-free subset of bytes.TrimSpace the line
 // loop needs (lines never contain \n, but clients do send \r\n).
+//
+//tbs:zeroalloc
 func TrimSpace(b []byte) []byte {
 	for len(b) > 0 && isSpace(b[0]) {
 		b = b[1:]

@@ -22,6 +22,8 @@ var pow10 = [...]float64{
 // bit-identical to strconv.ParseFloat by IEEE-754 construction. ok=false
 // means "use the general parser" — the input is outside the fast range
 // or not a JSON number — never "the value is X".
+//
+//tbs:zeroalloc
 func ParseFloat(b []byte) (f float64, ok bool) {
 	i := 0
 	neg := false
@@ -115,6 +117,8 @@ const maxDecimalPlaces = 6
 // accepted only when the exact division float64(r)/10ᵏ reproduces f).
 // Everything else falls back to strconv's shortest round-trip form.
 // Callers must reject NaN/±Inf first; JSON cannot carry them.
+//
+//tbs:zeroalloc
 func AppendFloat(dst []byte, f float64) []byte {
 	if f == 0 {
 		if math.Signbit(f) {
@@ -142,6 +146,8 @@ func AppendFloat(dst []byte, f float64) []byte {
 
 // digits10 counts decimal digits with well-predicted compares instead of
 // a multiply loop; values are bounded by exactMantissa (16 digits).
+//
+//tbs:zeroalloc
 func digits10(u uint64) int {
 	switch {
 	case u < 10:
@@ -195,6 +201,8 @@ const smallsString = "00010203040506070809" +
 // k=3; k=0 is the integer case). The width is computed up front and the
 // digits written backwards in place, so the hot path does one slice
 // growth check and no intermediate buffer copy.
+//
+//tbs:zeroalloc
 func appendScaled(dst []byte, n int64, k int) []byte {
 	if n < 0 {
 		dst = append(dst, '-')

@@ -15,6 +15,8 @@ import (
 
 // ParseValueRow decodes `{"v":N}` (JSON whitespace allowed anywhere the
 // grammar allows it) and returns the value.
+//
+//tbs:zeroalloc
 func ParseValueRow(b []byte) (v float64, ok bool) {
 	i := skipSpace(b, 0)
 	if i >= len(b) || b[i] != '{' {
@@ -38,6 +40,8 @@ func ParseValueRow(b []byte) (v float64, ok bool) {
 // ParseLabeledRow decodes `{"x":[N,…],"y":N}`, appending features to x
 // (pass a reused x[:0] slice for allocation-free steady state). The
 // returned slice replaces the argument, as with append.
+//
+//tbs:zeroalloc
 func ParseLabeledRow(b []byte, x []float64) ([]float64, float64, bool) {
 	x = x[:0]
 	i := skipSpace(b, 0)
@@ -94,6 +98,8 @@ func ParseLabeledRow(b []byte, x []float64) ([]float64, float64, bool) {
 // expectKey consumes optional whitespace, the member key `"k"`, optional
 // whitespace and the colon, returning the position of the value (after
 // its leading whitespace).
+//
+//tbs:zeroalloc
 func expectKey(b []byte, i int, k byte) (int, bool) {
 	i = skipSpace(b, i)
 	if len(b)-i < 3 || b[i] != '"' || b[i+1] != k || b[i+2] != '"' {
@@ -108,6 +114,8 @@ func expectKey(b []byte, i int, k byte) (int, bool) {
 
 // parseNumberAt scans one JSON number token at i and decodes it on the
 // exact fast path.
+//
+//tbs:zeroalloc
 func parseNumberAt(b []byte, i int) (float64, int, bool) {
 	j, v := validateNumber(b, i)
 	if v != Valid {
@@ -125,6 +133,8 @@ func parseNumberAt(b []byte, i int) (float64, int, bool) {
 // become a labeled row whose last element is the label. The output is
 // valid JSON by construction, so binary and NDJSON ingest produce
 // interchangeable stream state (checkpoints, samples, WAL records).
+//
+//tbs:zeroalloc
 func AppendRowJSON(dst []byte, vals []float64) []byte {
 	switch len(vals) {
 	case 0:
