@@ -45,14 +45,14 @@ func (tr *Tracer) WriteMetrics(w io.Writer, prefix string) error {
 		if tr.totalHist[k].Count() == 0 {
 			continue
 		}
-		kindLabel := `kind="` + k.String() + `"`
+		kindLabel := `kind="` + EscapeLabel(k.String()) + `"`
 		b = tr.totalHist[k].AppendProm(b, prefix+"_trace_duration_seconds", kindLabel)
 		for i, name := range StageNames(k) {
 			if tr.stageHist[k][i].Count() == 0 {
 				continue
 			}
 			b = tr.stageHist[k][i].AppendProm(b,
-				prefix+"_trace_stage_duration_seconds", kindLabel+`,stage="`+name+`"`)
+				prefix+"_trace_stage_duration_seconds", kindLabel+`,stage="`+EscapeLabel(name)+`"`)
 		}
 	}
 	if len(b) == 0 {
