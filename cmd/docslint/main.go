@@ -1,6 +1,7 @@
 // Command docslint is the CI documentation gate: it walks every package
-// under the given roots (default ./internal/...) and fails when a package
-// has no package-level doc comment on any of its non-test files.
+// under the given roots (default ./internal, ./tbs, and ./cmd) and fails
+// when a package has no package-level doc comment on any of its non-test
+// files.
 //
 // The bar is deliberately minimal — one real doc comment per package, not
 // per identifier — because the package comment is the entry point godoc,
@@ -9,7 +10,7 @@
 //
 // Usage (as CI runs it):
 //
-//	go run ./cmd/docslint ./internal
+//	go run ./cmd/docslint ./internal ./tbs ./cmd
 //
 // Multiple roots may be given; each is walked recursively. Directories
 // named testdata and files ending in _test.go are ignored.
@@ -29,7 +30,7 @@ import (
 func main() {
 	roots := os.Args[1:]
 	if len(roots) == 0 {
-		roots = []string{"./internal"}
+		roots = []string{"./internal", "./tbs", "./cmd"}
 	}
 	var missing []string
 	for _, root := range roots {
